@@ -1,0 +1,84 @@
+"""Shared infrastructure for the figure-regeneration benchmarks.
+
+Each benchmark regenerates one panel of the paper's evaluation (Figures
+5, 6 and 7, the section 3.3 walkthrough, the section 4.4 area check) and
+prints the same rows/series the paper reports.  Absolute numbers differ
+from the authors' testbed; the *shape* — who wins, by what factor, where
+crossovers fall — is the reproduction target (see EXPERIMENTS.md).
+
+Simulation scale: the paper uses a 1000-cycle warm-up and 10,000 sample
+packets per point.  Benchmarks default to 600-packet samples so the full
+harness runs in minutes; set ``REPRO_BENCH_SAMPLE=10000`` for
+paper-scale runs.
+
+Expensive sweeps are cached per pytest session, so the latency, power
+and breakdown panels of one figure share a single set of simulations.
+"""
+
+import os
+from typing import Dict, Sequence, Tuple
+
+import pytest
+
+from repro import Orion, preset
+from repro.core.report import SweepResult
+
+SAMPLE = int(os.environ.get("REPRO_BENCH_SAMPLE", "600"))
+WARMUP = int(os.environ.get("REPRO_BENCH_WARMUP", "500"))
+
+FIG5_RATES = (0.02, 0.06, 0.10, 0.13, 0.15, 0.17, 0.20)
+FIG5_CONFIGS = ("WH64", "VC16", "VC64", "VC128")
+FIG7_UNIFORM_RATES = (0.02, 0.05, 0.08, 0.11)
+FIG7_BROADCAST_RATES = (0.05, 0.10, 0.15, 0.19)
+FIG7_CONFIGS = ("XB", "CB")
+BROADCAST_SOURCE = 9  # node (1, 2)
+
+_sweep_cache: Dict[Tuple, SweepResult] = {}
+_run_cache: Dict[Tuple, object] = {}
+
+
+def uniform_sweep(name: str, rates: Sequence[float]) -> SweepResult:
+    """Cached uniform-random sweep of a named preset."""
+    key = ("uniform", name, tuple(rates), SAMPLE)
+    if key not in _sweep_cache:
+        _sweep_cache[key] = Orion(preset(name)).sweep_uniform(
+            rates, label=name, warmup_cycles=WARMUP,
+            sample_packets=SAMPLE)
+    return _sweep_cache[key]
+
+
+def broadcast_sweep(name: str, rates: Sequence[float]) -> SweepResult:
+    """Cached broadcast sweep of a named preset."""
+    key = ("broadcast", name, tuple(rates), SAMPLE)
+    if key not in _sweep_cache:
+        _sweep_cache[key] = Orion(preset(name)).sweep_broadcast(
+            BROADCAST_SOURCE, rates, label=name, warmup_cycles=WARMUP,
+            sample_packets=SAMPLE)
+    return _sweep_cache[key]
+
+
+def uniform_run(name: str, rate: float, **config_overrides):
+    """Cached single uniform run of a (possibly modified) preset."""
+    key = ("run", name, rate, SAMPLE, tuple(sorted(config_overrides.items())))
+    if key not in _run_cache:
+        cfg = preset(name)
+        if config_overrides:
+            cfg = cfg.with_(**config_overrides)
+        _run_cache[key] = Orion(cfg).run_uniform(
+            rate, warmup_cycles=WARMUP, sample_packets=SAMPLE)
+    return _run_cache[key]
+
+
+def print_series(title: str, rates: Sequence[float],
+                 series: Dict[str, Sequence[float]],
+                 unit: str = "") -> None:
+    """Print one figure panel as aligned rows (rate + one column per
+    configuration)."""
+    print(f"\n== {title} ==")
+    labels = list(series)
+    print(f"{'rate':>8}" + "".join(f"{label:>12}" for label in labels))
+    for i, rate in enumerate(rates):
+        row = f"{rate:>8.3f}"
+        for label in labels:
+            row += f"{series[label][i]:>12.2f}"
+        print(row + (f"  [{unit}]" if unit and i == 0 else ""))

@@ -1,0 +1,75 @@
+"""Ablation: SRAM buffer geometry (the scaling behind Figure 5).
+
+Sweeps the FIFO buffer power model over depth, width and port count,
+printing the read/write energy surface — the quantities that separate
+WH64 / VC16 / VC64 / VC128 in Figure 5(b) — and checks the model's
+scaling laws.
+"""
+
+from repro.power import FIFOBufferPower
+from repro.tech import Technology
+
+
+def _tech():
+    return Technology(0.1, vdd=1.2, frequency_hz=2e9)
+
+
+def test_buffer_energy_vs_depth(benchmark):
+    tech = _tech()
+    depths = (4, 8, 16, 32, 64, 128, 256)
+
+    def table():
+        return {d: FIFOBufferPower(tech, depth_flits=d, flit_bits=256)
+                for d in depths}
+
+    models = benchmark(table)
+    print("\n== Ablation: buffer energy vs depth (256-bit flits) ==")
+    print(f"{'depth':>6} {'E_read pJ':>12} {'E_write pJ':>12}")
+    for d, m in models.items():
+        print(f"{d:>6} {m.read_energy() * 1e12:>12.2f} "
+              f"{m.write_energy() * 1e12:>12.2f}")
+    reads = [m.read_energy() for m in models.values()]
+    assert reads == sorted(reads)
+    # Quadrupling depth should not quadruple read energy (wordline and
+    # per-bit fixed costs amortize).
+    assert models[256].read_energy() < 4 * models[64].read_energy()
+
+
+def test_buffer_energy_vs_width(benchmark):
+    tech = _tech()
+    widths = (16, 32, 64, 128, 256, 512)
+
+    def table():
+        return {w: FIFOBufferPower(tech, depth_flits=64, flit_bits=w)
+                for w in widths}
+
+    models = benchmark(table)
+    print("\n== Ablation: buffer energy vs flit width (64 flits) ==")
+    print(f"{'width':>6} {'E_read pJ':>12} {'E_write pJ':>12}")
+    for w, m in models.items():
+        print(f"{w:>6} {m.read_energy() * 1e12:>12.2f} "
+              f"{m.write_energy() * 1e12:>12.2f}")
+    # Read energy is near-linear in width (per-bit bitline columns).
+    assert models[512].read_energy() > 10 * models[32].read_energy()
+
+
+def test_buffer_energy_vs_ports(benchmark):
+    tech = _tech()
+    ports = (1, 2, 3, 4)
+
+    def table():
+        return {p: FIFOBufferPower(tech, depth_flits=64, flit_bits=256,
+                                   read_ports=p, write_ports=p)
+                for p in ports}
+
+    models = benchmark(table)
+    print("\n== Ablation: buffer energy vs port count (64 x 256) ==")
+    print(f"{'r+w ports':>10} {'E_read pJ':>12} {'E_write pJ':>12} "
+          f"{'area mm^2':>12}")
+    from repro.power import area
+    for p, m in models.items():
+        print(f"{2 * p:>10} {m.read_energy() * 1e12:>12.2f} "
+              f"{m.write_energy() * 1e12:>12.2f} "
+              f"{area.buffer_area_um2(m) / 1e6:>12.4f}")
+    reads = [m.read_energy() for m in models.values()]
+    assert reads == sorted(reads)

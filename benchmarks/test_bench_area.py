@@ -1,0 +1,31 @@
+"""Section 4.4 fair-area check: the CB and XB configurations were chosen
+to occupy "roughly the same area".
+
+Regenerates the router-area estimates from the power models' line-length
+equations (buffer wordlines/bitlines, crossbar input/output rails) and
+asserts parity within 15%.
+"""
+
+from repro import Orion, preset
+from repro.power import area
+
+
+def _areas():
+    xb = Orion(preset("XB")).power_models()
+    cb = Orion(preset("CB")).power_models()
+    xb_area = area.xb_router_area_um2(xb.buffer_model, xb.crossbar_model,
+                                      ports=5)
+    cb_area = area.cb_router_area_um2(cb.central_model, cb.buffer_model,
+                                      ports=5)
+    return xb_area, cb_area
+
+
+def test_area_parity(benchmark):
+    xb_area, cb_area = benchmark(_areas)
+    print("\n== Section 4.4: router area parity ==")
+    print(f"XB router: {xb_area / 1e6:8.3f} mm^2 "
+          f"(16 VC x 268-flit buffers/port + 5x5 crossbar)")
+    print(f"CB router: {cb_area / 1e6:8.3f} mm^2 "
+          f"(4-bank x 2560-row central buffer + 64-flit input buffers)")
+    print(f"CB / XB:   {cb_area / xb_area:8.3f}")
+    assert abs(cb_area - xb_area) / xb_area < 0.15

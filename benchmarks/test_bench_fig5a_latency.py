@@ -1,0 +1,45 @@
+"""Figure 5(a): average packet latency versus injection rate for the
+four on-chip configurations (WH64, VC16, VC64, VC128), uniform random
+traffic on a 4x4 torus.
+
+Paper shape: VC16 saturates at ~0.15 packets/cycle/node, at or beyond
+WH64's saturation despite a quarter of the per-port buffering; VC64 and
+VC128 saturate no earlier.
+"""
+
+import pytest
+
+from conftest import (
+    FIG5_CONFIGS,
+    FIG5_RATES,
+    print_series,
+    uniform_sweep,
+)
+
+
+@pytest.mark.parametrize("name", FIG5_CONFIGS)
+def test_fig5a_sweep(benchmark, name):
+    sweep = benchmark.pedantic(
+        uniform_sweep, args=(name, FIG5_RATES), rounds=1, iterations=1)
+    assert len(sweep.points) == len(FIG5_RATES)
+    assert all(p.avg_latency > 0 for p in sweep.points)
+    # Latency is monotone in injection rate.
+    assert sweep.latencies == sorted(sweep.latencies)
+
+
+def test_fig5a_report(benchmark):
+    def collect():
+        return {name: uniform_sweep(name, FIG5_RATES).latencies
+                for name in FIG5_CONFIGS}
+
+    series = benchmark.pedantic(collect, rounds=1, iterations=1)
+    print_series("Figure 5(a): average packet latency", FIG5_RATES,
+                 series, unit="cycles")
+    for name in FIG5_CONFIGS:
+        sweep = uniform_sweep(name, FIG5_RATES)
+        sat = sweep.saturation_rate()
+        print(f"{name}: saturation "
+              f"{'not reached' if sat is None else f'{sat:.3f}'}")
+    vc16 = uniform_sweep("VC16", FIG5_RATES).saturation_rate()
+    # The paper's headline: VC16 saturates around 0.15.
+    assert vc16 is None or vc16 >= 0.13

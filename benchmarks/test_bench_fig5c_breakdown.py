@@ -1,0 +1,30 @@
+"""Figure 5(c): VC64 average power breakdown versus injection rate
+(on-chip 4x4 torus, uniform random traffic).
+
+Paper shape: input buffers and the crossbar consume more than 85% of
+node power; arbiter power is invisible (< 1%); links take less than 15%.
+"""
+
+from repro.core import events as ev
+
+from conftest import FIG5_RATES, uniform_sweep
+
+
+def test_fig5c_report(benchmark):
+    sweep = benchmark.pedantic(
+        uniform_sweep, args=("VC64", FIG5_RATES), rounds=1, iterations=1)
+    components = (ev.INPUT_BUFFER, ev.CROSSBAR, ev.ARBITER, ev.LINK)
+    print("\n== Figure 5(c): VC64 power breakdown (W) ==")
+    print(f"{'rate':>8}" + "".join(f"{c:>14}" for c in components))
+    for point in sweep.points:
+        row = f"{point.rate:>8.3f}"
+        for component in components:
+            row += f"{point.breakdown_w[component]:>14.3f}"
+        print(row)
+    for point in sweep.points:
+        total = sum(point.breakdown_w.values())
+        datapath = (point.breakdown_w[ev.INPUT_BUFFER]
+                    + point.breakdown_w[ev.CROSSBAR])
+        assert datapath / total > 0.85, point.rate
+        assert point.breakdown_w[ev.ARBITER] / total < 0.01, point.rate
+        assert point.breakdown_w[ev.LINK] / total < 0.15, point.rate

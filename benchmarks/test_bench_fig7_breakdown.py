@@ -1,0 +1,55 @@
+"""Figures 7(c) and 7(f): XB and CB per-node power breakdowns
+(chip-to-chip 4x4 torus, uniform random traffic).
+
+Paper shape: (c) XB — links take more than 70% of node power; among
+router components the input buffers dominate while arbiter and crossbar
+are invisible.  (f) CB — the central buffer dominates router power;
+arbiter and input buffers are invisible.
+"""
+
+from repro.core import events as ev
+
+from conftest import FIG7_UNIFORM_RATES, print_series, uniform_sweep
+
+COMPONENTS = (ev.INPUT_BUFFER, ev.CENTRAL_BUFFER, ev.CROSSBAR,
+              ev.ARBITER, ev.LINK)
+
+
+def _print_breakdown(title, sweep):
+    print(f"\n== {title} ==")
+    print(f"{'rate':>8}" + "".join(f"{c:>15}" for c in COMPONENTS))
+    for point in sweep.points:
+        row = f"{point.rate:>8.3f}"
+        for component in COMPONENTS:
+            row += f"{point.breakdown_w[component]:>15.3f}"
+        print(row)
+
+
+def test_fig7c_xb_breakdown(benchmark):
+    sweep = benchmark.pedantic(
+        uniform_sweep, args=("XB", FIG7_UNIFORM_RATES), rounds=1,
+        iterations=1)
+    _print_breakdown("Figure 7(c): XB power breakdown (W)", sweep)
+    for point in sweep.points:
+        b = point.breakdown_w
+        total = sum(b.values())
+        assert b[ev.LINK] / total > 0.70, point.rate
+        assert b[ev.ARBITER] / total < 0.01, point.rate
+        assert b[ev.CROSSBAR] / total < 0.01, point.rate
+        router = (b[ev.INPUT_BUFFER] + b[ev.CROSSBAR] + b[ev.ARBITER]
+                  + b[ev.CENTRAL_BUFFER])
+        assert b[ev.INPUT_BUFFER] / router > 0.9, point.rate
+
+
+def test_fig7f_cb_breakdown(benchmark):
+    sweep = benchmark.pedantic(
+        uniform_sweep, args=("CB", FIG7_UNIFORM_RATES), rounds=1,
+        iterations=1)
+    _print_breakdown("Figure 7(f): CB power breakdown (W)", sweep)
+    for point in sweep.points:
+        b = point.breakdown_w
+        router = (b[ev.INPUT_BUFFER] + b[ev.CROSSBAR] + b[ev.ARBITER]
+                  + b[ev.CENTRAL_BUFFER])
+        assert b[ev.CENTRAL_BUFFER] / router > 0.90, point.rate
+        assert b[ev.ARBITER] / router < 0.01, point.rate
+        assert b[ev.INPUT_BUFFER] / router < 0.10, point.rate

@@ -1,0 +1,68 @@
+"""Figures 7(a) and 7(d): CB versus XB packet latency on a chip-to-chip
+4x4 torus, under uniform random and broadcast traffic.
+
+Paper shape: (a) under uniform random traffic the CB router's two-port
+shared-memory fabric saturates before the XB router's five-port
+crossbar; (d) under broadcast traffic the CB router is competitive —
+its central queue removes the head-of-line blocking that penalises
+input FIFOs.
+"""
+
+import pytest
+
+from conftest import (
+    FIG7_BROADCAST_RATES,
+    FIG7_CONFIGS,
+    FIG7_UNIFORM_RATES,
+    broadcast_sweep,
+    print_series,
+    uniform_sweep,
+)
+
+
+@pytest.mark.parametrize("name", FIG7_CONFIGS)
+def test_fig7a_uniform_sweep(benchmark, name):
+    sweep = benchmark.pedantic(
+        uniform_sweep, args=(name, FIG7_UNIFORM_RATES), rounds=1,
+        iterations=1)
+    assert sweep.latencies == sorted(sweep.latencies)
+
+
+def test_fig7a_report(benchmark):
+    def collect():
+        return {name: uniform_sweep(name, FIG7_UNIFORM_RATES).latencies
+                for name in FIG7_CONFIGS}
+
+    series = benchmark.pedantic(collect, rounds=1, iterations=1)
+    print_series("Figure 7(a): latency, uniform random",
+                 FIG7_UNIFORM_RATES, series, unit="cycles")
+    # CB's latency inflates faster than XB's as its 2-port fabric
+    # saturates.
+    cb_inflation = series["CB"][-1] / series["CB"][0]
+    xb_inflation = series["XB"][-1] / series["XB"][0]
+    assert cb_inflation > xb_inflation
+
+
+@pytest.mark.parametrize("name", FIG7_CONFIGS)
+def test_fig7d_broadcast_sweep(benchmark, name):
+    sweep = benchmark.pedantic(
+        broadcast_sweep, args=(name, FIG7_BROADCAST_RATES), rounds=1,
+        iterations=1)
+    assert all(p.avg_latency > 0 for p in sweep.points)
+
+
+def test_fig7d_report(benchmark):
+    def collect():
+        return {name: broadcast_sweep(name,
+                                      FIG7_BROADCAST_RATES).latencies
+                for name in FIG7_CONFIGS}
+
+    series = benchmark.pedantic(collect, rounds=1, iterations=1)
+    print_series("Figure 7(d): latency, broadcast from (1,2)",
+                 FIG7_BROADCAST_RATES, series, unit="cycles")
+    # Under broadcast the CB router keeps pace with (or beats) XB: its
+    # latency inflation from the lightest to the heaviest rate must not
+    # exceed XB's.
+    cb_inflation = series["CB"][-1] / series["CB"][0]
+    xb_inflation = series["XB"][-1] / series["XB"][0]
+    assert cb_inflation <= xb_inflation * 1.2

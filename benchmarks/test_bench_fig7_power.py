@@ -1,0 +1,53 @@
+"""Figures 7(b) and 7(e): CB versus XB total network power on a
+chip-to-chip 4x4 torus, under uniform random and broadcast traffic.
+
+Paper shape: CB routers consume more power than XB routers at equal
+load and equal area — the shared central buffer's full-row accesses
+switch more capacitance than the XB's input buffers — while the 3 W
+constant chip-to-chip links put a high traffic-independent floor under
+both curves.
+"""
+
+import pytest
+
+from conftest import (
+    FIG7_BROADCAST_RATES,
+    FIG7_CONFIGS,
+    FIG7_UNIFORM_RATES,
+    broadcast_sweep,
+    print_series,
+    uniform_sweep,
+)
+
+#: 64 links x 3 W: the traffic-invariant link floor.
+LINK_FLOOR_W = 64 * 3.0
+
+
+def test_fig7b_report(benchmark):
+    def collect():
+        return {name: uniform_sweep(name, FIG7_UNIFORM_RATES).powers
+                for name in FIG7_CONFIGS}
+
+    series = benchmark.pedantic(collect, rounds=1, iterations=1)
+    print_series("Figure 7(b): total network power, uniform random",
+                 FIG7_UNIFORM_RATES, series, unit="W")
+    for i in range(len(FIG7_UNIFORM_RATES)):
+        assert series["CB"][i] > series["XB"][i]
+        # Both sit on the constant link floor.
+        assert series["XB"][i] > LINK_FLOOR_W
+    # Router (above-floor) power: CB well above XB at the top rate.
+    cb_router = series["CB"][-1] - LINK_FLOOR_W
+    xb_router = series["XB"][-1] - LINK_FLOOR_W
+    assert cb_router > 1.5 * xb_router
+
+
+def test_fig7e_report(benchmark):
+    def collect():
+        return {name: broadcast_sweep(name, FIG7_BROADCAST_RATES).powers
+                for name in FIG7_CONFIGS}
+
+    series = benchmark.pedantic(collect, rounds=1, iterations=1)
+    print_series("Figure 7(e): total network power, broadcast",
+                 FIG7_BROADCAST_RATES, series, unit="W")
+    for i in range(len(FIG7_BROADCAST_RATES)):
+        assert series["CB"][i] > series["XB"][i]

@@ -1,0 +1,47 @@
+"""Section 4.1 simulator-speed datum.
+
+The paper reports "a system simulation speed of about 1000 simulation
+cycles per second on a Pentium III 750 MHz" for the 59-module 4x4 torus
+VC network.  This benchmark measures this reproduction's cycles/second
+on the same configuration (VC routers, power accounting on), both in
+average-activity and payload-tracking modes.
+"""
+
+from repro.core.events import EnergyAccountant
+from repro.core.power_binding import PowerBinding
+from repro.sim.network import Network
+from repro.sim.traffic import UniformRandomTraffic
+from repro import preset
+
+CYCLES = 400
+
+
+def _run_cycles(activity_mode):
+    cfg = preset("VC16").with_(activity_mode=activity_mode)
+    accountant = EnergyAccountant(cfg.num_nodes)
+    network = Network(cfg, PowerBinding(cfg, accountant))
+    traffic = UniformRandomTraffic(network.topo, 0.10, seed=3)
+
+    def body():
+        for _ in range(CYCLES):
+            for src, dst in traffic.packets_at(network.cycle):
+                network.create_packet(src, dst, network.cycle)
+            network.step()
+
+    return body
+
+
+def test_simspeed_average_mode(benchmark):
+    benchmark.pedantic(_run_cycles("average"), rounds=3, iterations=1)
+    cps = CYCLES / benchmark.stats["mean"]
+    print(f"\n== Simulation speed (average activity): "
+          f"{cps:,.0f} cycles/s ==")
+    assert cps > 100  # sanity: must beat the paper's 1983-era budget
+
+
+def test_simspeed_data_mode(benchmark):
+    benchmark.pedantic(_run_cycles("data"), rounds=3, iterations=1)
+    cps = CYCLES / benchmark.stats["mean"]
+    print(f"\n== Simulation speed (payload tracking): "
+          f"{cps:,.0f} cycles/s ==")
+    assert cps > 50

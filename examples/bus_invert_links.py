@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Evaluating a power-efficiency technique: bus-invert link coding.
+
+The paper positions Orion as the platform for exactly this kind of study
+(usage category 3, and its conclusion: "enabling research in
+power-efficient hardware ... techniques").  Here we bolt a new link
+power model — bus-invert coding, which sends each flit or its complement
+(whichever toggles fewer wires) plus one invert wire — onto the same
+network and measure the link-energy saving under payload-tracked
+simulation.
+
+Run:  python examples/bus_invert_links.py
+"""
+
+from repro import Orion, preset
+from repro.core import events as ev
+from repro.core.config import LinkConfig
+from repro.power import BusInvertLinkPower, OnChipLinkPower
+from repro.tech import Technology
+
+SAMPLE = 800
+RATE = 0.08
+
+
+def model_level_comparison() -> None:
+    print("== Model level: expected switching per 256-bit traversal ==")
+    tech = Technology(0.1, vdd=1.2, frequency_hz=2e9)
+    plain = OnChipLinkPower(tech, length_mm=3.0, width_bits=256)
+    coded = BusInvertLinkPower(tech, length_mm=3.0, width_bits=256)
+    print(f"uncoded:    {128.0:7.2f} wires, "
+          f"{plain.traversal_energy() * 1e12:7.2f} pJ")
+    print(f"bus-invert: {coded.expected_coded_switches:7.2f} wires, "
+          f"{coded.traversal_energy() * 1e12:7.2f} pJ  "
+          f"(random data: savings scale with sqrt(W))")
+    # The technique shines on strongly anti-correlated consecutive data:
+    worst = plain.bit_energy * 256
+    coded_worst = coded.traversal_energy(0, 2 ** 256 - 1)
+    print(f"complementary consecutive flits: uncoded "
+          f"{worst * 1e12:.2f} pJ, coded {coded_worst * 1e12:.2f} pJ")
+
+
+def network_level_comparison() -> None:
+    print("\n== Network level: payload-tracked simulation (VC16) ==")
+    base = preset("VC16").with_(activity_mode="data")
+    coded = base.with_(link=LinkConfig(kind="on_chip", length_mm=3.0,
+                                       encoding="bus_invert"))
+    results = {}
+    for label, cfg in (("uncoded", base), ("bus-invert", coded)):
+        results[label] = Orion(cfg).run_uniform(
+            RATE, warmup_cycles=800, sample_packets=SAMPLE)
+    print(f"{'':<12} {'link power':>12} {'total power':>12} "
+          f"{'latency':>9}")
+    for label, result in results.items():
+        link_w = result.power_breakdown_w()[ev.LINK]
+        print(f"{label:<12} {link_w:>10.3f} W {result.total_power_w:>10.3f} W "
+              f"{result.avg_latency:>9.2f}")
+    saving = 1 - (results["bus-invert"].power_breakdown_w()[ev.LINK]
+                  / results["uncoded"].power_breakdown_w()[ev.LINK])
+    print(f"link energy saving under random payloads: {saving:.1%}")
+    print("(random data is bus-invert's worst case; correlated real "
+          "traces save far more)")
+
+
+if __name__ == "__main__":
+    model_level_comparison()
+    network_level_comparison()

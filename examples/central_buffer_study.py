@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Usage category 3 (section 4.4): evaluate a new microarchitecture.
+
+Compares the central-buffered (CB) router against the input-buffered
+crossbar (XB) router on a chip-to-chip 4x4 torus at equal silicon area —
+Figure 7: latency and power under uniform random and broadcast traffic,
+plus both routers' power breakdowns and the area-parity check.
+
+Run:  python examples/central_buffer_study.py
+"""
+
+from repro import Orion, PowerBinding, preset
+from repro.core.events import EnergyAccountant
+from repro.core.report import breakdown_table, comparison_table
+from repro.power import FIFOBufferPower, area
+
+UNIFORM_RATES = (0.02, 0.05, 0.08, 0.11)
+BROADCAST_RATES = (0.05, 0.10, 0.15, 0.19)
+SAMPLE = 600
+
+
+def area_check() -> None:
+    print("== Section 4.4 fair-area check ==")
+    xb_binding = Orion(preset("XB")).power_models()
+    cb_binding = Orion(preset("CB")).power_models()
+    xb_area = area.xb_router_area_um2(
+        xb_binding.buffer_model, xb_binding.crossbar_model, ports=5)
+    cb_area = area.cb_router_area_um2(
+        cb_binding.central_model, cb_binding.buffer_model, ports=5)
+    print(f"XB router area: {xb_area / 1e6:.2f} mm^2 "
+          f"(16 VC x 268-flit buffers + 5x5 crossbar)")
+    print(f"CB router area: {cb_area / 1e6:.2f} mm^2 "
+          f"(4 x 2560-row central buffer + 64-flit input buffers)")
+    print(f"ratio: {cb_area / xb_area:.3f}")
+
+
+def main() -> None:
+    area_check()
+    source = 9  # node (1, 2)
+
+    for workload, rates in (("uniform random", UNIFORM_RATES),
+                            ("broadcast", BROADCAST_RATES)):
+        sweeps = []
+        for name in ("XB", "CB"):
+            orion = Orion(preset(name))
+            print(f"\nsweeping {name} under {workload} ...")
+            if workload == "uniform random":
+                sweeps.append(orion.sweep_uniform(
+                    rates, label=name, warmup_cycles=800,
+                    sample_packets=SAMPLE))
+            else:
+                sweeps.append(orion.sweep_broadcast(
+                    source, rates, label=name, warmup_cycles=800,
+                    sample_packets=SAMPLE))
+        panel = "7(a)" if workload == "uniform random" else "7(d)"
+        print(f"\n== Figure {panel}: latency under {workload} (cycles) ==")
+        print(comparison_table(sweeps))
+        panel = "7(b)" if workload == "uniform random" else "7(e)"
+        print(f"\n== Figure {panel}: total network power under "
+              f"{workload} (W) ==")
+        header = f"{'rate':>8}" + "".join(f"{s.label:>10}" for s in sweeps)
+        print(header)
+        for i, rate in enumerate(rates):
+            print(f"{rate:>8.3f}" + "".join(
+                f"{s.points[i].total_power_w:>10.1f}" for s in sweeps))
+
+    print("\n== Figure 7(c): XB power breakdown (uniform, rate 0.08) ==")
+    xb = Orion(preset("XB")).run_uniform(0.08, warmup_cycles=800,
+                                         sample_packets=SAMPLE)
+    print(breakdown_table(xb))
+
+    print("\n== Figure 7(f): CB power breakdown (uniform, rate 0.08) ==")
+    cb = Orion(preset("CB")).run_uniform(0.08, warmup_cycles=800,
+                                         sample_packets=SAMPLE)
+    print(breakdown_table(cb))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,47 @@
+#!/usr/bin/env python3
+"""Quickstart: simulate one network and read its power and performance.
+
+Builds the paper's VC16 configuration (4x4 on-chip torus, virtual-channel
+routers with 2 VCs x 8 flits, 256-bit flits at 2 GHz / 1.2 V / 0.1 um),
+runs uniform random traffic, and prints latency, total power, the
+per-component breakdown and the section 3.3 per-flit energy walkthrough.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import Orion, preset
+from repro.core.report import breakdown_table, format_power
+
+
+def main() -> None:
+    config = preset("VC16")
+    orion = Orion(config)
+
+    print("== Configuration ==")
+    print(f"topology:   {config.width}x{config.height} {config.topology}")
+    print(f"router:     {config.router.kind}, {config.router.num_vcs} VCs x "
+          f"{config.router.buffer_depth} flits, "
+          f"{config.router.flit_bits}-bit flits")
+    print(f"technology: {config.tech.feature_size_um} um, "
+          f"{config.tech.vdd} V, {config.tech.frequency_hz / 1e9:g} GHz")
+
+    print("\n== Section 3.3 walkthrough: energy of one flit, one hop ==")
+    for name, joules in orion.flit_energy_walkthrough().items():
+        print(f"  {name:<8} {joules * 1e12:10.3f} pJ")
+
+    rate = 0.05
+    print(f"\n== Uniform random traffic at {rate} packets/cycle/node ==")
+    result = orion.run_uniform(rate, warmup_cycles=1000,
+                               sample_packets=2000)
+    print(f"sample packets:   {result.sample_packets}")
+    print(f"average latency:  {result.avg_latency:.2f} cycles")
+    print(f"99th percentile:  {result.latency.percentile(99):.0f} cycles")
+    print(f"throughput:       {result.throughput_flits_per_cycle:.2f} "
+          f"flits/cycle network-wide")
+    print(f"total power:      {format_power(result.total_power_w)}")
+    print("\nper-component average power:")
+    print(breakdown_table(result))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Beyond the paper: scaling the network and checking the clock.
+
+Uses the library's generality knobs: an 8x8 torus with dateline VC
+classes (required for deadlock freedom at radix > 4), a mesh of the
+same size, the speculative VC router, and the Peh-Dally delay model's
+verdict on what clock each router supports.
+
+Run:  python examples/scaling_study.py
+"""
+
+from repro import Orion, preset
+from repro.core.config import NetworkConfig, RouterConfig
+from repro.core.presets import ON_CHIP_LINK, ON_CHIP_TECH
+from repro.delay import RouterDelayModel
+
+SAMPLE = 400
+RATE = 0.03
+
+
+def config(topology: str, width: int, kind: str = "vc") -> NetworkConfig:
+    router = RouterConfig(
+        kind=kind, flit_bits=128, buffer_depth=4, num_vcs=4,
+        vc_class_mode="dateline" if topology == "torus" else "none",
+    )
+    return NetworkConfig(
+        topology=topology, width=width, height=width, router=router,
+        link=ON_CHIP_LINK, tech=ON_CHIP_TECH, packet_length_flits=5,
+        tie_break="even",
+    )
+
+
+def main() -> None:
+    print("== Topology/size scaling (VC router, 4 VCs x 4 flits, "
+          "128-bit) ==")
+    print(f"{'network':<16} {'latency':>9} {'power':>9} {'W/node':>8}")
+    for topology, width in (("torus", 4), ("torus", 8), ("mesh", 8)):
+        cfg = config(topology, width)
+        result = Orion(cfg).run_uniform(RATE, warmup_cycles=600,
+                                        sample_packets=SAMPLE)
+        nodes = cfg.num_nodes
+        print(f"{topology + ' ' + str(width) + 'x' + str(width):<16} "
+              f"{result.avg_latency:>9.2f} {result.total_power_w:>8.2f}W "
+              f"{result.total_power_w / nodes:>7.3f}W")
+
+    print("\n== Speculative router on the 8x8 torus ==")
+    for kind in ("vc", "speculative_vc"):
+        cfg = config("torus", 8, kind=kind)
+        result = Orion(cfg).run_uniform(RATE, warmup_cycles=600,
+                                        sample_packets=SAMPLE)
+        print(f"{kind:<16} latency {result.avg_latency:6.2f}  power "
+              f"{result.total_power_w:6.2f} W")
+
+    print("\n== Delay-model clock check (Peh-Dally) ==")
+    for name in ("WH64", "VC16", "VC64", "CB", "XB"):
+        cfg = preset(name)
+        model = RouterDelayModel(cfg)
+        target = cfg.tech.frequency_hz / 1e9
+        verdict = "fits" if model.fits_frequency() else "misses"
+        print(f"{name:<6} {model.pipeline_depth}-stage, max "
+              f"{model.max_frequency_hz() / 1e9:5.2f} GHz -> {verdict} "
+              f"the configured {target:.1f} GHz clock")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""The power models as a standalone analysis tool (section 3.2).
+
+Orion's release plan lets the component power models be used
+"independently from the simulator, either as a separate power analysis
+tool, or as a plug-in to other network simulators".  This example uses
+them directly — no network, no simulation:
+
+* per-operation energies of each building block across process nodes;
+* buffer energy versus geometry (the SRAM scaling behind Figure 5);
+* matrix versus multiplexer-tree crossbars;
+* the three arbiter types.
+
+Run:  python examples/standalone_power_models.py
+"""
+
+from repro.power import (
+    FIFOBufferPower,
+    MatrixArbiterPower,
+    MatrixCrossbarPower,
+    MuxTreeCrossbarPower,
+    OnChipLinkPower,
+    QueuingArbiterPower,
+    RoundRobinArbiterPower,
+)
+from repro.tech import Technology
+
+
+def pj(joules: float) -> str:
+    return f"{joules * 1e12:9.3f} pJ"
+
+
+def technology_scaling() -> None:
+    print("== Technology scaling: 64-flit x 256-bit buffer ==")
+    print(f"{'node (um)':>10} {'Vdd (V)':>8} {'E_read':>12} {'E_write':>12}")
+    for feature in (0.35, 0.25, 0.18, 0.13, 0.10, 0.07):
+        tech = Technology(feature)
+        buf = FIFOBufferPower(tech, depth_flits=64, flit_bits=256)
+        print(f"{feature:>10} {tech.vdd:>8.2f} {pj(buf.read_energy()):>12} "
+              f"{pj(buf.write_energy()):>12}")
+
+
+def buffer_geometry() -> None:
+    tech = Technology(0.1, vdd=1.2, frequency_hz=2e9)
+    print("\n== Buffer geometry at 0.1 um (per-port array, 256-bit) ==")
+    print(f"{'depth':>6} {'E_read':>12} {'E_write':>12} "
+          f"{'wordline um':>12} {'bitline um':>12}")
+    for depth in (4, 16, 64, 128, 512):
+        buf = FIFOBufferPower(tech, depth_flits=depth, flit_bits=256)
+        print(f"{depth:>6} {pj(buf.read_energy()):>12} "
+              f"{pj(buf.write_energy()):>12} "
+              f"{buf.wordline_length_um:>12.1f} "
+              f"{buf.bitline_length_um:>12.1f}")
+
+
+def crossbar_styles() -> None:
+    tech = Technology(0.1, vdd=1.2, frequency_hz=2e9)
+    print("\n== Crossbar implementations (5x5) ==")
+    print(f"{'width':>6} {'matrix':>12} {'mux tree':>12}")
+    for width in (32, 64, 128, 256):
+        mx = MatrixCrossbarPower(tech, 5, 5, width)
+        mt = MuxTreeCrossbarPower(tech, 5, 5, width)
+        print(f"{width:>6} {pj(mx.traversal_energy()):>12} "
+              f"{pj(mt.traversal_energy()):>12}")
+
+
+def arbiter_types() -> None:
+    tech = Technology(0.1, vdd=1.2, frequency_hz=2e9)
+    print("\n== Arbiter types (energy per arbitration, all requesting) ==")
+    print(f"{'requesters':>10} {'matrix':>12} {'round-robin':>12} "
+          f"{'queuing':>12}")
+    for r in (2, 4, 8, 16):
+        row = [f"{r:>10}"]
+        for cls in (MatrixArbiterPower, RoundRobinArbiterPower,
+                    QueuingArbiterPower):
+            arb = cls(tech, requesters=r)
+            row.append(pj(arb.arbitration_energy(r)).rjust(12))
+        print(" ".join(row))
+
+
+def link_energy() -> None:
+    tech = Technology(0.1, vdd=1.2, frequency_hz=2e9)
+    print("\n== On-chip link energy per flit (256-bit) ==")
+    print(f"{'length mm':>10} {'E_link':>12}")
+    for mm in (1.5, 3.0, 6.0, 12.0):
+        link = OnChipLinkPower(tech, length_mm=mm, width_bits=256)
+        print(f"{mm:>10} {pj(link.traversal_energy()):>12}")
+
+
+if __name__ == "__main__":
+    technology_scaling()
+    buffer_geometry()
+    crossbar_styles()
+    arbiter_types()
+    link_energy()

@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Usage category 2 (section 4.3): explore workload impact.
+
+Fixes the network (4x4 on-chip torus, VC routers with 2 VCs x 8 flits)
+and compares the power spatial distribution under:
+
+* uniform random traffic (each node at 0.2/16 packets/cycle), and
+* broadcast traffic (node (1,2) alone at 0.2 packets/cycle),
+
+reproducing Figure 6, then goes beyond the paper with transpose and
+hotspot patterns at the same total injection.
+
+Run:  python examples/traffic_patterns.py
+"""
+
+from repro import Orion, preset
+from repro.core.report import spatial_table
+from repro.sim.topology import Torus
+from repro.sim.traffic import HotspotTraffic, TransposeTraffic
+
+TOTAL_RATE = 0.2
+SAMPLE = 1_000
+
+
+def show(title, result):
+    print(f"\n== {title} ==")
+    print(spatial_table(result))
+    powers = result.node_power_w()
+    mean = sum(powers) / len(powers)
+    print(f"mean node power {mean * 1e3:.2f} mW, "
+          f"max/mean {max(powers) / mean:.2f}, "
+          f"min/mean {min(powers) / mean:.2f}")
+
+
+def main() -> None:
+    # Balanced ("even") tie-breaks keep the torus symmetric, so spatial
+    # structure reflects the workload rather than the routing function.
+    config = preset("VC16").with_(tie_break="even")
+    orion = Orion(config)
+    topo = Torus(config.width, config.height)
+    source = topo.node_at(1, 2)
+
+    uniform = orion.run_uniform(TOTAL_RATE / 16, warmup_cycles=1000,
+                                sample_packets=SAMPLE)
+    show("Figure 6(a): uniform random, 0.2/16 per node", uniform)
+
+    broadcast = orion.run_broadcast(source, TOTAL_RATE,
+                                    warmup_cycles=1000,
+                                    sample_packets=SAMPLE)
+    show("Figure 6(b): broadcast from (1,2) at 0.2", broadcast)
+    powers = broadcast.node_power_w()
+    by_distance = {}
+    for node, power in enumerate(powers):
+        d = topo.manhattan_distance(source, node)
+        by_distance.setdefault(d, []).append(power)
+    print("\npower versus Manhattan distance from the source:")
+    for d in sorted(by_distance):
+        mean = sum(by_distance[d]) / len(by_distance[d])
+        print(f"  distance {d}: {mean * 1e3:8.2f} mW "
+              f"({len(by_distance[d])} nodes)")
+
+    transpose = orion.run(
+        TransposeTraffic(topo, TOTAL_RATE / 16, seed=1),
+        warmup_cycles=1000, sample_packets=SAMPLE)
+    show("Beyond the paper: transpose traffic", transpose)
+
+    hotspot = orion.run(
+        HotspotTraffic(topo, TOTAL_RATE / 16, hotspot=source,
+                       hot_fraction=0.5, seed=1),
+        warmup_cycles=1000, sample_packets=SAMPLE)
+    show("Beyond the paper: hotspot traffic (50% to (1,2))", hotspot)
+
+
+if __name__ == "__main__":
+    main()

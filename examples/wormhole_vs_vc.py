@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Usage category 1 (section 4.2): trade off router configurations.
+
+Sweeps the paper's four on-chip configurations — WH64, VC16, VC64,
+VC128 — over packet injection rates under uniform random traffic and
+prints the latency and power curves of Figures 5(a)/5(b) plus the VC64
+power breakdown of Figure 5(c).
+
+Run:  python examples/wormhole_vs_vc.py [--full]
+
+--full uses the paper's 10,000-packet samples (slow); the default uses
+1,000-packet samples, which preserves every trend.
+"""
+
+import argparse
+
+from repro import Orion, preset
+from repro.core.report import breakdown_table, comparison_table
+
+CONFIGS = ("WH64", "VC16", "VC64", "VC128")
+RATES = (0.02, 0.06, 0.10, 0.13, 0.15, 0.17)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--full", action="store_true",
+                        help="paper-scale 10,000-packet samples")
+    args = parser.parse_args()
+    sample = 10_000 if args.full else 1_000
+
+    sweeps = []
+    for name in CONFIGS:
+        orion = Orion(preset(name))
+        print(f"sweeping {name} ...")
+        sweeps.append(orion.sweep_uniform(
+            RATES, label=name, warmup_cycles=1000,
+            sample_packets=sample))
+
+    print("\n== Figure 5(a): average packet latency (cycles) ==")
+    print(comparison_table(sweeps))
+    for sweep in sweeps:
+        sat = sweep.saturation_rate()
+        print(f"{sweep.label}: saturation at "
+              f"{'>' + str(RATES[-1]) if sat is None else f'{sat:.3f}'} "
+              f"packets/cycle/node")
+
+    print("\n== Figure 5(b): total network power (W) ==")
+    header = f"{'rate':>8}" + "".join(f"{s.label:>10}" for s in sweeps)
+    print(header)
+    for i, rate in enumerate(RATES):
+        row = f"{rate:>8.3f}" + "".join(
+            f"{s.points[i].total_power_w:>10.2f}" for s in sweeps)
+        print(row)
+
+    print("\n== Figure 5(c): VC64 average power breakdown at rate 0.10 ==")
+    vc64 = Orion(preset("VC64")).run_uniform(
+        0.10, warmup_cycles=1000, sample_packets=sample)
+    print(breakdown_table(vc64))
+
+
+if __name__ == "__main__":
+    main()

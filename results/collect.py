@@ -1,0 +1,64 @@
+"""Collect the measured numbers recorded in EXPERIMENTS.md."""
+import json, time
+from repro import Orion, preset
+from repro.core import events as ev
+from repro.power import area
+
+t0 = time.time()
+out = {}
+SAMPLE = 2000
+WARM = 800
+
+# Walkthrough
+out["walkthrough"] = {k: v for k, v in
+                      Orion(preset("WH64")).flit_energy_walkthrough().items()}
+
+# Fig 5
+fig5_rates = [0.02, 0.06, 0.10, 0.13, 0.15, 0.17]
+out["fig5"] = {}
+for name in ("WH64", "VC16", "VC64", "VC128"):
+    s = Orion(preset(name)).sweep_uniform(fig5_rates, warmup_cycles=WARM,
+                                          sample_packets=SAMPLE, label=name)
+    out["fig5"][name] = {
+        "rates": s.rates, "latency": s.latencies, "power": s.powers,
+        "saturation": s.saturation_rate(),
+        "breakdown": [p.breakdown_w for p in s.points],
+    }
+    print(name, "done", f"{time.time()-t0:.0f}s", flush=True)
+
+# Fig 6
+cfg6 = preset("VC16").with_(tie_break="even")
+r = Orion(cfg6).run_uniform(0.2/16, warmup_cycles=WARM, sample_packets=SAMPLE, seed=7)
+out["fig6a"] = r.node_power_w()
+r = Orion(cfg6).run_broadcast(9, 0.2, warmup_cycles=WARM, sample_packets=SAMPLE, seed=7)
+out["fig6b"] = r.node_power_w()
+print("fig6 done", f"{time.time()-t0:.0f}s", flush=True)
+
+# Fig 7
+u_rates = [0.02, 0.05, 0.08, 0.11]
+b_rates = [0.05, 0.10, 0.15, 0.19]
+out["fig7"] = {}
+for name in ("XB", "CB"):
+    o = Orion(preset(name))
+    su = o.sweep_uniform(u_rates, warmup_cycles=WARM, sample_packets=1200, label=name)
+    sb = o.sweep_broadcast(9, b_rates, warmup_cycles=WARM, sample_packets=1200, label=name)
+    out["fig7"][name] = {
+        "uniform": {"rates": su.rates, "latency": su.latencies,
+                    "power": su.powers,
+                    "breakdown": [p.breakdown_w for p in su.points]},
+        "broadcast": {"rates": sb.rates, "latency": sb.latencies,
+                      "power": sb.powers},
+    }
+    print(name, "done", f"{time.time()-t0:.0f}s", flush=True)
+
+# Area
+xb = Orion(preset("XB")).power_models()
+cb = Orion(preset("CB")).power_models()
+out["area_mm2"] = {
+    "XB": area.xb_router_area_um2(xb.buffer_model, xb.crossbar_model, 5)/1e6,
+    "CB": area.cb_router_area_um2(cb.central_model, cb.buffer_model, 5)/1e6,
+}
+
+with open("/root/repo/results/measured.json", "w") as f:
+    json.dump(out, f, indent=1)
+print("ALL DONE", f"{time.time()-t0:.0f}s")

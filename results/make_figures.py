@@ -1,0 +1,99 @@
+#!/usr/bin/env python3
+"""Regenerate every figure's data as CSV files under results/.
+
+One file per paper artifact:
+
+    fig5_<config>.csv      rate, latency, power, per-component power
+    fig6a.csv / fig6b.csv  node, x, y, power_w
+    fig7_<config>_uniform.csv / _broadcast.csv
+    walkthrough.csv        E_wrt ... E_flit
+    area.csv               XB / CB router areas
+
+Usage:  python results/make_figures.py [--sample N]
+"""
+
+import argparse
+import csv
+import os
+import sys
+
+from repro import Orion, preset
+from repro.core.export import spatial_to_csv, sweep_to_csv
+from repro.power import area
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+
+FIG5_RATES = [0.02, 0.06, 0.10, 0.13, 0.15, 0.17, 0.20]
+FIG7_UNIFORM_RATES = [0.02, 0.05, 0.08, 0.11]
+FIG7_BROADCAST_RATES = [0.05, 0.10, 0.15, 0.19]
+BROADCAST_SOURCE = 9  # node (1, 2)
+
+
+def out(name: str) -> str:
+    return os.path.join(HERE, name)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--sample", type=int, default=1200,
+                        help="sample packets per point (paper: 10000)")
+    parser.add_argument("--warmup", type=int, default=800)
+    args = parser.parse_args(argv)
+
+    # Walkthrough (section 3.3).
+    energies = Orion(preset("WH64")).flit_energy_walkthrough()
+    with open(out("walkthrough.csv"), "w", newline="") as f:
+        writer = csv.writer(f)
+        writer.writerow(["term", "energy_j"])
+        for term, joules in energies.items():
+            writer.writerow([term, joules])
+    print("walkthrough.csv")
+
+    # Figure 5.
+    for name in ("WH64", "VC16", "VC64", "VC128"):
+        sweep = Orion(preset(name)).sweep_uniform(
+            FIG5_RATES, label=name, warmup_cycles=args.warmup,
+            sample_packets=args.sample)
+        sweep_to_csv(sweep, out(f"fig5_{name.lower()}.csv"))
+        print(f"fig5_{name.lower()}.csv")
+
+    # Figure 6.
+    cfg6 = preset("VC16").with_(tie_break="even")
+    uniform = Orion(cfg6).run_uniform(0.2 / 16, warmup_cycles=args.warmup,
+                                      sample_packets=args.sample, seed=7)
+    spatial_to_csv(uniform, out("fig6a.csv"))
+    broadcast = Orion(cfg6).run_broadcast(
+        BROADCAST_SOURCE, 0.2, warmup_cycles=args.warmup,
+        sample_packets=args.sample, seed=7)
+    spatial_to_csv(broadcast, out("fig6b.csv"))
+    print("fig6a.csv fig6b.csv")
+
+    # Figure 7.
+    for name in ("XB", "CB"):
+        orion = Orion(preset(name))
+        sweep_to_csv(orion.sweep_uniform(
+            FIG7_UNIFORM_RATES, label=name, warmup_cycles=args.warmup,
+            sample_packets=args.sample),
+            out(f"fig7_{name.lower()}_uniform.csv"))
+        sweep_to_csv(orion.sweep_broadcast(
+            BROADCAST_SOURCE, FIG7_BROADCAST_RATES, label=name,
+            warmup_cycles=args.warmup, sample_packets=args.sample),
+            out(f"fig7_{name.lower()}_broadcast.csv"))
+        print(f"fig7_{name.lower()}_*.csv")
+
+    # Section 4.4 area parity.
+    xb = Orion(preset("XB")).power_models()
+    cb = Orion(preset("CB")).power_models()
+    with open(out("area.csv"), "w", newline="") as f:
+        writer = csv.writer(f)
+        writer.writerow(["router", "area_mm2"])
+        writer.writerow(["XB", area.xb_router_area_um2(
+            xb.buffer_model, xb.crossbar_model, 5) / 1e6])
+        writer.writerow(["CB", area.cb_router_area_um2(
+            cb.central_model, cb.buffer_model, 5) / 1e6])
+    print("area.csv")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,48 @@
+"""Orion: a power-performance simulator for interconnection networks.
+
+A from-scratch Python reproduction of Wang, Zhu, Peh & Malik (MICRO
+2002).  The package couples architectural-level parameterized power
+models for router building blocks (FIFO buffers, crossbars, arbiters,
+central buffers, links) with a flit-level cycle-accurate network
+simulator whose microarchitectural events drive the power models.
+
+Quick start::
+
+    from repro import Orion, preset
+
+    orion = Orion(preset("VC16"))
+    result = orion.run_uniform(rate=0.05, sample_packets=2000)
+    print(result.avg_latency, result.total_power_w)
+
+See :mod:`repro.core.presets` for the paper's named configurations and
+:mod:`repro.power` for the standalone component power models.
+"""
+
+from repro.core import (
+    EnergyAccountant,
+    LinkConfig,
+    NetworkConfig,
+    Orion,
+    PowerBinding,
+    RouterConfig,
+    SweepResult,
+    TechConfig,
+    preset,
+)
+from repro.tech import Technology
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "EnergyAccountant",
+    "LinkConfig",
+    "NetworkConfig",
+    "Orion",
+    "PowerBinding",
+    "RouterConfig",
+    "SweepResult",
+    "TechConfig",
+    "Technology",
+    "preset",
+    "__version__",
+]

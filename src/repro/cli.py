@@ -1,0 +1,248 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands mirror the library's main entry points:
+
+* ``presets``  — list the paper's named configurations;
+* ``run``      — one simulation: latency, power, breakdown, spatial map;
+* ``sweep``    — latency/power versus injection rate;
+* ``power``    — standalone power analysis (section 3.3 walkthrough);
+* ``delay``    — pipeline/frequency analysis (Peh-Dally delay model);
+* ``validate`` — section 3.2 ballpark checks against commercial routers.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.core.orion import Orion
+from repro.core.presets import PRESETS, preset
+from repro.core.export import result_to_json, spatial_to_csv, sweep_to_csv
+from repro.core.report import breakdown_table, format_power, spatial_table
+from repro.delay import RouterDelayModel
+from repro.sim.topology import Torus
+from repro.sim.traffic import (
+    BitComplementTraffic,
+    BroadcastTraffic,
+    BurstyTraffic,
+    HotspotTraffic,
+    NearestNeighborTraffic,
+    ShuffleTraffic,
+    TornadoTraffic,
+    TransposeTraffic,
+    UniformRandomTraffic,
+)
+
+TRAFFIC_KINDS = ("uniform", "broadcast", "transpose", "bitcomp",
+                 "hotspot", "neighbor", "tornado", "shuffle", "bursty")
+
+
+def _make_traffic(args, config):
+    topo = Torus(config.width, config.height)
+    if args.traffic == "uniform":
+        return UniformRandomTraffic(topo, args.rate, seed=args.seed)
+    if args.traffic == "broadcast":
+        return BroadcastTraffic(topo, args.source, args.rate,
+                                seed=args.seed)
+    if args.traffic == "transpose":
+        return TransposeTraffic(topo, args.rate, seed=args.seed)
+    if args.traffic == "bitcomp":
+        return BitComplementTraffic(topo, args.rate, seed=args.seed)
+    if args.traffic == "hotspot":
+        return HotspotTraffic(topo, args.rate, hotspot=args.source,
+                              seed=args.seed)
+    if args.traffic == "neighbor":
+        return NearestNeighborTraffic(topo, args.rate, seed=args.seed)
+    if args.traffic == "tornado":
+        return TornadoTraffic(topo, args.rate, seed=args.seed)
+    if args.traffic == "shuffle":
+        return ShuffleTraffic(topo, args.rate, seed=args.seed)
+    if args.traffic == "bursty":
+        return BurstyTraffic(topo, args.rate, seed=args.seed)
+    raise ValueError(f"unknown traffic {args.traffic!r}")
+
+
+def _config(args):
+    cfg = preset(args.preset)
+    overrides = {}
+    if getattr(args, "leakage", False):
+        overrides["include_leakage"] = True
+    if getattr(args, "activity", None):
+        overrides["activity_mode"] = args.activity
+    if overrides:
+        cfg = cfg.with_(**overrides)
+    return cfg
+
+
+def cmd_presets(args) -> int:
+    print(f"{'name':<8} {'router':<10} {'flit':>5} {'buffering':>24} "
+          f"{'link':<14} {'clock':>8}")
+    for name in sorted(PRESETS):
+        cfg = preset(name)
+        rc = cfg.router
+        if rc.kind == "vc":
+            buffering = f"{rc.num_vcs} VC x {rc.buffer_depth} flits"
+        elif rc.kind == "central":
+            buffering = (f"CB {rc.cb_banks}x{rc.cb_rows} + "
+                         f"{rc.buffer_depth}/port")
+        else:
+            buffering = f"{rc.buffer_depth} flits/port"
+        print(f"{name:<8} {rc.kind:<10} {rc.flit_bits:>5} "
+              f"{buffering:>24} {cfg.link.kind:<14} "
+              f"{cfg.tech.frequency_hz / 1e9:>6.1f}G")
+    return 0
+
+
+def cmd_run(args) -> int:
+    cfg = _config(args)
+    orion = Orion(cfg)
+    result = orion.run(_make_traffic(args, cfg),
+                       warmup_cycles=args.warmup,
+                       sample_packets=args.sample)
+    print(f"config:        {args.preset} ({cfg.router.kind})")
+    print(f"traffic:       {args.traffic} at {args.rate} pkt/cycle"
+          f"{'/node' if args.traffic in ('uniform', 'transpose', 'bitcomp', 'hotspot', 'neighbor') else ''}")
+    print(f"sample:        {result.sample_packets} packets over "
+          f"{result.measured_cycles} measured cycles")
+    print(f"avg latency:   {result.avg_latency:.2f} cycles")
+    print(f"p99 latency:   {result.latency.percentile(99):.0f} cycles")
+    print(f"throughput:    {result.throughput_flits_per_cycle:.3f} "
+          f"flits/cycle")
+    print(f"total power:   {format_power(result.total_power_w)}")
+    print()
+    print(breakdown_table(result))
+    if args.spatial:
+        print("\nper-node power:")
+        print(spatial_table(result))
+    if args.json:
+        result_to_json(result, args.json)
+        print(f"\nwrote {args.json}")
+    if args.csv:
+        spatial_to_csv(result, args.csv)
+        print(f"wrote {args.csv}")
+    return 0
+
+
+def cmd_sweep(args) -> int:
+    cfg = _config(args)
+    orion = Orion(cfg)
+    rates = [float(r) for r in args.rates.split(",")]
+    if args.traffic == "broadcast":
+        sweep = orion.sweep_broadcast(args.source, rates,
+                                      label=args.preset,
+                                      warmup_cycles=args.warmup,
+                                      sample_packets=args.sample,
+                                      seed=args.seed)
+    else:
+        sweep = orion.sweep_uniform(rates, label=args.preset,
+                                    warmup_cycles=args.warmup,
+                                    sample_packets=args.sample,
+                                    seed=args.seed)
+    print(sweep.table())
+    if args.csv:
+        sweep_to_csv(sweep, args.csv)
+        print(f"wrote {args.csv}")
+    return 0
+
+
+def cmd_power(args) -> int:
+    cfg = _config(args)
+    orion = Orion(cfg)
+    print(f"== {args.preset}: section 3.3 walkthrough ==")
+    for name, joules in orion.flit_energy_walkthrough().items():
+        print(f"  {name:<8} {joules * 1e12:10.3f} pJ")
+    binding = orion.power_models()
+    print("\n== component parameters ==")
+    print("buffer:", binding.buffer_model.describe())
+    print("crossbar:", binding.crossbar_model.describe())
+    print("switch arbiter:", binding.switch_arbiter_model.describe())
+    if binding.central_model is not None:
+        print("central buffer:", binding.central_model.describe())
+    print("link:", binding.link_model.describe())
+    return 0
+
+
+def cmd_delay(args) -> int:
+    cfg = _config(args)
+    print(RouterDelayModel(cfg).report())
+    return 0
+
+
+def cmd_validate(args) -> int:
+    from repro.validation import validation_report
+    print(validation_report())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Orion power-performance network simulator "
+                    "(MICRO 2002 reproduction)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("presets", help="list the paper's configurations")
+    p.set_defaults(handler=cmd_presets)
+
+    def add_common(p, with_rate=True):
+        p.add_argument("--preset", default="VC16",
+                       help="configuration name (see 'presets')")
+        if with_rate:
+            p.add_argument("--rate", type=float, default=0.05,
+                           help="packet injection rate")
+        p.add_argument("--traffic", choices=TRAFFIC_KINDS,
+                       default="uniform")
+        p.add_argument("--source", type=int, default=9,
+                       help="broadcast/hotspot node id")
+        p.add_argument("--sample", type=int, default=1000,
+                       help="measured packets (paper uses 10000)")
+        p.add_argument("--warmup", type=int, default=1000,
+                       help="warm-up cycles")
+        p.add_argument("--seed", type=int, default=1)
+        p.add_argument("--leakage", action="store_true",
+                       help="add static power (extension)")
+        p.add_argument("--activity", choices=("average", "data"),
+                       help="switching-activity mode")
+
+    p = sub.add_parser("run", help="run one simulation")
+    add_common(p)
+    p.add_argument("--spatial", action="store_true",
+                   help="print the per-node power map")
+    p.add_argument("--json", metavar="PATH",
+                   help="write the result summary as JSON")
+    p.add_argument("--csv", metavar="PATH",
+                   help="write the per-node power map as CSV")
+    p.set_defaults(handler=cmd_run)
+
+    p = sub.add_parser("sweep", help="sweep injection rates")
+    add_common(p, with_rate=False)
+    p.add_argument("--rates", default="0.02,0.06,0.10,0.14",
+                   help="comma-separated injection rates")
+    p.add_argument("--csv", metavar="PATH",
+                   help="write the sweep as CSV")
+    p.set_defaults(handler=cmd_sweep)
+
+    p = sub.add_parser("power", help="standalone power analysis")
+    p.add_argument("--preset", default="VC16")
+    p.set_defaults(handler=cmd_power)
+
+    p = sub.add_parser("delay", help="pipeline/frequency analysis")
+    p.add_argument("--preset", default="VC16")
+    p.set_defaults(handler=cmd_delay)
+
+    p = sub.add_parser("validate",
+                       help="ballpark checks vs commercial routers")
+    p.set_defaults(handler=cmd_validate)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,241 @@
+"""The Orion facade: build, run and sweep power-performance simulations.
+
+This is the library's main entry point.  An :class:`Orion` instance wraps
+one :class:`NetworkConfig`; its methods cover the paper's three usage
+categories (Figure 3):
+
+1. trade off configurations — :meth:`run` / :meth:`sweep` two configs and
+   compare latency and power;
+2. explore workloads — pass different traffic patterns to the same
+   config;
+3. evaluate new microarchitectures — define a new ``RouterConfig`` kind
+   plus power models and reuse the same driver.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Sequence
+
+from repro.core.config import NetworkConfig
+from repro.core.power_binding import PowerBinding
+from repro.core.events import EnergyAccountant
+from repro.core.report import SweepPoint, SweepResult
+from repro.sim.engine import Simulation, SimulationResult
+from repro.sim.traffic import (
+    BroadcastTraffic,
+    TrafficPattern,
+    UniformRandomTraffic,
+)
+
+
+def _parallel_point(payload):
+    """Module-level worker for multiprocessing sweeps (must be
+    picklable).  Builds the traffic pattern in the worker process and
+    runs one rate point."""
+    (config, traffic_kind, rate, source, seed, warmup_cycles,
+     sample_packets, max_cycles) = payload
+    orion = Orion(config)
+    if traffic_kind == "uniform":
+        traffic = UniformRandomTraffic(orion._topo(), rate, seed=seed)
+    elif traffic_kind == "broadcast":
+        traffic = BroadcastTraffic(orion._topo(), source, rate, seed=seed)
+    else:
+        raise ValueError(f"unknown parallel traffic {traffic_kind!r}")
+    return orion.run(traffic, warmup_cycles=warmup_cycles,
+                     sample_packets=sample_packets, max_cycles=max_cycles)
+
+
+class Orion:
+    """Power-performance simulator for one network configuration."""
+
+    def __init__(self, config: NetworkConfig) -> None:
+        self.config = config
+
+    # --- single runs --------------------------------------------------------
+
+    def run_uniform(self, rate: float, *,
+                    warmup_cycles: int = 1000,
+                    sample_packets: int = 10000,
+                    seed: int = 1,
+                    max_cycles: int = 2_000_000,
+                    collect_power: bool = True) -> SimulationResult:
+        """Run uniform random traffic at ``rate`` packets/cycle/node."""
+        traffic = UniformRandomTraffic(self._topo(), rate, seed=seed)
+        return self.run(traffic, warmup_cycles=warmup_cycles,
+                        sample_packets=sample_packets,
+                        max_cycles=max_cycles,
+                        collect_power=collect_power)
+
+    def run_broadcast(self, source: int, rate: float, *,
+                      warmup_cycles: int = 1000,
+                      sample_packets: int = 10000,
+                      seed: int = 1,
+                      max_cycles: int = 2_000_000,
+                      collect_power: bool = True) -> SimulationResult:
+        """Run single-source broadcast traffic (section 4.3)."""
+        traffic = BroadcastTraffic(self._topo(), source, rate, seed=seed)
+        return self.run(traffic, warmup_cycles=warmup_cycles,
+                        sample_packets=sample_packets,
+                        max_cycles=max_cycles,
+                        collect_power=collect_power)
+
+    def run(self, traffic: TrafficPattern, *,
+            warmup_cycles: int = 1000,
+            sample_packets: int = 10000,
+            max_cycles: int = 2_000_000,
+            collect_power: bool = True) -> SimulationResult:
+        """Run an arbitrary traffic pattern to the paper's protocol."""
+        sim = Simulation(
+            self.config, traffic,
+            warmup_cycles=warmup_cycles,
+            sample_packets=sample_packets,
+            max_cycles=max_cycles,
+            collect_power=collect_power,
+        )
+        return sim.run()
+
+    # --- sweeps ----------------------------------------------------------------
+
+    def sweep_uniform(self, rates: Sequence[float], *,
+                      label: Optional[str] = None,
+                      warmup_cycles: int = 1000,
+                      sample_packets: int = 10000,
+                      seed: int = 1,
+                      max_cycles: int = 2_000_000,
+                      keep_results: bool = False,
+                      processes: int = 1) -> SweepResult:
+        """Latency/power curve over injection rates, uniform traffic —
+        the x-axes of Figures 5 and 7.
+
+        ``processes > 1`` runs the rate points concurrently in a
+        multiprocessing pool.
+        """
+        if processes > 1:
+            return self._sweep_parallel(
+                rates, "uniform", 0, label=label,
+                warmup_cycles=warmup_cycles,
+                sample_packets=sample_packets, seed=seed,
+                max_cycles=max_cycles, keep_results=keep_results,
+                processes=processes)
+        traffic_factory = lambda rate: UniformRandomTraffic(
+            self._topo(), rate, seed=seed)
+        return self.sweep(rates, traffic_factory, label=label,
+                          warmup_cycles=warmup_cycles,
+                          sample_packets=sample_packets,
+                          max_cycles=max_cycles,
+                          keep_results=keep_results)
+
+    def sweep_broadcast(self, source: int, rates: Sequence[float], *,
+                        label: Optional[str] = None,
+                        warmup_cycles: int = 1000,
+                        sample_packets: int = 10000,
+                        seed: int = 1,
+                        max_cycles: int = 2_000_000,
+                        keep_results: bool = False,
+                        processes: int = 1) -> SweepResult:
+        """Latency/power curve over injection rates, broadcast traffic."""
+        if processes > 1:
+            return self._sweep_parallel(
+                rates, "broadcast", source, label=label,
+                warmup_cycles=warmup_cycles,
+                sample_packets=sample_packets, seed=seed,
+                max_cycles=max_cycles, keep_results=keep_results,
+                processes=processes)
+        traffic_factory = lambda rate: BroadcastTraffic(
+            self._topo(), source, rate, seed=seed)
+        return self.sweep(rates, traffic_factory, label=label,
+                          warmup_cycles=warmup_cycles,
+                          sample_packets=sample_packets,
+                          max_cycles=max_cycles,
+                          keep_results=keep_results)
+
+    def _sweep_parallel(self, rates: Sequence[float], traffic_kind: str,
+                        source: int, *, label, warmup_cycles,
+                        sample_packets, seed, max_cycles, keep_results,
+                        processes: int) -> SweepResult:
+        """Fan rate points out over a process pool."""
+        import multiprocessing
+
+        if not rates:
+            raise ValueError("sweep needs at least one rate")
+        payloads = [
+            (self.config, traffic_kind, rate, source, seed,
+             warmup_cycles, sample_packets, max_cycles)
+            for rate in rates
+        ]
+        with multiprocessing.Pool(min(processes, len(rates))) as pool:
+            results = pool.map(_parallel_point, payloads)
+        sweep = SweepResult(label=label or self.config.router.kind)
+        for rate, result in zip(rates, results):
+            sweep.points.append(SweepPoint(
+                rate=rate,
+                avg_latency=result.avg_latency,
+                total_power_w=result.total_power_w,
+                throughput_flits_per_cycle=(
+                    result.throughput_flits_per_cycle),
+                breakdown_w=result.power_breakdown_w(),
+                result=result if keep_results else None,
+            ))
+        return sweep
+
+    def sweep(self, rates: Sequence[float],
+              traffic_factory: Callable[[float], TrafficPattern], *,
+              label: Optional[str] = None,
+              warmup_cycles: int = 1000,
+              sample_packets: int = 10000,
+              max_cycles: int = 2_000_000,
+              keep_results: bool = False) -> SweepResult:
+        """Run one simulation per rate and collect the curve."""
+        if not rates:
+            raise ValueError("sweep needs at least one rate")
+        sweep = SweepResult(label=label or self.config.router.kind)
+        for rate in rates:
+            result = self.run(traffic_factory(rate),
+                              warmup_cycles=warmup_cycles,
+                              sample_packets=sample_packets,
+                              max_cycles=max_cycles)
+            sweep.points.append(SweepPoint(
+                rate=rate,
+                avg_latency=result.avg_latency,
+                total_power_w=result.total_power_w,
+                throughput_flits_per_cycle=(
+                    result.throughput_flits_per_cycle),
+                breakdown_w=result.power_breakdown_w(),
+                result=result if keep_results else None,
+            ))
+        return sweep
+
+    # --- standalone power analysis ----------------------------------------------
+
+    def flit_energy_walkthrough(self) -> Dict[str, float]:
+        """The section 3.3 walkthrough: per-event energies (J) of one
+        head flit passing through a router and its outgoing link.
+
+        ``E_flit = E_wrt + E_arb + E_read + E_xb + E_link``.
+        """
+        accountant = EnergyAccountant(self.config.num_nodes)
+        binding = PowerBinding(self.config, accountant)
+        energies = {
+            "E_wrt": binding.buffer_model.write_energy(),
+            "E_arb": binding.switch_arbiter_model.arbitration_energy(1),
+            "E_read": binding.buffer_model.read_energy(),
+            "E_xb": binding.crossbar_model.traversal_energy(),
+            "E_link": binding.link_model.traversal_energy(),
+        }
+        energies["E_flit"] = sum(energies.values())
+        return energies
+
+    def power_models(self) -> PowerBinding:
+        """The configuration's power models, usable standalone (the
+        paper's "separate power analysis tool" release mode)."""
+        return PowerBinding(self.config,
+                            EnergyAccountant(self.config.num_nodes))
+
+    # --- helpers ------------------------------------------------------------------
+
+    def _topo(self):
+        from repro.sim.network import Network
+        from repro.sim.topology import Mesh, Torus
+        if self.config.topology == "torus":
+            return Torus(self.config.width, self.config.height)
+        return Mesh(self.config.width, self.config.height)

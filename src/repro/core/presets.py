@@ -1,0 +1,120 @@
+"""The paper's named experimental configurations.
+
+Section 4.2 (on-chip, 4x4 torus, 256-bit flits, 2 GHz, 1.2 V, 0.1 um,
+1.08 pF / 3 mm links — the Dally-Towles on-chip network [7]):
+
+* ``WH64``  — wormhole router, 64-flit input buffer per port;
+* ``VC16``  — VC router, 2 VCs/port, 8-flit buffer per VC;
+* ``VC64``  — VC router, 8 VCs/port, 8-flit buffer per VC;
+* ``VC128`` — VC router, 8 VCs/port, 16-flit buffer per VC.
+
+Section 4.4 (chip-to-chip, 4x4 torus, 32-bit flits, 1 GHz, 3 W constant
+per 32 Gb/s link):
+
+* ``CB`` — central-buffered router: 4-bank central buffer, 1 flit wide
+  per bank, 2560 rows, 2 read + 2 write ports, 64-flit input buffers;
+* ``XB`` — input-buffered crossbar router: 16 VCs, 268-flit buffer per
+  VC, 5x5 crossbar.
+"""
+
+from __future__ import annotations
+
+from repro.core.config import (
+    LinkConfig,
+    NetworkConfig,
+    RouterConfig,
+    TechConfig,
+)
+
+#: On-chip operating point (section 4.2).
+ON_CHIP_TECH = TechConfig(feature_size_um=0.1, vdd=1.2, frequency_hz=2.0e9)
+#: 4x4 torus on a 12 mm x 12 mm chip: 3 mm between adjacent routers.
+ON_CHIP_LINK = LinkConfig(kind="on_chip", length_mm=3.0)
+
+#: Chip-to-chip operating point (section 4.4).
+CHIP_TO_CHIP_TECH = TechConfig(feature_size_um=0.1, vdd=1.2,
+                               frequency_hz=1.0e9)
+#: 32 Gb/s link consuming a constant 3 W (IBM InfiniBand 12X figure).
+CHIP_TO_CHIP_LINK = LinkConfig(kind="chip_to_chip", power_watts=3.0)
+
+
+def _on_chip(router: RouterConfig) -> NetworkConfig:
+    return NetworkConfig(
+        topology="torus", width=4, height=4,
+        router=router, link=ON_CHIP_LINK, tech=ON_CHIP_TECH,
+        packet_length_flits=5,
+    )
+
+
+def _chip_to_chip(router: RouterConfig) -> NetworkConfig:
+    return NetworkConfig(
+        topology="torus", width=4, height=4,
+        router=router, link=CHIP_TO_CHIP_LINK, tech=CHIP_TO_CHIP_TECH,
+        packet_length_flits=5,
+    )
+
+
+def wh64() -> NetworkConfig:
+    """Wormhole router with a 64-flit input buffer per port (on-chip)."""
+    return _on_chip(RouterConfig(
+        kind="wormhole", flit_bits=256, buffer_depth=64))
+
+
+def vc16() -> NetworkConfig:
+    """VC router with 2 VCs/port and 8-flit buffers per VC (on-chip)."""
+    return _on_chip(RouterConfig(
+        kind="vc", flit_bits=256, buffer_depth=8, num_vcs=2))
+
+
+def vc64() -> NetworkConfig:
+    """VC router with 8 VCs/port and 8-flit buffers per VC (on-chip)."""
+    return _on_chip(RouterConfig(
+        kind="vc", flit_bits=256, buffer_depth=8, num_vcs=8))
+
+
+def vc128() -> NetworkConfig:
+    """VC router with 8 VCs/port and 16-flit buffers per VC (on-chip)."""
+    return _on_chip(RouterConfig(
+        kind="vc", flit_bits=256, buffer_depth=16, num_vcs=8))
+
+
+def cb() -> NetworkConfig:
+    """Central-buffered router (chip-to-chip): 4 x 2560-row banked
+    central buffer with 2r/2w fabric ports, 64-flit input buffers."""
+    return _chip_to_chip(RouterConfig(
+        kind="central", flit_bits=32, buffer_depth=64,
+        cb_rows=2560, cb_banks=4, cb_read_ports=2, cb_write_ports=2))
+
+
+def xb() -> NetworkConfig:
+    """Input-buffered crossbar router (chip-to-chip): 16 VCs with
+    268-flit buffers per VC and a 5x5 crossbar."""
+    return _chip_to_chip(RouterConfig(
+        kind="vc", flit_bits=32, buffer_depth=268, num_vcs=16))
+
+
+def walkthrough_router() -> NetworkConfig:
+    """The section 3.3 walkthrough router: 5 ports, 4-flit buffers per
+    port, 32-bit flits, 5x5 crossbar, 4:1 arbiters, on-chip links."""
+    return _on_chip(RouterConfig(
+        kind="wormhole", flit_bits=32, buffer_depth=4))
+
+
+PRESETS = {
+    "WH64": wh64,
+    "VC16": vc16,
+    "VC64": vc64,
+    "VC128": vc128,
+    "CB": cb,
+    "XB": xb,
+}
+
+
+def preset(name: str) -> NetworkConfig:
+    """Look up a paper configuration by name (case-insensitive)."""
+    try:
+        return PRESETS[name.upper()]()
+    except KeyError:
+        raise ValueError(
+            f"unknown preset {name!r}; options: {sorted(PRESETS)}"
+        ) from None

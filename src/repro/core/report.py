@@ -1,0 +1,139 @@
+"""Result reporting: power breakdowns, spatial maps, sweep tables.
+
+These render the data behind the paper's figures:
+
+* :func:`breakdown_table` — per-component average power (Figures 5c,
+  7c, 7f);
+* :func:`spatial_table` — per-node average power over the grid
+  (Figure 6);
+* :class:`SweepResult` — latency/power versus injection rate
+  (Figures 5a/5b, 7a/7b/7d/7e).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.sim.engine import SimulationResult
+from repro.sim.stats import saturation_rate
+
+
+def format_power(watts: float) -> str:
+    """Human-readable power with an appropriate SI prefix."""
+    if watts < 0:
+        raise ValueError(f"power must be >= 0, got {watts}")
+    for scale, unit in ((1.0, "W"), (1e-3, "mW"), (1e-6, "uW")):
+        if watts >= scale:
+            return f"{watts / scale:.3f} {unit}"
+    return f"{watts * 1e9:.3f} nW"
+
+
+def breakdown_table(result: SimulationResult) -> str:
+    """Per-component power table with percentage shares."""
+    breakdown = result.power_breakdown_w()
+    total = sum(breakdown.values())
+    lines = [f"{'component':<16} {'power':>12} {'share':>8}"]
+    for component, power in sorted(breakdown.items(),
+                                   key=lambda kv: -kv[1]):
+        share = power / total if total > 0 else 0.0
+        lines.append(
+            f"{component:<16} {format_power(power):>12} {share:>7.1%}"
+        )
+    lines.append(f"{'total':<16} {format_power(total):>12} {'100.0%':>8}")
+    return "\n".join(lines)
+
+
+def spatial_table(result: SimulationResult) -> str:
+    """Per-node power laid out on the (x, y) grid, y descending —
+    Figure 6's spatial distribution."""
+    powers = result.node_power_w()
+    width = result.config.width
+    height = result.config.height
+    lines = []
+    for y in reversed(range(height)):
+        row = []
+        for x in range(width):
+            node = y * width + x
+            row.append(f"{powers[node] * 1e3:9.2f}")
+        lines.append(f"y={y}  " + " ".join(row) + "  (mW)")
+    lines.append("      " + " ".join(f"{'x=' + str(x):>9}"
+                                     for x in range(width)))
+    return "\n".join(lines)
+
+
+@dataclass
+class SweepPoint:
+    """One injection rate's outcome within a sweep."""
+
+    rate: float
+    avg_latency: float
+    total_power_w: float
+    throughput_flits_per_cycle: float
+    breakdown_w: Dict[str, float]
+    result: Optional[SimulationResult] = None
+
+
+@dataclass
+class SweepResult:
+    """A latency/power-versus-injection-rate curve (one line of
+    Figure 5 or 7)."""
+
+    label: str
+    points: List[SweepPoint] = field(default_factory=list)
+
+    @property
+    def rates(self) -> List[float]:
+        return [p.rate for p in self.points]
+
+    @property
+    def latencies(self) -> List[float]:
+        return [p.avg_latency for p in self.points]
+
+    @property
+    def powers(self) -> List[float]:
+        return [p.total_power_w for p in self.points]
+
+    @property
+    def zero_load_latency(self) -> float:
+        """Latency of the lowest-rate point (the zero-load proxy)."""
+        if not self.points:
+            raise ValueError("empty sweep")
+        return min(self.points, key=lambda p: p.rate).avg_latency
+
+    def saturation_rate(self) -> Optional[float]:
+        """Paper criterion: first rate with latency > 2x zero-load."""
+        return saturation_rate(self.rates, self.latencies,
+                               self.zero_load_latency)
+
+    def table(self) -> str:
+        """Render the curve as rows of rate / latency / power."""
+        lines = [f"== {self.label} ==",
+                 f"{'rate':>8} {'latency':>10} {'power':>12} {'thruput':>9}"]
+        for p in sorted(self.points, key=lambda p: p.rate):
+            lines.append(
+                f"{p.rate:>8.3f} {p.avg_latency:>10.2f} "
+                f"{format_power(p.total_power_w):>12} "
+                f"{p.throughput_flits_per_cycle:>9.3f}"
+            )
+        sat = self.saturation_rate()
+        lines.append(f"saturation: "
+                     f"{'not reached' if sat is None else f'{sat:.3f}'}")
+        return "\n".join(lines)
+
+
+def comparison_table(sweeps: Sequence[SweepResult]) -> str:
+    """Side-by-side latency table for multiple configurations."""
+    if not sweeps:
+        raise ValueError("no sweeps to compare")
+    rates = sorted({p.rate for s in sweeps for p in s.points})
+    header = f"{'rate':>8}" + "".join(f"{s.label:>12}" for s in sweeps)
+    lines = [header]
+    for rate in rates:
+        row = [f"{rate:>8.3f}"]
+        for sweep in sweeps:
+            match = [p for p in sweep.points if p.rate == rate]
+            row.append(f"{match[0].avg_latency:>12.2f}" if match
+                       else f"{'-':>12}")
+        lines.append("".join(row))
+    return "\n".join(lines)

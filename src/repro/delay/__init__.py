@@ -1,0 +1,49 @@
+"""Router delay model (Peh-Dally [15]) — pipeline budgeting.
+
+The counterpart to the power models: logical-effort delay estimates for
+the router functions (VA, SA, ST, buffer access), used to validate the
+paper's 2-stage wormhole and 3-stage virtual-channel pipelines and to
+report the achievable clock frequency of a configuration.
+"""
+
+from repro.delay.logical_effort import (
+    FO4_PS_PER_UM,
+    TAU_PER_FO4,
+    Gate,
+    fo4_to_ps,
+    inverter,
+    mux,
+    nand,
+    nor,
+    path_delay_tau,
+    tau_to_fo4,
+)
+from repro.delay.router_delay import (
+    RouterDelayModel,
+    StageDelays,
+    arbiter_delay_fo4,
+    buffer_access_delay_fo4,
+    crossbar_delay_fo4,
+    switch_allocation_delay_fo4,
+    vc_allocation_delay_fo4,
+)
+
+__all__ = [
+    "FO4_PS_PER_UM",
+    "TAU_PER_FO4",
+    "Gate",
+    "fo4_to_ps",
+    "inverter",
+    "mux",
+    "nand",
+    "nor",
+    "path_delay_tau",
+    "tau_to_fo4",
+    "RouterDelayModel",
+    "StageDelays",
+    "arbiter_delay_fo4",
+    "buffer_access_delay_fo4",
+    "crossbar_delay_fo4",
+    "switch_allocation_delay_fo4",
+    "vc_allocation_delay_fo4",
+]

@@ -1,0 +1,119 @@
+"""Logical-effort delay estimation.
+
+The paper pipelines its routers "in accordance to the router delay model
+proposed in [15]" (Peh & Dally, HPCA 2001), which expresses each router
+function's delay with the method of logical effort [Sutherland &
+Sproull]: a path through ``N`` gate stages with total logical effort
+``G``, branching effort ``B``, electrical effort ``H`` and parasitic
+delay ``P`` has minimum delay
+
+    D = N * (G * B * H) ** (1/N) + P        (in units of tau)
+
+where tau is the delay of an ideal inverter driving another identical
+inverter with no parasitics.  A fanout-of-4 inverter (FO4) takes 5 tau,
+the conventional technology-independent unit for pipeline budgeting.
+
+This module provides the per-gate efforts/parasitics and the path-delay
+arithmetic; :mod:`repro.delay.router_delay` composes them into the
+router-function delays.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: tau per FO4 inverter delay: d = g*h + p = 1*4 + 1.
+TAU_PER_FO4 = 5.0
+
+#: FO4 delay in picoseconds per micrometre of drawn feature size — the
+#: standard "360 ps/um" scaling rule (an FO4 is ~36 ps at 0.1 um).
+FO4_PS_PER_UM = 360.0
+
+
+@dataclass(frozen=True)
+class Gate:
+    """Logical effort ``g`` and parasitic delay ``p`` of one gate type."""
+
+    name: str
+    effort: float
+    parasitic: float
+
+    def __post_init__(self) -> None:
+        if self.effort < 1.0:
+            raise ValueError(
+                f"{self.name}: logical effort must be >= 1, got "
+                f"{self.effort}"
+            )
+        if self.parasitic < 0.0:
+            raise ValueError(
+                f"{self.name}: parasitic delay must be >= 0, got "
+                f"{self.parasitic}"
+            )
+
+
+def inverter() -> Gate:
+    return Gate("inv", 1.0, 1.0)
+
+
+def nand(fan_in: int) -> Gate:
+    """``g = (n+2)/3``, ``p = n`` for an n-input NAND."""
+    _check_fan_in(fan_in)
+    return Gate(f"nand{fan_in}", (fan_in + 2) / 3.0, float(fan_in))
+
+
+def nor(fan_in: int) -> Gate:
+    """``g = (2n+1)/3``, ``p = n`` for an n-input NOR."""
+    _check_fan_in(fan_in)
+    return Gate(f"nor{fan_in}", (2 * fan_in + 1) / 3.0, float(fan_in))
+
+
+def mux(inputs: int) -> Gate:
+    """Transmission-gate multiplexer: ``g = 2``, ``p = 2n``."""
+    _check_fan_in(inputs)
+    return Gate(f"mux{inputs}", 2.0, 2.0 * inputs)
+
+
+def path_delay_tau(gates, branching: float = 1.0,
+                   electrical: float = 1.0) -> float:
+    """Minimum delay (tau) of a path through ``gates``.
+
+    ``branching`` is the product of branch efforts along the path;
+    ``electrical`` the ratio of output to input capacitance.  Stage sizes
+    are assumed optimised, so each of the ``N`` stages bears effort
+    ``F^(1/N)``.
+    """
+    if not gates:
+        raise ValueError("a path needs at least one gate")
+    if branching < 1.0:
+        raise ValueError(f"branching effort must be >= 1, got {branching}")
+    if electrical <= 0.0:
+        raise ValueError(
+            f"electrical effort must be positive, got {electrical}"
+        )
+    logical = 1.0
+    parasitic = 0.0
+    for gate in gates:
+        logical *= gate.effort
+        parasitic += gate.parasitic
+    n = len(gates)
+    path_effort = logical * branching * electrical
+    return n * path_effort ** (1.0 / n) + parasitic
+
+
+def tau_to_fo4(tau: float) -> float:
+    """Convert a delay from tau to FO4 units."""
+    return tau / TAU_PER_FO4
+
+
+def fo4_to_ps(fo4: float, feature_size_um: float) -> float:
+    """Convert FO4 units to picoseconds at a process node."""
+    if feature_size_um <= 0:
+        raise ValueError(
+            f"feature size must be positive, got {feature_size_um}"
+        )
+    return fo4 * FO4_PS_PER_UM * feature_size_um
+
+
+def _check_fan_in(fan_in: int) -> None:
+    if fan_in < 1:
+        raise ValueError(f"fan-in must be >= 1, got {fan_in}")

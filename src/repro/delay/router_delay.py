@@ -1,0 +1,199 @@
+"""Router-function delays and pipeline budgeting (Peh-Dally style).
+
+Composes :mod:`repro.delay.logical_effort` gate paths into the delays of
+the router functions the paper's pipelines are built from — virtual
+channel allocation (VA), switch allocation (SA), switch traversal (ST)
+and buffer access — then checks them against a clock budget to validate
+the 2-stage wormhole and 3-stage virtual-channel pipelines of
+section 4.2 and report the achievable frequency of a configuration.
+
+Critical paths (matrix arbiter grant logic, mux-based crossbars) follow
+the structures of the corresponding power models, so the same
+architectural parameters drive both energy and delay.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.core.config import NetworkConfig
+from repro.delay import logical_effort as le
+
+
+def arbiter_delay_fo4(requesters: int) -> float:
+    """Matrix arbiter request->grant delay (FO4).
+
+    Path: request inverter -> first-level NOR2 (branching to the R-1
+    grant rows) -> (R-1)-input second-level NOR -> grant inverter.
+    """
+    if requesters < 1:
+        raise ValueError(f"requesters must be >= 1, got {requesters}")
+    if requesters == 1:
+        # Degenerate arbiter: a wire and a buffer.
+        return le.tau_to_fo4(le.path_delay_tau([le.inverter()]))
+    gates = [
+        le.inverter(),
+        le.nor(2),
+        le.nor(max(2, requesters - 1)),
+        le.inverter(),
+    ]
+    branching = float(max(1, requesters - 1))
+    return le.tau_to_fo4(le.path_delay_tau(gates, branching=branching))
+
+
+def vc_allocation_delay_fo4(ports: int, num_vcs: int) -> float:
+    """VA delay: a V:1 stage per input VC feeding a ((P-1)*V):1 stage
+    per output VC (separable allocator)."""
+    if ports < 2:
+        raise ValueError(f"ports must be >= 2, got {ports}")
+    if num_vcs < 1:
+        raise ValueError(f"num_vcs must be >= 1, got {num_vcs}")
+    stage1 = arbiter_delay_fo4(num_vcs)
+    stage2 = arbiter_delay_fo4((ports - 1) * num_vcs)
+    return stage1 + stage2
+
+
+def switch_allocation_delay_fo4(ports: int, num_vcs: int) -> float:
+    """SA delay: V:1 per input port, then (P-1):1 per output port."""
+    if ports < 2:
+        raise ValueError(f"ports must be >= 2, got {ports}")
+    if num_vcs < 1:
+        raise ValueError(f"num_vcs must be >= 1, got {num_vcs}")
+    stage1 = arbiter_delay_fo4(num_vcs) if num_vcs > 1 else 0.0
+    stage2 = arbiter_delay_fo4(ports - 1)
+    return stage1 + stage2
+
+
+def crossbar_delay_fo4(ports: int, width_bits: int,
+                       wire_spacing_um: float = 0.4) -> float:
+    """ST delay: input driver, crosspoint, output line.
+
+    The electrical effort reflects the crosspoint rails: each line loads
+    ``ports`` connector drains plus its wire, modelled as an electrical
+    effort proportional to the line's span in wire pitches (normalised
+    to a 64-bit, 5-port fabric)."""
+    if ports < 2:
+        raise ValueError(f"ports must be >= 2, got {ports}")
+    if width_bits < 1:
+        raise ValueError(f"width_bits must be >= 1, got {width_bits}")
+    gates = [le.inverter(), le.mux(ports), le.inverter()]
+    span = ports * width_bits
+    electrical = max(1.0, span / (5 * 64.0) * 8.0)
+    return le.tau_to_fo4(le.path_delay_tau(gates, electrical=electrical))
+
+
+def buffer_access_delay_fo4(depth_flits: int, flit_bits: int) -> float:
+    """Buffer read delay: decoder, wordline, bitline, sense amp.
+
+    Decoder depth grows with ``log4`` of the row count; bitline
+    electrical effort with the column height.
+    """
+    if depth_flits < 1:
+        raise ValueError(f"depth must be >= 1, got {depth_flits}")
+    if flit_bits < 1:
+        raise ValueError(f"flit_bits must be >= 1, got {flit_bits}")
+    address_bits = max(1, math.ceil(math.log2(depth_flits)))
+    decoder_levels = max(1, math.ceil(address_bits / 2))
+    gates = [le.inverter()] + [le.nand(2) for _ in range(decoder_levels)]
+    # Wordline drives flit_bits cells; bitline spans depth rows; sense
+    # amplification adds a fixed couple of FO4.
+    electrical = max(1.0, (depth_flits * flit_bits) / 512.0)
+    decode = le.path_delay_tau(gates, branching=float(flit_bits) ** 0.5,
+                               electrical=electrical)
+    sense_fo4 = 2.0
+    return le.tau_to_fo4(decode) + sense_fo4
+
+
+@dataclass(frozen=True)
+class StageDelays:
+    """Per-function delays of a router configuration (FO4)."""
+
+    vc_allocation: float
+    switch_allocation: float
+    switch_traversal: float
+    buffer_access: float
+
+    def stages(self) -> Dict[str, float]:
+        """Non-zero pipeline functions, in pipeline order."""
+        out = {}
+        if self.vc_allocation > 0:
+            out["VA"] = self.vc_allocation
+        out["SA"] = self.switch_allocation
+        out["ST"] = self.switch_traversal
+        return out
+
+    @property
+    def critical_fo4(self) -> float:
+        """The slowest stage: the cycle-time floor."""
+        return max(self.stages().values())
+
+
+class RouterDelayModel:
+    """Delay/pipeline analysis of one network configuration."""
+
+    PORTS = 5
+
+    def __init__(self, config: NetworkConfig) -> None:
+        self.config = config
+        rc = config.router
+        if rc.kind == "vc":
+            va = vc_allocation_delay_fo4(self.PORTS, rc.num_vcs)
+        else:
+            va = 0.0
+        sa = switch_allocation_delay_fo4(
+            self.PORTS, rc.num_vcs if rc.is_vc_kind else 1)
+        if rc.kind == "speculative_vc":
+            # Speculation runs VA and SA concurrently in one stage: the
+            # stage's delay is the slower of the two (Peh-Dally).
+            sa = max(sa, vc_allocation_delay_fo4(self.PORTS, rc.num_vcs))
+        tech = config.tech.build()
+        st = crossbar_delay_fo4(self.PORTS, rc.flit_bits,
+                                wire_spacing_um=tech.wire_spacing_um)
+        buffer_fo4 = buffer_access_delay_fo4(rc.buffer_flits_per_port,
+                                             rc.flit_bits)
+        self.delays = StageDelays(
+            vc_allocation=va,
+            switch_allocation=sa,
+            switch_traversal=st,
+            buffer_access=buffer_fo4,
+        )
+
+    @property
+    def pipeline_depth(self) -> int:
+        """Pipeline stages: 3 for VC routers (VA, SA, ST), 2 for
+        wormhole and central-buffered routers — the section 4.2
+        prescription."""
+        return len(self.delays.stages())
+
+    def min_cycle_fo4(self) -> float:
+        """Shortest clock (FO4) at which every stage still fits."""
+        return self.delays.critical_fo4
+
+    def max_frequency_hz(self) -> float:
+        """Highest clock frequency this router sustains at the
+        configured process node."""
+        cycle_ps = le.fo4_to_ps(self.min_cycle_fo4(),
+                                self.config.tech.feature_size_um)
+        return 1e12 / cycle_ps
+
+    def fits_frequency(self, frequency_hz: float = 0.0) -> bool:
+        """Whether the router meets the configured (or given) clock."""
+        target = frequency_hz or self.config.tech.frequency_hz
+        return self.max_frequency_hz() >= target
+
+    def report(self) -> str:
+        """Human-readable stage-delay table."""
+        lines = [f"router: {self.config.router.kind}, "
+                 f"{self.pipeline_depth}-stage pipeline"]
+        for name, fo4 in self.delays.stages().items():
+            ps = le.fo4_to_ps(fo4, self.config.tech.feature_size_um)
+            lines.append(f"  {name:<3} {fo4:6.1f} FO4  ({ps:7.1f} ps)")
+        lines.append(f"  buffer access {self.delays.buffer_access:6.1f} FO4")
+        lines.append(
+            f"  min cycle {self.min_cycle_fo4():.1f} FO4 -> max "
+            f"{self.max_frequency_hz() / 1e9:.2f} GHz at "
+            f"{self.config.tech.feature_size_um} um"
+        )
+        return "\n".join(lines)

@@ -1,0 +1,70 @@
+"""Component-based simulation framework (the LSE substitute).
+
+The paper builds Orion inside the Liberty Simulation Environment:
+modules with ports, message passing, and an event subsystem that power
+models hook into (sections 2.1-2.2, Figures 1-2).  LSE itself is
+unavailable; this package provides the same construction — a small
+module/port/event framework plus the interconnection-network building
+blocks — so the paper's plug-and-play methodology can be demonstrated
+end to end (see :mod:`repro.lse.assemblies` and the
+``examples/module_assembly.py`` walkthrough).
+
+The production simulator in :mod:`repro.sim` uses hand-wired routers
+for speed; this framework is the faithful architectural statement.
+"""
+
+from repro.lse.assemblies import (
+    NORTH_OUT,
+    RING_EJECT,
+    RING_FORWARD,
+    build_full_router,
+    build_ring_network,
+    build_walkthrough_router,
+    ring_route,
+)
+from repro.lse.events import EventBus
+from repro.lse.hooks import PowerHooks
+from repro.lse.library import (
+    MESSAGE_PROCESSING,
+    MESSAGE_TRANSPORTING,
+    ArbiterModule,
+    BufferModule,
+    CrossbarModule,
+    DemuxModule,
+    LinkModule,
+    MergeModule,
+    Message,
+    SinkModule,
+    SourceModule,
+)
+from repro.lse.module import Module
+from repro.lse.ports import InPort, OutPort, Port
+from repro.lse.system import System
+
+__all__ = [
+    "NORTH_OUT",
+    "build_walkthrough_router",
+    "build_full_router",
+    "build_ring_network",
+    "ring_route",
+    "RING_FORWARD",
+    "RING_EJECT",
+    "EventBus",
+    "PowerHooks",
+    "MESSAGE_PROCESSING",
+    "MESSAGE_TRANSPORTING",
+    "ArbiterModule",
+    "BufferModule",
+    "CrossbarModule",
+    "DemuxModule",
+    "MergeModule",
+    "LinkModule",
+    "Message",
+    "SinkModule",
+    "SourceModule",
+    "Module",
+    "InPort",
+    "OutPort",
+    "Port",
+    "System",
+]

@@ -1,0 +1,206 @@
+"""Pre-wired module assemblies.
+
+:func:`build_walkthrough_router` reproduces Figure 2 — "a simple
+wormhole router as modeled in Orion": a source feeds input buffer
+``BufI``; the buffer's route request goes to the output port's arbiter;
+the grant releases the flit through the crossbar onto the north output
+link and into a sink.  Running it replays the section 3.3 event
+sequence: *buffer write, arbitration, buffer read, crossbar traversal,
+link traversal*.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.lse.library import (
+    ArbiterModule,
+    BufferModule,
+    CrossbarModule,
+    DemuxModule,
+    LinkModule,
+    MergeModule,
+    Message,
+    SinkModule,
+    SourceModule,
+)
+from repro.lse.system import System
+
+#: Crossbar output index used for the walkthrough's "north" port.
+NORTH_OUT = 0
+
+
+def build_walkthrough_router(
+        schedule: List[Tuple[int, Message]],
+        buffer_depth: int = 4,
+        ports: int = 5,
+        arbiter_requesters: int = 4,
+        arbiter_policy: str = "matrix",
+        link_latency: int = 1) -> System:
+    """Assemble the Figure 2 testbench.
+
+    ``schedule`` is the source's ``(cycle, Message)`` injection plan;
+    messages should target ``out_port = NORTH_OUT``.  Returns the built
+    system; modules are reachable as ``system.module("BufI")`` etc.
+    """
+    system = System("walkthrough_router")
+    source = system.add(SourceModule("Source", schedule))
+    buf = system.add(BufferModule("BufI", depth=buffer_depth,
+                                  input_id=0))
+    arbiter = system.add(ArbiterModule(
+        "ArbN", requesters=arbiter_requesters, policy=arbiter_policy,
+        out_id=NORTH_OUT))
+    xbar = system.add(CrossbarModule("Crossbar", inputs=ports,
+                                     outputs=ports))
+    link = system.add(LinkModule("LinkN", latency=link_latency))
+    sink = system.add(SinkModule("Sink"))
+
+    system.connect(source.out, buf.write)
+    system.connect(buf.req, arbiter.req)
+    system.connect(arbiter.grants[0], buf.grant)
+    system.connect(arbiter.config, xbar.config)
+    system.connect(buf.read, xbar.inputs[0])
+    system.connect(xbar.outs[NORTH_OUT], link.inp)
+    system.connect(link.out, sink.inp)
+    return system.build()
+
+
+def build_full_router(schedules: List[List[Tuple[int, Message]]],
+                      buffer_depth: int = 8,
+                      arbiter_policy: str = "matrix",
+                      link_latency: int = 1) -> System:
+    """Assemble a complete input-buffered router from library modules.
+
+    One source + input buffer per port; a demultiplexer routes each
+    buffer's requests to the per-output arbiters; grant merges funnel
+    any arbiter's grant back to its buffer; all arbiters configure the
+    shared crossbar; each output feeds a link and a sink.  This is the
+    paper's "pick, plug and play" construction at full router scale —
+    ``len(schedules)`` ports, schedules holding each source's
+    ``(cycle, Message)`` injections (``Message.out_port`` selects the
+    destination output).
+    """
+    ports = len(schedules)
+    if ports < 2:
+        raise ValueError(f"a router needs >= 2 ports, got {ports}")
+    system = System("full_router")
+    sources = [system.add(SourceModule(f"Source{i}", schedules[i]))
+               for i in range(ports)]
+    buffers = [system.add(BufferModule(f"Buf{i}", depth=buffer_depth,
+                                       input_id=i))
+               for i in range(ports)]
+    routes = [system.add(DemuxModule(f"Route{i}", outputs=ports))
+              for i in range(ports)]
+    arbiters = [system.add(ArbiterModule(
+        f"Arb{o}", requesters=ports, policy=arbiter_policy, out_id=o))
+        for o in range(ports)]
+    grant_merges = [system.add(MergeModule(f"GrantMerge{i}",
+                                           inputs=ports))
+                    for i in range(ports)]
+    config_merge = system.add(MergeModule("ConfigMerge", inputs=ports))
+    xbar = system.add(CrossbarModule("Crossbar", inputs=ports,
+                                     outputs=ports))
+    links = [system.add(LinkModule(f"Link{o}", latency=link_latency))
+             for o in range(ports)]
+    sinks = [system.add(SinkModule(f"Sink{o}")) for o in range(ports)]
+
+    for i in range(ports):
+        system.connect(sources[i].out, buffers[i].write)
+        system.connect(buffers[i].req, routes[i].inp)
+        system.connect(grant_merges[i].out, buffers[i].grant)
+        system.connect(buffers[i].read, xbar.inputs[i])
+        for o in range(ports):
+            system.connect(routes[i].outs[o], arbiters[o].reqs[i])
+            system.connect(arbiters[o].grants[i],
+                           grant_merges[i].ins[o])
+    for o in range(ports):
+        system.connect(arbiters[o].config, config_merge.ins[o])
+        system.connect(xbar.outs[o], links[o].inp)
+        system.connect(links[o].out, sinks[o].inp)
+    system.connect(config_merge.out, xbar.config)
+    return system.build()
+
+
+#: Port roles of a ring-network router.
+RING_FORWARD, RING_EJECT = 0, 1
+
+
+def ring_route(src: int, dst: int, size: int) -> List[int]:
+    """Source route around a unidirectional ring: forward hops then
+    eject — one out-port id per router visited (Message.route)."""
+    if not 0 <= src < size or not 0 <= dst < size:
+        raise ValueError(f"nodes must be in 0..{size - 1}")
+    if src == dst:
+        raise ValueError("source and destination coincide")
+    hops = (dst - src) % size
+    return [RING_FORWARD] * hops + [RING_EJECT]
+
+
+def build_ring_network(schedules: List[List[Tuple[int, Message]]],
+                       buffer_depth: int = 8,
+                       arbiter_policy: str = "matrix",
+                       link_latency: int = 1) -> System:
+    """Assemble a unidirectional ring of 2-port routers — a multi-router
+    fabric built entirely from library modules (the paper's claim that
+    a small module library composes into "myriad network fabrics").
+
+    Each router has a ring input (port 0) and a local injection source
+    (port 1); output 0 forwards around the ring through a link, output
+    1 ejects into the node's sink.  Messages must carry source routes
+    (see :func:`ring_route`).
+    """
+    size = len(schedules)
+    if size < 2:
+        raise ValueError(f"a ring needs >= 2 routers, got {size}")
+    system = System("ring_network")
+    parts = []
+    for r in range(size):
+        part = {
+            "source": system.add(SourceModule(f"R{r}.Source",
+                                              schedules[r])),
+            "bufs": [system.add(BufferModule(f"R{r}.Buf{i}",
+                                             depth=buffer_depth,
+                                             input_id=i))
+                     for i in range(2)],
+            "routes": [system.add(DemuxModule(f"R{r}.Route{i}",
+                                              outputs=2))
+                       for i in range(2)],
+            "arbs": [system.add(ArbiterModule(
+                f"R{r}.Arb{o}", requesters=2, policy=arbiter_policy,
+                out_id=o)) for o in range(2)],
+            "gmerges": [system.add(MergeModule(f"R{r}.GrantMerge{i}",
+                                               inputs=2))
+                        for i in range(2)],
+            "cmerge": system.add(MergeModule(f"R{r}.ConfigMerge",
+                                             inputs=2)),
+            "xbar": system.add(CrossbarModule(f"R{r}.Crossbar",
+                                              inputs=2, outputs=2)),
+            "link": system.add(LinkModule(f"R{r}.LinkFwd",
+                                          latency=link_latency)),
+            "sink": system.add(SinkModule(f"R{r}.Sink")),
+        }
+        parts.append(part)
+    for r, part in enumerate(parts):
+        system.connect(part["source"].out, part["bufs"][1].write)
+        for i in range(2):
+            system.connect(part["bufs"][i].req, part["routes"][i].inp)
+            system.connect(part["gmerges"][i].out,
+                           part["bufs"][i].grant)
+            system.connect(part["bufs"][i].read,
+                           part["xbar"].inputs[i])
+            for o in range(2):
+                system.connect(part["routes"][i].outs[o],
+                               part["arbs"][o].reqs[i])
+                system.connect(part["arbs"][o].grants[i],
+                               part["gmerges"][i].ins[o])
+        for o in range(2):
+            system.connect(part["arbs"][o].config,
+                           part["cmerge"].ins[o])
+        system.connect(part["cmerge"].out, part["xbar"].config)
+        system.connect(part["xbar"].outs[RING_EJECT],
+                       part["sink"].inp)
+        system.connect(part["xbar"].outs[RING_FORWARD],
+                       part["link"].inp)
+        successor = parts[(r + 1) % size]
+        system.connect(part["link"].out, successor["bufs"][0].write)
+    return system.build()

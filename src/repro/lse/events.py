@@ -1,0 +1,55 @@
+"""The event subsystem of the component framework.
+
+Section 2.1: "The integration of power models is based on the event
+subsystem of LSE ... Users define events associated with each module.
+Power models in the power simulation library are hooked to these events
+so when an event occurs during the execution, it triggers the specific
+power model, which calculates and accumulates the energy consumed."
+
+Modules emit named events with a context dict; any number of hooks may
+subscribe, by event name or to everything.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Tuple
+
+Hook = Callable[[str, Dict[str, Any]], None]
+
+
+class EventBus:
+    """Publish/subscribe hub shared by one assembled system."""
+
+    def __init__(self) -> None:
+        self._hooks: Dict[str, List[Hook]] = {}
+        self._global_hooks: List[Hook] = []
+        self._log: List[Tuple[int, str, Dict[str, Any]]] = []
+        self.record = False
+        self.now = 0
+
+    def subscribe(self, event: str, hook: Hook) -> None:
+        """Call ``hook(event, context)`` on each occurrence of
+        ``event``."""
+        self._hooks.setdefault(event, []).append(hook)
+
+    def subscribe_all(self, hook: Hook) -> None:
+        """Call ``hook`` on every event."""
+        self._global_hooks.append(hook)
+
+    def emit(self, event: str, **context: Any) -> None:
+        """Fire one event occurrence."""
+        if self.record:
+            self._log.append((self.now, event, context))
+        for hook in self._hooks.get(event, ()):
+            hook(event, context)
+        for hook in self._global_hooks:
+            hook(event, context)
+
+    @property
+    def log(self) -> List[Tuple[int, str, Dict[str, Any]]]:
+        """Recorded ``(cycle, event, context)`` tuples (when
+        ``record`` is enabled)."""
+        return list(self._log)
+
+    def clear_log(self) -> None:
+        self._log = []

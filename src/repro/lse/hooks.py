@@ -1,0 +1,66 @@
+"""Power hooks: connecting component power models to the event bus.
+
+The plug-in layer of Figure 1: each power model is "hooked" to the
+events of the modules it covers, accumulating energy as the assembled
+system executes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.core import events as ev
+from repro.lse.events import EventBus
+from repro.power.arbiter import MatrixArbiterPower
+from repro.power.buffer import FIFOBufferPower
+
+
+class PowerHooks:
+    """Subscribes component power models to an event bus."""
+
+    def __init__(self, bus: EventBus,
+                 buffer_model: Optional[FIFOBufferPower] = None,
+                 arbiter_model: Optional[MatrixArbiterPower] = None,
+                 crossbar_model=None,
+                 link_model=None) -> None:
+        self.buffer_model = buffer_model
+        self.arbiter_model = arbiter_model
+        self.crossbar_model = crossbar_model
+        self.link_model = link_model
+        self.energy_by_event: Dict[str, float] = {}
+        self.counts: Dict[str, int] = {}
+        if buffer_model is not None:
+            bus.subscribe(ev.BUFFER_WRITE, self._on_buffer_write)
+            bus.subscribe(ev.BUFFER_READ, self._on_buffer_read)
+        if arbiter_model is not None:
+            bus.subscribe(ev.ARBITRATION, self._on_arbitration)
+        if crossbar_model is not None:
+            bus.subscribe(ev.XBAR_TRAVERSAL, self._on_xbar)
+        if link_model is not None:
+            bus.subscribe(ev.LINK_TRAVERSAL, self._on_link)
+
+    def _deposit(self, event: str, energy: float) -> None:
+        self.energy_by_event[event] = \
+            self.energy_by_event.get(event, 0.0) + energy
+        self.counts[event] = self.counts.get(event, 0) + 1
+
+    def _on_buffer_write(self, event, context) -> None:
+        self._deposit(event, self.buffer_model.write_energy())
+
+    def _on_buffer_read(self, event, context) -> None:
+        self._deposit(event, self.buffer_model.read_energy())
+
+    def _on_arbitration(self, event, context) -> None:
+        n = context.get("num_requests", 1)
+        self._deposit(event, self.arbiter_model.arbitration_energy(n))
+
+    def _on_xbar(self, event, context) -> None:
+        self._deposit(event, self.crossbar_model.traversal_energy())
+
+    def _on_link(self, event, context) -> None:
+        self._deposit(event, self.link_model.traversal_energy())
+
+    @property
+    def total_energy(self) -> float:
+        """Joules accumulated across all hooked events."""
+        return sum(self.energy_by_event.values())

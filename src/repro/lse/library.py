@@ -1,0 +1,318 @@
+"""The interconnection-network building blocks as framework modules.
+
+Section 2.2 identifies "the basic components such as message sources and
+sinks, router buffers, crossbars, arbiters and links", split into two
+classes: *message transporting* modules that "do not store or modify
+messages when delivering them" (links, crossbars) and *message
+processing* modules that generate, store or modify them (sources, sinks,
+buffers, arbiters).
+
+These modules emit the event vocabulary of
+:mod:`repro.core.events` — hook power models to the bus (see
+:class:`repro.lse.hooks.PowerHooks`) and the section 3.3 walkthrough
+falls out of the assembly.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Deque, List, Optional, Tuple
+
+from repro.core import events as ev
+from repro.lse.module import Module
+from repro.sim.arbiters import make_arbiter
+
+#: Message-class tags (paper section 2.2).
+MESSAGE_PROCESSING = "message_processing"
+MESSAGE_TRANSPORTING = "message_transporting"
+
+
+@dataclass
+class Message:
+    """A flit-like unit flowing between modules."""
+
+    payload: Optional[int] = None
+    #: Output port of the switch this message wants (routing decision).
+    out_port: int = 0
+    #: Originating requester/input id, stamped as it moves.
+    input_id: int = 0
+    #: Source route for multi-router fabrics: one output-port id per
+    #: router visited; ``hop`` tracks progress (links increment it).
+    route: Optional[List[int]] = None
+    hop: int = 0
+    tag: Any = None
+
+
+class SourceModule(Module):
+    """Injects scheduled messages (message processing).
+
+    ``schedule`` parameter: list of ``(cycle, Message)`` pairs.
+    """
+
+    MESSAGE_CLASS = MESSAGE_PROCESSING
+
+    def __init__(self, name: str, schedule: List[Tuple[int, Message]],
+                 **params: Any) -> None:
+        super().__init__(name, **params)
+        self.out = self.out_port("out")
+        self._schedule = sorted(schedule, key=lambda cm: cm[0])
+        self.injected = 0
+
+    def evaluate(self, cycle: int) -> None:
+        while self._schedule and self._schedule[0][0] <= cycle:
+            _, message = self._schedule.pop(0)
+            self.out.send(message)
+            self.injected += 1
+
+
+class SinkModule(Module):
+    """Consumes messages and records their arrival (message
+    processing)."""
+
+    MESSAGE_CLASS = MESSAGE_PROCESSING
+
+    def __init__(self, name: str, **params: Any) -> None:
+        super().__init__(name, **params)
+        self.inp = self.in_port("in")
+        self.received: List[Tuple[int, Message]] = []
+
+    def evaluate(self, cycle: int) -> None:
+        for message in self.inp.drain():
+            self.received.append((cycle, message))
+
+
+class BufferModule(Module):
+    """FIFO buffer with write, grant-driven read and a request side
+    channel (message processing).
+
+    Ports: ``write`` in, ``grant`` in, ``read`` out, ``req`` out.  When
+    a message sits at the FIFO head and no request is outstanding, the
+    buffer requests its switch output; each grant releases one message.
+    Parameters: ``depth`` (flits).
+    """
+
+    MESSAGE_CLASS = MESSAGE_PROCESSING
+
+    def __init__(self, name: str, depth: int = 4, input_id: int = 0,
+                 **params: Any) -> None:
+        super().__init__(name, depth=depth, **params)
+        if depth < 1:
+            raise ValueError(f"{name}: depth must be >= 1, got {depth}")
+        self.write = self.in_port("write")
+        self.grant = self.in_port("grant", optional=True)
+        self.read = self.out_port("read")
+        self.req = self.out_port("req", optional=True)
+        self.depth = depth
+        self.input_id = input_id
+        self.fifo: Deque[Message] = deque()
+        self._requested = False
+
+    def evaluate(self, cycle: int) -> None:
+        for message in self.write.drain():
+            if len(self.fifo) >= self.depth:
+                raise RuntimeError(f"{self.name}: buffer overflow")
+            if message.route is not None:
+                if message.hop >= len(message.route):
+                    raise RuntimeError(
+                        f"{self.name}: message route exhausted"
+                    )
+                message.out_port = message.route[message.hop]
+            message.input_id = self.input_id
+            self.fifo.append(message)
+            self.emit(ev.BUFFER_WRITE, payload=message.payload)
+        grants = self.grant.drain()
+        for _ in grants:
+            if not self.fifo:
+                raise RuntimeError(f"{self.name}: grant with empty FIFO")
+            message = self.fifo.popleft()
+            self.emit(ev.BUFFER_READ, payload=message.payload)
+            self.read.send(message)
+            self._requested = False
+        if self.fifo and not self._requested and self.req.connected:
+            head = self.fifo[0]
+            self.req.send(Message(out_port=head.out_port,
+                                  input_id=self.input_id))
+            self._requested = True
+
+
+class ArbiterModule(Module):
+    """Arbitrates requests for one switch output (message processing).
+
+    Request side: either the shared ``req`` input port (messages carry
+    ``input_id``) or the per-requester ``req_<i>`` ports — both are
+    optional, use whichever the assembly wires.  Grant side: one
+    ``grant_<i>`` out per requester, and ``config`` out towards the
+    crossbar.  Parameters: ``requesters``, ``policy``.
+    """
+
+    MESSAGE_CLASS = MESSAGE_PROCESSING
+
+    def __init__(self, name: str, requesters: int = 4,
+                 policy: str = "matrix", out_id: int = 0,
+                 **params: Any) -> None:
+        super().__init__(name, requesters=requesters, policy=policy,
+                         **params)
+        if requesters < 1:
+            raise ValueError(
+                f"{name}: requesters must be >= 1, got {requesters}"
+            )
+        self.req = self.in_port("req", optional=True)
+        self.reqs = [self.in_port(f"req_{i}", optional=True)
+                     for i in range(requesters)]
+        self.grants = [self.out_port(f"grant_{i}", optional=True)
+                       for i in range(requesters)]
+        self.config = self.out_port("config")
+        self.requesters = requesters
+        self.out_id = out_id
+        self._arbiter = make_arbiter(policy, requesters)
+        self._pending: List[Message] = []
+
+    def evaluate(self, cycle: int) -> None:
+        self._pending.extend(self.req.drain())
+        for i, port in enumerate(self.reqs):
+            for message in port.drain():
+                message.input_id = i
+                self._pending.append(message)
+        if not self._pending:
+            return
+        ids = sorted({m.input_id for m in self._pending})
+        for rid in ids:
+            if not 0 <= rid < self.requesters:
+                raise RuntimeError(
+                    f"{self.name}: request from unknown requester {rid}"
+                )
+        winner = self._arbiter.grant(ids)
+        self.emit(ev.ARBITRATION, num_requests=len(ids))
+        drop = True
+        kept = []
+        for m in self._pending:
+            if m.input_id == winner and drop:
+                drop = False  # release exactly one pending request
+                continue
+            kept.append(m)
+        self._pending = kept
+        if not self.grants[winner].connected:
+            raise RuntimeError(
+                f"{self.name}: granted requester {winner} has no grant "
+                f"wire"
+            )
+        self.grants[winner].send(Message(input_id=winner,
+                                         out_port=self.out_id))
+        self.config.send(Message(input_id=winner, out_port=self.out_id))
+
+
+class DemuxModule(Module):
+    """Routes messages to one of several outputs by their ``out_port``
+    field (message transporting) — the plumbing between an input
+    buffer's request line and the per-output arbiters."""
+
+    MESSAGE_CLASS = MESSAGE_TRANSPORTING
+
+    def __init__(self, name: str, outputs: int = 5, **params: Any) -> None:
+        super().__init__(name, outputs=outputs, **params)
+        if outputs < 1:
+            raise ValueError(f"{name}: outputs must be >= 1, got {outputs}")
+        self.inp = self.in_port("in")
+        self.outs = [self.out_port(f"out_{j}", optional=True)
+                     for j in range(outputs)]
+
+    def evaluate(self, cycle: int) -> None:
+        for message in self.inp.drain():
+            if not 0 <= message.out_port < len(self.outs):
+                raise RuntimeError(
+                    f"{self.name}: message targets unknown output "
+                    f"{message.out_port}"
+                )
+            self.outs[message.out_port].send(message)
+
+
+class MergeModule(Module):
+    """Funnels several message streams into one output in arrival order
+    (message transporting) — the plumbing that lets one buffer receive
+    grants from any of the per-output arbiters."""
+
+    MESSAGE_CLASS = MESSAGE_TRANSPORTING
+
+    def __init__(self, name: str, inputs: int = 5, **params: Any) -> None:
+        super().__init__(name, inputs=inputs, **params)
+        if inputs < 1:
+            raise ValueError(f"{name}: inputs must be >= 1, got {inputs}")
+        self.ins = [self.in_port(f"in_{i}", optional=True)
+                    for i in range(inputs)]
+        self.out = self.out_port("out")
+
+    def evaluate(self, cycle: int) -> None:
+        for port in self.ins:
+            for message in port.drain():
+                self.out.send(message)
+
+
+class CrossbarModule(Module):
+    """Switch fabric: forwards messages per its configuration (message
+    transporting — it neither stores nor modifies messages).
+
+    Ports: ``in_<i>`` per input, ``config`` in, ``out_<j>`` per output.
+    """
+
+    MESSAGE_CLASS = MESSAGE_TRANSPORTING
+
+    def __init__(self, name: str, inputs: int = 5, outputs: int = 5,
+                 **params: Any) -> None:
+        super().__init__(name, inputs=inputs, outputs=outputs, **params)
+        if inputs < 1 or outputs < 1:
+            raise ValueError(f"{name}: needs inputs and outputs")
+        self.inputs = [self.in_port(f"in_{i}", optional=True)
+                       for i in range(inputs)]
+        self.outs = [self.out_port(f"out_{j}", optional=True)
+                     for j in range(outputs)]
+        self.config = self.in_port("config")
+        #: input id -> configured output id (registered: a configuration
+        #: received in cycle t steers traffic from cycle t+1 on, so a
+        #: grant's data — which arrives one pipeline stage later — is
+        #: never misrouted by a newer grant arriving alongside it).
+        self._map = {}
+        self._next_map = {}
+
+    def evaluate(self, cycle: int) -> None:
+        self._map.update(self._next_map)
+        self._next_map = {}
+        for message in self.config.drain():
+            self._next_map[message.input_id] = message.out_port
+        for i, port in enumerate(self.inputs):
+            for message in port.drain():
+                if i not in self._map:
+                    raise RuntimeError(
+                        f"{self.name}: input {i} has no configuration"
+                    )
+                out = self._map[i]
+                self.emit(ev.XBAR_TRAVERSAL, payload=message.payload,
+                          out=out)
+                self.outs[out].send(message)
+
+
+class LinkModule(Module):
+    """Inter-router wire with fixed latency (message transporting)."""
+
+    MESSAGE_CLASS = MESSAGE_TRANSPORTING
+
+    def __init__(self, name: str, latency: int = 1, **params: Any) -> None:
+        super().__init__(name, latency=latency, **params)
+        if latency < 1:
+            raise ValueError(
+                f"{name}: latency must be >= 1, got {latency}"
+            )
+        self.inp = self.in_port("in")
+        self.out = self.out_port("out")
+        self.latency = latency
+        self._in_flight: Deque[Tuple[int, Message]] = deque()
+
+    def evaluate(self, cycle: int) -> None:
+        while self._in_flight and self._in_flight[0][0] <= cycle:
+            _, message = self._in_flight.popleft()
+            self.out.send(message)
+        for message in self.inp.drain():
+            self.emit(ev.LINK_TRAVERSAL, payload=message.payload)
+            if message.route is not None:
+                message.hop += 1
+            self._in_flight.append((cycle + self.latency, message))

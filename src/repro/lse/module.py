@@ -1,0 +1,69 @@
+"""Module base class for the component framework.
+
+A module declares input/output ports and parameters, and implements
+``evaluate(cycle)``.  Modules are evaluated once per cycle in dataflow
+order by :class:`repro.lse.system.System`; they read their input ports,
+update internal state, emit events and write their output ports.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
+from repro.lse.events import EventBus
+from repro.lse.ports import InPort, OutPort
+
+
+class Module:
+    """One logical functional block."""
+
+    def __init__(self, name: str, **params: Any) -> None:
+        if not name:
+            raise ValueError("modules need a non-empty name")
+        self.name = name
+        self.params: Dict[str, Any] = dict(params)
+        self.in_ports: Dict[str, InPort] = {}
+        self.out_ports: Dict[str, OutPort] = {}
+        #: Installed when the module is added to a system.
+        self.bus: EventBus = EventBus()
+
+    # --- declaration -----------------------------------------------------------
+
+    def in_port(self, name: str, optional: bool = False) -> InPort:
+        """Declare (or fetch) an input port."""
+        if name not in self.in_ports:
+            self.in_ports[name] = InPort(self, name, optional)
+        return self.in_ports[name]
+
+    def out_port(self, name: str, optional: bool = False) -> OutPort:
+        """Declare (or fetch) an output port."""
+        if name not in self.out_ports:
+            self.out_ports[name] = OutPort(self, name, optional)
+        return self.out_ports[name]
+
+    def param(self, name: str, default: Any = None) -> Any:
+        """Parameter lookup (None default makes parameters optional)."""
+        return self.params.get(name, default)
+
+    # --- behaviour -------------------------------------------------------------
+
+    def evaluate(self, cycle: int) -> None:
+        """One cycle of behaviour; subclasses override."""
+        raise NotImplementedError
+
+    def emit(self, event: str, **context: Any) -> None:
+        """Raise a microarchitectural event on the system bus."""
+        self.bus.emit(event, module=self.name, **context)
+
+    # --- introspection -----------------------------------------------------------
+
+    def unconnected_ports(self) -> List[str]:
+        """Labels of ports left unwired (build-time validation)."""
+        missing = [p.label for p in self.in_ports.values()
+                   if not p.connected and not p.optional]
+        missing += [p.label for p in self.out_ports.values()
+                    if not p.connected and not p.optional]
+        return missing
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}({self.name!r})"

@@ -1,0 +1,89 @@
+"""Ports and connections for the component framework.
+
+In LSE, "physical hardware blocks are modeled as logical functional
+modules that communicate through ports.  Data is sent between module
+ports via message passing" (section 2.1).  A :class:`OutPort` connects
+to exactly one :class:`InPort`; messages sent during a cycle are
+readable by the receiving module when it evaluates later in the same
+cycle (modules evaluate in dataflow order — see
+:mod:`repro.lse.system`).
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional
+
+
+class Port:
+    """Base port: belongs to a module, has a name.
+
+    ``optional`` ports may be left unconnected (build-time validation
+    skips them); sends on unconnected optional output ports are
+    guarded by the owning module.
+    """
+
+    def __init__(self, module, name: str, optional: bool = False) -> None:
+        self.module = module
+        self.name = name
+        self.optional = optional
+
+    @property
+    def label(self) -> str:
+        return f"{self.module.name}.{self.name}"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}({self.label})"
+
+
+class InPort(Port):
+    """Receiving end: buffers messages until the module drains them."""
+
+    def __init__(self, module, name: str, optional: bool = False) -> None:
+        super().__init__(module, name, optional)
+        self._messages: List[Any] = []
+        self.source: Optional["OutPort"] = None
+
+    def deliver(self, message: Any) -> None:
+        self._messages.append(message)
+
+    def drain(self) -> List[Any]:
+        """All messages delivered since the last drain."""
+        messages, self._messages = self._messages, []
+        return messages
+
+    def peek(self) -> List[Any]:
+        """Pending messages, without consuming them."""
+        return list(self._messages)
+
+    @property
+    def connected(self) -> bool:
+        return self.source is not None
+
+
+class OutPort(Port):
+    """Sending end: forwards messages to its connected input port."""
+
+    def __init__(self, module, name: str, optional: bool = False) -> None:
+        super().__init__(module, name, optional)
+        self.sink: Optional[InPort] = None
+
+    def connect(self, sink: InPort) -> None:
+        if self.sink is not None:
+            raise ValueError(
+                f"{self.label} is already connected to {self.sink.label}"
+            )
+        if sink.source is not None:
+            raise ValueError(
+                f"{sink.label} is already fed by {sink.source.label}"
+            )
+        self.sink = sink
+        sink.source = self
+
+    def send(self, message: Any) -> None:
+        if self.sink is None:
+            raise RuntimeError(f"{self.label} is not connected")
+        self.sink.deliver(message)
+
+    @property
+    def connected(self) -> bool:
+        return self.sink is not None

@@ -1,0 +1,118 @@
+"""System assembly and execution for the component framework.
+
+Figure 1 of the paper: a simulator is built from "a unified structural
+machine description" — modules are added, ports connected, the
+construction validated, and the result executed cycle by cycle.
+
+Evaluation semantics: modules are evaluated once per cycle **in the
+order they were added**.  A message sent during cycle *t* is visible to
+modules evaluated later in that same cycle, and to earlier modules at
+*t + 1*.  Order the modules along the dataflow (source before buffer
+before switch before link) and feedback paths (grants back to buffers)
+naturally take the one-cycle hop the hardware has.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Union
+
+from repro.lse.events import EventBus
+from repro.lse.module import Module
+from repro.lse.ports import InPort, OutPort
+
+
+class System:
+    """A set of connected modules sharing one event bus."""
+
+    def __init__(self, name: str = "system") -> None:
+        self.name = name
+        self.bus = EventBus()
+        self._modules: Dict[str, Module] = {}
+        self._order: List[Module] = []
+        self.cycle = 0
+        self._built = False
+
+    # --- construction -----------------------------------------------------------
+
+    def add(self, module: Module) -> Module:
+        """Register a module (evaluation order = addition order)."""
+        if self._built:
+            raise RuntimeError("system already built; cannot add modules")
+        if module.name in self._modules:
+            raise ValueError(f"duplicate module name {module.name!r}")
+        module.bus = self.bus
+        self._modules[module.name] = module
+        self._order.append(module)
+        return module
+
+    def module(self, name: str) -> Module:
+        try:
+            return self._modules[name]
+        except KeyError:
+            raise KeyError(
+                f"no module {name!r}; have {sorted(self._modules)}"
+            ) from None
+
+    def connect(self, source: Union[OutPort, str],
+                sink: Union[InPort, str]) -> None:
+        """Wire an output port to an input port.
+
+        Ports may be given as objects or as ``"module.port"`` strings.
+        """
+        if isinstance(source, str):
+            source = self._lookup_port(source, output=True)
+        if isinstance(sink, str):
+            sink = self._lookup_port(sink, output=False)
+        source.connect(sink)
+
+    def _lookup_port(self, label: str, output: bool):
+        try:
+            module_name, port_name = label.split(".", 1)
+        except ValueError:
+            raise ValueError(
+                f"port label {label!r} must be 'module.port'"
+            ) from None
+        module = self.module(module_name)
+        ports = module.out_ports if output else module.in_ports
+        try:
+            return ports[port_name]
+        except KeyError:
+            kind = "output" if output else "input"
+            raise KeyError(
+                f"module {module_name!r} has no {kind} port "
+                f"{port_name!r}; have {sorted(ports)}"
+            ) from None
+
+    def build(self) -> "System":
+        """Validate connectivity and freeze the structure."""
+        problems = []
+        for module in self._order:
+            problems.extend(module.unconnected_ports())
+        if problems:
+            raise ValueError(
+                "unconnected ports: " + ", ".join(sorted(problems))
+            )
+        self._built = True
+        return self
+
+    # --- execution ----------------------------------------------------------------
+
+    def step(self) -> None:
+        """Advance one cycle."""
+        if not self._built:
+            raise RuntimeError("call build() before stepping")
+        self.bus.now = self.cycle
+        for module in self._order:
+            module.evaluate(self.cycle)
+        self.cycle += 1
+
+    def run(self, cycles: int) -> None:
+        """Advance ``cycles`` cycles."""
+        if cycles < 0:
+            raise ValueError(f"cycles must be >= 0, got {cycles}")
+        for _ in range(cycles):
+            self.step()
+
+    @property
+    def modules(self) -> List[Module]:
+        return list(self._order)

@@ -1,0 +1,59 @@
+"""Architectural-level parameterized power models (paper section 3).
+
+The component library: FIFO buffers (Table 2), crossbars (Table 3),
+arbiters (Table 4), flip-flops, hierarchically-composed central buffers,
+and links.  Each model derives switch capacitances from architectural and
+technological parameters and exposes per-operation energies; switching
+activity comes from the simulator (or random-data defaults).
+
+These models are usable standalone — independent from the simulator — as
+the paper's release plan describes ("either as a separate power analysis
+tool, or as a plug-in to other network simulators").
+"""
+
+from repro.power.base import (
+    EnergyModel,
+    RANDOM_SWITCHING_FACTOR,
+    expected_switches,
+    hamming_distance,
+    popcount,
+)
+from repro.power.buffer import FIFOBufferPower
+from repro.power.crossbar import MatrixCrossbarPower, MuxTreeCrossbarPower
+from repro.power.arbiter import (
+    MatrixArbiterPower,
+    QueuingArbiterPower,
+    RoundRobinArbiterPower,
+)
+from repro.power.clock import ClockPower
+from repro.power.flipflop import FlipFlopPower
+from repro.power.central_buffer import CentralBufferPower
+from repro.power.link import (
+    BusInvertLinkPower,
+    ChipToChipLinkPower,
+    OnChipLinkPower,
+)
+from repro.power import area
+from repro.power import leakage
+
+__all__ = [
+    "EnergyModel",
+    "RANDOM_SWITCHING_FACTOR",
+    "expected_switches",
+    "hamming_distance",
+    "popcount",
+    "FIFOBufferPower",
+    "MatrixCrossbarPower",
+    "MuxTreeCrossbarPower",
+    "MatrixArbiterPower",
+    "RoundRobinArbiterPower",
+    "QueuingArbiterPower",
+    "FlipFlopPower",
+    "ClockPower",
+    "CentralBufferPower",
+    "OnChipLinkPower",
+    "BusInvertLinkPower",
+    "ChipToChipLinkPower",
+    "area",
+    "leakage",
+]

@@ -1,0 +1,327 @@
+"""Arbiter power models (paper Table 4 and Appendix).
+
+Three arbiter types are modelled, as in Orion:
+
+* :class:`MatrixArbiterPower` — an ``R``-requester matrix arbiter: a
+  triangular matrix of ``R(R-1)/2`` priority flip-flops and two-level
+  NOR grant logic (``T_N1`` first-level NOR, ``T_N2`` second-level NOR,
+  ``T_I`` inverter).
+* :class:`RoundRobinArbiterPower` — a rotating-priority arbiter with a
+  ``ceil(log2 R)``-bit pointer register and the same style of two-level
+  grant logic.
+* :class:`QueuingArbiterPower` — requesters enqueue into a small FIFO of
+  ``ceil(log2 R)``-bit grant tokens; built hierarchically on the FIFO
+  buffer model (model reuse per section 3.2).
+
+Per the Appendix:
+
+* ``E_xb_ctr`` (the crossbar control lines) is treated as part of
+  ``E_arb``, because arbiter grant signals drive the crossbar control
+  signals and share their switching behaviour;
+* each arbitration grants exactly one request, so no switching-activity
+  factor is applied to ``E_gnt`` and ``E_xb_ctr``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.power.base import EnergyModel, RANDOM_SWITCHING_FACTOR
+from repro.power.buffer import FIFOBufferPower
+from repro.power.flipflop import FlipFlopPower
+
+
+def _grant_token_bits(requesters: int) -> int:
+    """Bits needed to name one of ``requesters`` requesters."""
+    return max(1, math.ceil(math.log2(requesters))) if requesters > 1 else 1
+
+
+@dataclass(frozen=True)
+class MatrixArbiterPower(EnergyModel):
+    """Matrix arbiter over ``requesters`` inputs."""
+
+    requesters: int = 4
+    #: Per-arbitration crossbar control energy to fold into ``E_arb``
+    #: (pass the owning crossbar's ``control_line_energy``); 0 when the
+    #: arbiter does not drive a crossbar (e.g. a VC allocator).
+    xbar_control_energy: float = 0.0
+
+    request_cap: float = field(init=False)
+    priority_cap: float = field(init=False)
+    internal_cap: float = field(init=False)
+    grant_cap: float = field(init=False)
+    flipflop: FlipFlopPower = field(init=False)
+
+    def __post_init__(self) -> None:
+        if self.requesters < 1:
+            raise ValueError(f"arbiter needs >= 1 requester, got {self.requesters}")
+        tech = self.tech
+        n1 = tech.scaled_width("nor_gate_n")
+        p1 = tech.scaled_width("nor_gate_p")
+        inv_n = tech.scaled_width("inverter_n")
+        inv_p = tech.scaled_width("inverter_p")
+        others = max(0, self.requesters - 1)
+        # Request line: feeds one first-level NOR per other requester,
+        # plus a short distribution wire across the grant cells.
+        wire_len = self.requesters * 4.0 * tech.wire_spacing_um
+        request = others * tech.inverter_gate_cap(n1, p1) + tech.wire_cap(
+            wire_len, layer="word"
+        )
+        # Priority bit output: feeds the two NOR gates of its pair.
+        priority = 2.0 * tech.inverter_gate_cap(n1, p1)
+        # Internal node: first-level NOR drain into second-level NOR gate.
+        internal = tech.inverter_drain_cap(n1, p1) + tech.inverter_gate_cap(
+            tech.scaled_width("nor_gate_n"), tech.scaled_width("nor_gate_p")
+        )
+        # Grant line: second-level NOR drain plus output inverter.
+        grant = tech.inverter_drain_cap(n1, p1) + tech.inverter_cap(inv_n, inv_p)
+        set_ = object.__setattr__
+        set_(self, "request_cap", request)
+        set_(self, "priority_cap", priority)
+        set_(self, "internal_cap", internal)
+        set_(self, "grant_cap", grant)
+        set_(self, "flipflop", FlipFlopPower(tech))
+
+    @property
+    def priority_bits(self) -> int:
+        """``R(R-1)/2`` priority matrix flip-flops."""
+        return self.requesters * (self.requesters - 1) // 2
+
+    @property
+    def request_energy(self) -> float:
+        """``E_req``: one request line switching."""
+        return self.switch_energy(self.request_cap)
+
+    @property
+    def priority_energy(self) -> float:
+        """``E_pri``: one priority line switching into the grant logic."""
+        return self.switch_energy(self.priority_cap)
+
+    @property
+    def internal_energy(self) -> float:
+        """``E_int``: one internal NOR node switching."""
+        return self.switch_energy(self.internal_cap)
+
+    @property
+    def grant_energy(self) -> float:
+        """``E_gnt``: the granted line switching (exactly one per
+        arbitration, so no activity factor)."""
+        return self.switch_energy(self.grant_cap)
+
+    def arbitration_energy(self,
+                           num_requests: int,
+                           changed_requests: Optional[int] = None,
+                           granted: bool = True) -> float:
+        """``E_arb`` for one arbitration round.
+
+        Parameters
+        ----------
+        num_requests:
+            Active request lines this round (drives internal-node
+            switching).
+        changed_requests:
+            Request lines that toggled since the previous round; defaults
+            to the random expectation ``num_requests / 2``.
+        granted:
+            Whether a grant was issued.  A grant switches the grant line
+            and crossbar control (unfactored, per the Appendix) and
+            updates the winner's row/column of the priority matrix
+            (``R - 1`` flip-flops, half expected to flip).
+        """
+        if num_requests < 0 or num_requests > self.requesters:
+            raise ValueError(
+                f"num_requests must be in [0, {self.requesters}], got {num_requests}"
+            )
+        if changed_requests is None:
+            changed = RANDOM_SWITCHING_FACTOR * num_requests
+        else:
+            changed = float(changed_requests)
+        energy = changed * self.request_energy
+        energy += RANDOM_SWITCHING_FACTOR * num_requests * self.internal_energy
+        if granted and num_requests > 0:
+            energy += self.grant_energy + self.xbar_control_energy
+            updated = self.requesters - 1
+            energy += RANDOM_SWITCHING_FACTOR * updated * self.priority_energy
+            energy += updated * self.flipflop.write_energy(bit_changed=True) * (
+                RANDOM_SWITCHING_FACTOR
+            )
+            # Clock energy of the non-flipping priority bits.
+            energy += updated * self.flipflop.clock_energy * (
+                1.0 - RANDOM_SWITCHING_FACTOR
+            )
+        return energy
+
+    def describe(self) -> dict:
+        """Capacitances and energies for reports and validation."""
+        return {
+            "requesters": self.requesters,
+            "priority_bits": self.priority_bits,
+            "request_cap_f": self.request_cap,
+            "priority_cap_f": self.priority_cap,
+            "internal_cap_f": self.internal_cap,
+            "grant_cap_f": self.grant_cap,
+            "arbitration_energy_j": self.arbitration_energy(self.requesters),
+        }
+
+
+@dataclass(frozen=True)
+class RoundRobinArbiterPower(EnergyModel):
+    """Round-robin arbiter over ``requesters`` inputs.
+
+    State is a ``ceil(log2 R)``-bit rotating pointer instead of a priority
+    matrix; grant logic is the same two-level NOR style.
+    """
+
+    requesters: int = 4
+    xbar_control_energy: float = 0.0
+
+    request_cap: float = field(init=False)
+    internal_cap: float = field(init=False)
+    grant_cap: float = field(init=False)
+    flipflop: FlipFlopPower = field(init=False)
+
+    def __post_init__(self) -> None:
+        if self.requesters < 1:
+            raise ValueError(f"arbiter needs >= 1 requester, got {self.requesters}")
+        tech = self.tech
+        n1 = tech.scaled_width("nor_gate_n")
+        p1 = tech.scaled_width("nor_gate_p")
+        inv_n = tech.scaled_width("inverter_n")
+        inv_p = tech.scaled_width("inverter_p")
+        # Each request feeds the masked and unmasked priority chains.
+        request = 2.0 * tech.inverter_gate_cap(n1, p1) + tech.wire_cap(
+            self.requesters * 4.0 * tech.wire_spacing_um, layer="word"
+        )
+        internal = tech.inverter_drain_cap(n1, p1) + tech.inverter_gate_cap(n1, p1)
+        grant = tech.inverter_drain_cap(n1, p1) + tech.inverter_cap(inv_n, inv_p)
+        set_ = object.__setattr__
+        set_(self, "request_cap", request)
+        set_(self, "internal_cap", internal)
+        set_(self, "grant_cap", grant)
+        set_(self, "flipflop", FlipFlopPower(tech))
+
+    @property
+    def pointer_bits(self) -> int:
+        """Width of the rotating-priority pointer register."""
+        return _grant_token_bits(self.requesters)
+
+    @property
+    def request_energy(self) -> float:
+        """One request line switching."""
+        return self.switch_energy(self.request_cap)
+
+    @property
+    def internal_energy(self) -> float:
+        """One internal priority-chain node switching."""
+        return self.switch_energy(self.internal_cap)
+
+    @property
+    def grant_energy(self) -> float:
+        """The granted line switching."""
+        return self.switch_energy(self.grant_cap)
+
+    def arbitration_energy(self,
+                           num_requests: int,
+                           changed_requests: Optional[int] = None,
+                           granted: bool = True) -> float:
+        """``E_arb`` for one round (see :class:`MatrixArbiterPower`)."""
+        if num_requests < 0 or num_requests > self.requesters:
+            raise ValueError(
+                f"num_requests must be in [0, {self.requesters}], got {num_requests}"
+            )
+        if changed_requests is None:
+            changed = RANDOM_SWITCHING_FACTOR * num_requests
+        else:
+            changed = float(changed_requests)
+        energy = changed * self.request_energy
+        # The priority chain ripples past active requesters up to the winner.
+        energy += RANDOM_SWITCHING_FACTOR * num_requests * self.internal_energy
+        if granted and num_requests > 0:
+            energy += self.grant_energy + self.xbar_control_energy
+            energy += self.pointer_bits * self.flipflop.write_energy(
+                bit_changed=True
+            ) * RANDOM_SWITCHING_FACTOR
+            energy += self.pointer_bits * self.flipflop.clock_energy * (
+                1.0 - RANDOM_SWITCHING_FACTOR
+            )
+        return energy
+
+    def describe(self) -> dict:
+        """Capacitances and energies for reports and validation."""
+        return {
+            "requesters": self.requesters,
+            "pointer_bits": self.pointer_bits,
+            "request_cap_f": self.request_cap,
+            "internal_cap_f": self.internal_cap,
+            "grant_cap_f": self.grant_cap,
+            "arbitration_energy_j": self.arbitration_energy(self.requesters),
+        }
+
+
+@dataclass(frozen=True)
+class QueuingArbiterPower(EnergyModel):
+    """Queuing (FCFS) arbiter: a FIFO of requester ids.
+
+    Built hierarchically on :class:`FIFOBufferPower` — the model-reuse
+    pattern of section 3.2.  Each request enqueues a ``ceil(log2 R)``-bit
+    token; each grant dequeues one.
+    """
+
+    requesters: int = 4
+    xbar_control_energy: float = 0.0
+
+    queue: FIFOBufferPower = field(init=False)
+    grant_cap: float = field(init=False)
+
+    def __post_init__(self) -> None:
+        if self.requesters < 1:
+            raise ValueError(f"arbiter needs >= 1 requester, got {self.requesters}")
+        tech = self.tech
+        queue = FIFOBufferPower(
+            tech,
+            depth_flits=max(2, self.requesters),
+            flit_bits=_grant_token_bits(self.requesters),
+        )
+        inv_n = tech.scaled_width("inverter_n")
+        inv_p = tech.scaled_width("inverter_p")
+        n1 = tech.scaled_width("nor_gate_n")
+        p1 = tech.scaled_width("nor_gate_p")
+        grant = tech.inverter_drain_cap(n1, p1) + tech.inverter_cap(inv_n, inv_p)
+        object.__setattr__(self, "queue", queue)
+        object.__setattr__(self, "grant_cap", grant)
+
+    @property
+    def grant_energy(self) -> float:
+        """The granted line switching."""
+        return self.switch_energy(self.grant_cap)
+
+    def arbitration_energy(self,
+                           num_requests: int,
+                           changed_requests: Optional[int] = None,
+                           granted: bool = True) -> float:
+        """``E_arb``: enqueue each new request, dequeue one grant."""
+        if num_requests < 0 or num_requests > self.requesters:
+            raise ValueError(
+                f"num_requests must be in [0, {self.requesters}], got {num_requests}"
+            )
+        if changed_requests is None:
+            new_requests = RANDOM_SWITCHING_FACTOR * num_requests
+        else:
+            new_requests = float(changed_requests)
+        energy = new_requests * self.queue.write_energy()
+        if granted and num_requests > 0:
+            energy += self.queue.read_energy()
+            energy += self.grant_energy + self.xbar_control_energy
+        return energy
+
+    def describe(self) -> dict:
+        """Capacitances and energies for reports and validation."""
+        return {
+            "requesters": self.requesters,
+            "token_bits": self.queue.flit_bits,
+            "queue_depth": self.queue.depth_flits,
+            "grant_cap_f": self.grant_cap,
+            "arbitration_energy_j": self.arbitration_energy(self.requesters),
+        }

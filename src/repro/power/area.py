@@ -1,0 +1,75 @@
+"""Area estimation from the power models' length equations (section 4.4).
+
+"As our power models include length estimation of buffer bitlines,
+wordlines and crossbar input/output lines, router area can be easily
+estimated assuming a rectangular layout.  We estimate router area as the
+sum of input buffer area and switch fabric area, ignoring arbiter area
+since arbiters are relatively small."
+
+All areas are in square micrometres.
+"""
+
+from __future__ import annotations
+
+from repro.power.buffer import FIFOBufferPower
+from repro.power.central_buffer import CentralBufferPower
+from repro.power.crossbar import MatrixCrossbarPower, MuxTreeCrossbarPower
+
+
+def buffer_area_um2(model: FIFOBufferPower) -> float:
+    """Rectangular SRAM array area: ``L_wl x L_bl``."""
+    return model.wordline_length_um * model.bitline_length_um
+
+
+def crossbar_area_um2(model) -> float:
+    """Rectangular crossbar area: input-line span times output-line span."""
+    if isinstance(model, MatrixCrossbarPower):
+        return model.input_line_length_um * model.output_line_length_um
+    if isinstance(model, MuxTreeCrossbarPower):
+        # The tree fabric occupies roughly half a full matrix footprint.
+        spacing = model.tech.wire_spacing_um
+        span_in = model.outputs * model.width_bits * spacing
+        span_out = model.inputs * model.width_bits * spacing
+        return 0.5 * span_in * span_out
+    raise TypeError(f"no area model for {type(model).__name__}")
+
+
+def central_buffer_area_um2(model: CentralBufferPower) -> float:
+    """Central buffer area: the SRAM array plus the two I/O crossbars.
+
+    In row-access mode the bank model already spans all banks (one
+    row-wide array); otherwise each bank is a separate array.
+    """
+    array_area = buffer_area_um2(model.bank_model)
+    if not model.row_access:
+        array_area *= model.banks
+    return (
+        array_area
+        + crossbar_area_um2(model.input_crossbar)
+        + crossbar_area_um2(model.output_crossbar)
+    )
+
+
+def xb_router_area_um2(input_buffer: FIFOBufferPower,
+                       crossbar: MatrixCrossbarPower,
+                       ports: int,
+                       buffers_per_port: int = 1) -> float:
+    """Input-buffered crossbar router area.
+
+    ``buffers_per_port`` covers virtual-channel routers where each port
+    holds one ``input_buffer`` array per VC.
+    """
+    if ports < 1 or buffers_per_port < 1:
+        raise ValueError("ports and buffers_per_port must be >= 1")
+    buffers = ports * buffers_per_port * buffer_area_um2(input_buffer)
+    return buffers + crossbar_area_um2(crossbar)
+
+
+def cb_router_area_um2(central: CentralBufferPower,
+                       input_buffer: FIFOBufferPower,
+                       ports: int) -> float:
+    """Central-buffered router area: central buffer + per-port input
+    buffers."""
+    if ports < 1:
+        raise ValueError("ports must be >= 1")
+    return central_buffer_area_um2(central) + ports * buffer_area_um2(input_buffer)

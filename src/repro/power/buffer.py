@@ -1,0 +1,215 @@
+"""FIFO buffer power model (paper Table 2).
+
+Router buffers are SRAM arrays of ``B`` flits by ``F`` bits with ``P_r``
+read and ``P_w`` write ports.  The model derives wordline, bitline,
+precharge and memory-cell capacitances from the array geometry and per-port
+wire pitch overhead, then composes them into read/write operation energies:
+
+* ``E_read = E_wl + F * (E_br + 2*E_chg + E_amp)``
+* ``E_wrt  = E_wl + delta_bw * E_bw + delta_bc * E_cell``
+
+where ``delta_bw`` is the number of switching write bitlines and
+``delta_bc`` the number of switching memory cells — tracked from flit
+payloads during simulation, or defaulted to the random-data expectation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.power.base import EnergyModel, expected_switches
+from repro.tech.technology import Technology
+
+
+@dataclass(frozen=True)
+class FIFOBufferPower(EnergyModel):
+    """Power model of a ``B x F``-bit SRAM FIFO with ``P_r``/``P_w`` ports.
+
+    Parameters mirror the paper's architectural parameters:
+
+    - ``depth_flits`` — buffer size in flits (``B``)
+    - ``flit_bits`` — flit size in bits (``F``)
+    - ``read_ports`` — number of read ports (``P_r``)
+    - ``write_ports`` — number of write ports (``P_w``)
+
+    A buffer with a dedicated port to the switch "does not require
+    tri-state output drivers" (section 3.1), so none are modelled.
+    """
+
+    depth_flits: int = 4
+    flit_bits: int = 32
+    read_ports: int = 1
+    write_ports: int = 1
+
+    # Derived capacitances, filled in __post_init__.
+    wordline_cap: float = field(init=False)
+    read_bitline_cap: float = field(init=False)
+    write_bitline_cap: float = field(init=False)
+    precharge_cap: float = field(init=False)
+    cell_cap: float = field(init=False)
+
+    def __post_init__(self) -> None:
+        if self.depth_flits < 1:
+            raise ValueError(f"buffer depth must be >= 1, got {self.depth_flits}")
+        if self.flit_bits < 1:
+            raise ValueError(f"flit width must be >= 1, got {self.flit_bits}")
+        if self.read_ports < 1 or self.write_ports < 1:
+            raise ValueError("buffers need at least one read and one write port")
+        tech = self.tech
+        set_ = object.__setattr__
+        set_(self, "wordline_cap", self._wordline_cap(tech))
+        set_(self, "read_bitline_cap", self._read_bitline_cap(tech))
+        set_(self, "write_bitline_cap", self._write_bitline_cap(tech))
+        set_(self, "precharge_cap", tech.gate_cap(tech.scaled_width("precharge")))
+        set_(self, "cell_cap", self._cell_cap(tech))
+
+    # --- geometry (Table 2, capacitance equations) --------------------------
+
+    @property
+    def ports(self) -> int:
+        """Total ports ``P_r + P_w``."""
+        return self.read_ports + self.write_ports
+
+    @property
+    def wordline_length_um(self) -> float:
+        """``L_wl = F * (w_cell + 2*(P_r+P_w)*d_w)``."""
+        tech = self.tech
+        return self.flit_bits * (
+            tech.cell_width_um + 2.0 * self.ports * tech.wire_spacing_um
+        )
+
+    @property
+    def bitline_length_um(self) -> float:
+        """``L_bl = B * (h_cell + (P_r+P_w)*d_w)``."""
+        tech = self.tech
+        return self.depth_flits * (
+            tech.cell_height_um + self.ports * tech.wire_spacing_um
+        )
+
+    # --- per-node capacitances ----------------------------------------------
+
+    def _wordline_cap(self, tech: Technology) -> float:
+        """``C_wl = 2*F*Cg(T_p) + Ca(T_wd) + Cw(L_wl)``."""
+        pass_gate_cap = tech.gate_cap(
+            tech.scaled_width("memcell_access"), pass_gate=True
+        )
+        driver_cap = tech.inverter_cap(
+            tech.scaled_width("wordline_driver_n"),
+            tech.scaled_width("wordline_driver_p"),
+        )
+        wire = tech.wire_cap(self.wordline_length_um, layer="word")
+        return 2.0 * self.flit_bits * pass_gate_cap + driver_cap + wire
+
+    def _read_bitline_cap(self, tech: Technology) -> float:
+        """``C_br = B*Cd(T_p) + Cd(T_c) + Cw(L_bl)``."""
+        pass_drain = tech.diff_cap(tech.scaled_width("memcell_access"))
+        precharge_drain = tech.diff_cap(tech.scaled_width("precharge"), pmos=True)
+        wire = tech.wire_cap(self.bitline_length_um, layer="bit")
+        return self.depth_flits * pass_drain + precharge_drain + wire
+
+    def _write_bitline_cap(self, tech: Technology) -> float:
+        """``C_bw = B*Cd(T_p) + Ca(T_bd) + Cw(L_bl)``."""
+        pass_drain = tech.diff_cap(tech.scaled_width("memcell_access"))
+        driver_cap = tech.inverter_cap(
+            tech.scaled_width("bitline_driver_n"),
+            tech.scaled_width("bitline_driver_p"),
+        )
+        wire = tech.wire_cap(self.bitline_length_um, layer="bit")
+        return self.depth_flits * pass_drain + driver_cap + wire
+
+    def _cell_cap(self, tech: Technology) -> float:
+        """``C_cell = 2*(P_r+P_w)*Cd(T_p) + 2*Ca(T_m)``.
+
+        A cell's internal node sees the drains of its port pass transistors
+        (two per port, one per bitline of the differential pair) plus both
+        cross-coupled inverters.
+        """
+        pass_drain = tech.diff_cap(tech.scaled_width("memcell_access"))
+        inverter = tech.inverter_cap(
+            tech.scaled_width("memcell_nmos"), tech.scaled_width("memcell_pmos")
+        )
+        return 2.0 * self.ports * pass_drain + 2.0 * inverter
+
+    # --- per-operation energies (Table 2) ------------------------------------
+
+    @property
+    def wordline_energy(self) -> float:
+        """``E_wl``: energy of asserting one wordline."""
+        return self.switch_energy(self.wordline_cap)
+
+    @property
+    def read_bitline_energy(self) -> float:
+        """``E_br``: energy of one read-bitline swing."""
+        return self.switch_energy(self.read_bitline_cap)
+
+    @property
+    def write_bitline_energy(self) -> float:
+        """``E_bw``: energy of one write-bitline swing."""
+        return self.switch_energy(self.write_bitline_cap)
+
+    @property
+    def precharge_energy(self) -> float:
+        """``E_chg``: energy of precharging one bitline."""
+        return self.switch_energy(self.precharge_cap)
+
+    @property
+    def cell_energy(self) -> float:
+        """``E_cell``: energy of flipping one memory cell."""
+        return self.switch_energy(self.cell_cap)
+
+    @property
+    def sense_amp_energy(self) -> float:
+        """``E_amp``: per-bit sense amplifier energy (empirical [28])."""
+        return self.switch_energy(self.tech.sense_amp_cap)
+
+    def read_energy(self) -> float:
+        """``E_read = E_wl + F*(E_br + 2*E_chg + E_amp)``.
+
+        Reads drive the full row: every bit discharges one of its two
+        precharged read bitlines and fires its sense amp; both bitlines of
+        each pair are then precharged back.
+        """
+        per_bit = (
+            self.read_bitline_energy
+            + 2.0 * self.precharge_energy
+            + self.sense_amp_energy
+        )
+        return self.wordline_energy + self.flit_bits * per_bit
+
+    def write_energy(self,
+                     old_value: Optional[int] = None,
+                     new_value: Optional[int] = None) -> float:
+        """``E_wrt = E_wl + delta_bw*E_bw + delta_bc*E_cell``.
+
+        With both payloads given, ``delta_bw`` and ``delta_bc`` are the
+        exact Hamming distance between the previous cell contents and the
+        written flit; otherwise the random-data expectation ``F/2`` is used
+        (the simulator passes payloads when data-tracking is enabled).
+        """
+        switching = expected_switches(self.flit_bits, old_value, new_value)
+        return (
+            self.wordline_energy
+            + switching * self.write_bitline_energy
+            + switching * self.cell_energy
+        )
+
+    # --- reporting ------------------------------------------------------------
+
+    def describe(self) -> dict:
+        """Capacitances and energies for reports and validation."""
+        return {
+            "depth_flits": self.depth_flits,
+            "flit_bits": self.flit_bits,
+            "read_ports": self.read_ports,
+            "write_ports": self.write_ports,
+            "wordline_length_um": self.wordline_length_um,
+            "bitline_length_um": self.bitline_length_um,
+            "wordline_cap_f": self.wordline_cap,
+            "read_bitline_cap_f": self.read_bitline_cap,
+            "write_bitline_cap_f": self.write_bitline_cap,
+            "precharge_cap_f": self.precharge_cap,
+            "cell_cap_f": self.cell_cap,
+            "read_energy_j": self.read_energy(),
+            "write_energy_j": self.write_energy(),
+        }

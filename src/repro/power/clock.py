@@ -1,0 +1,86 @@
+"""Clock power — an extension beyond the paper.
+
+Like leakage, clock distribution is outside the MICRO 2002 paper's
+scope (its models cover the switched datapath), but it is a major term
+in real routers — Wattch budgets it explicitly for processors, and the
+gap between our dynamic-datapath estimate and the Alpha 21364's
+published 25 W (see :mod:`repro.validation`) is largely clocking and
+control.
+
+The model charges, once per cycle:
+
+* the clock input capacitance of every flip-flop bit in the router's
+  pipeline registers and arbiter state, and
+* an H-tree distribution wire spanning the router's silicon area
+  (length ``~2 * (width + height)`` of the bounding square), plus its
+  repeater drivers,
+
+at a full swing per cycle: ``E_cycle = C_clk * Vdd^2`` (the clock node
+charges and discharges every period).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.power.base import EnergyModel
+from repro.power.flipflop import FlipFlopPower
+from repro.tech import sizing
+
+
+@dataclass(frozen=True)
+class ClockPower(EnergyModel):
+    """Clock energy of one router.
+
+    Parameters
+    ----------
+    registered_bits:
+        Total flip-flop bits clocked each cycle (pipeline registers,
+        arbiter priority/pointer state).
+    area_um2:
+        Router silicon area; sets the clock-tree wire length.
+    """
+
+    registered_bits: int = 0
+    area_um2: float = 0.0
+
+    flipflop: FlipFlopPower = field(init=False)
+    clock_cap: float = field(init=False)
+
+    def __post_init__(self) -> None:
+        if self.registered_bits < 0:
+            raise ValueError(
+                f"registered_bits must be >= 0, got {self.registered_bits}"
+            )
+        if self.area_um2 < 0:
+            raise ValueError(
+                f"area_um2 must be >= 0, got {self.area_um2}"
+            )
+        tech = self.tech
+        object.__setattr__(self, "flipflop", FlipFlopPower(tech))
+        loads = self.registered_bits * self.flipflop.clock_cap
+        # H-tree trunk + branches across the bounding square: ~4 side
+        # lengths of wire.
+        side = math.sqrt(self.area_um2)
+        wire = tech.wire_cap(4.0 * side, layer="word")
+        drivers = sizing.driver_total_cap(tech, loads + wire)
+        object.__setattr__(self, "clock_cap", loads + wire + drivers)
+
+    def energy_per_cycle(self) -> float:
+        """Full-swing clock energy per period: ``C_clk * Vdd^2``."""
+        return self.clock_cap * self.tech.vdd * self.tech.vdd
+
+    def power_watts(self) -> float:
+        """Clock power at the technology's configured frequency."""
+        return self.energy_per_cycle() * self.tech.frequency_hz
+
+    def describe(self) -> dict:
+        """Parameters and energies for reports and validation."""
+        return {
+            "registered_bits": self.registered_bits,
+            "area_um2": self.area_um2,
+            "clock_cap_f": self.clock_cap,
+            "energy_per_cycle_j": self.energy_per_cycle(),
+            "power_w": self.power_watts(),
+        }

@@ -1,0 +1,74 @@
+"""Flip-flop (register) power subcomponent.
+
+Arbiters keep their priority state in flip-flops, and central buffers use
+pipeline registers between SRAM banks and their I/O crossbars (section 3.2:
+"we reused ... the flip-flop subcomponent models from our arbiter model for
+the pipeline registers").
+
+We model a standard transmission-gate master-slave D flip-flop: two
+latches, each an inverter pair plus pass gates.  Two energies are exposed:
+
+* ``clock_energy`` — the clock node toggling (charged every cycle the
+  register is clocked, independent of data);
+* ``switch_energy`` — the internal nodes flipping when the stored bit
+  changes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.power.base import EnergyModel
+
+
+@dataclass(frozen=True)
+class FlipFlopPower(EnergyModel):
+    """Power model of one D flip-flop bit."""
+
+    internal_cap: float = field(init=False)
+    clock_cap: float = field(init=False)
+
+    def __post_init__(self) -> None:
+        tech = self.tech
+        inv_n = tech.scaled_width("ff_inverter_n")
+        inv_p = tech.scaled_width("ff_inverter_p")
+        pass_w = tech.scaled_width("ff_pass")
+        # Four inverters (master + slave latch pairs) plus four pass-gate
+        # diffusion loads on the internal nodes.
+        internal = 4.0 * tech.inverter_cap(inv_n, inv_p) + 4.0 * tech.diff_cap(
+            pass_w
+        )
+        # The clock drives the gates of the four pass transistors.
+        clock = 4.0 * tech.gate_cap(pass_w, pass_gate=True)
+        object.__setattr__(self, "internal_cap", internal)
+        object.__setattr__(self, "clock_cap", clock)
+
+    @property
+    def data_switch_energy(self) -> float:
+        """Energy when the stored bit flips."""
+        return self.switch_energy(self.internal_cap)
+
+    @property
+    def clock_energy(self) -> float:
+        """Energy of one clock toggle at this flip-flop."""
+        return self.switch_energy(self.clock_cap)
+
+    def write_energy(self, bit_changed: bool = True) -> float:
+        """Energy of clocking the flip-flop once.
+
+        The clock node always switches; internal nodes only when the
+        stored value changes.
+        """
+        energy = self.clock_energy
+        if bit_changed:
+            energy += self.data_switch_energy
+        return energy
+
+    def describe(self) -> dict:
+        """Capacitances and energies for reports and validation."""
+        return {
+            "internal_cap_f": self.internal_cap,
+            "clock_cap_f": self.clock_cap,
+            "data_switch_energy_j": self.data_switch_energy,
+            "clock_energy_j": self.clock_energy,
+        }

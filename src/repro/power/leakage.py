@@ -1,0 +1,161 @@
+"""Static (leakage) power — an extension beyond the paper.
+
+The MICRO 2002 paper models dynamic power only; leakage was added to the
+Orion lineage later (Orion 2.0).  We provide it as an optional extension
+following the Butts-Sohi architectural static-power model (the paper's
+reference [4]):
+
+    P_static = Vdd * N * k_design * I_leak
+
+which we evaluate in width-normalised form: every component exposes its
+total transistor width (um), and the technology supplies a per-um
+subthreshold leakage current for the process node.  Static power is then
+
+    P_static = Vdd * W_total_um * I_off_per_um
+
+Inventory functions here derive ``W_total_um`` for each component power
+model from the same architectural parameters the dynamic models use.
+Enable end-to-end via ``NetworkConfig(include_leakage=True)``.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+from repro.power.arbiter import (
+    MatrixArbiterPower,
+    QueuingArbiterPower,
+    RoundRobinArbiterPower,
+)
+from repro.power.buffer import FIFOBufferPower
+from repro.power.central_buffer import CentralBufferPower
+from repro.power.crossbar import MatrixCrossbarPower, MuxTreeCrossbarPower
+from repro.power.flipflop import FlipFlopPower
+from repro.tech.technology import Technology
+
+#: Subthreshold leakage current per um of transistor width, by feature
+#: size (A/um).  Approximate ITRS-era trend: leakage grows steeply as
+#: threshold voltages scale down.
+IOFF_PER_UM_BY_FEATURE = {
+    0.8: 1e-12,
+    0.35: 1e-11,
+    0.25: 1e-10,
+    0.18: 1e-9,
+    0.13: 5e-9,
+    0.10: 2e-8,
+    0.07: 1e-7,
+}
+
+#: Butts-Sohi design-dependent factor: fraction of devices leaking on
+#: average (stacking, body effect, state dependence folded together).
+K_DESIGN = 0.5
+
+
+def ioff_per_um(tech: Technology) -> float:
+    """Leakage current per um of width at this node (A/um)."""
+    key = min(IOFF_PER_UM_BY_FEATURE,
+              key=lambda f: abs(f - tech.feature_size_um))
+    return IOFF_PER_UM_BY_FEATURE[key]
+
+
+def static_power(tech: Technology, total_width_um: float) -> float:
+    """``P_static = Vdd * W_total * k_design * I_off`` (W)."""
+    if total_width_um < 0:
+        raise ValueError(
+            f"total width must be >= 0, got {total_width_um}"
+        )
+    return tech.vdd * total_width_um * K_DESIGN * ioff_per_um(tech)
+
+
+# --- per-component transistor-width inventories -----------------------------
+
+def flipflop_width_um(model: FlipFlopPower) -> float:
+    """Four inverters plus four pass transistors."""
+    tech = model.tech
+    return (
+        4.0 * (tech.scaled_width("ff_inverter_n")
+               + tech.scaled_width("ff_inverter_p"))
+        + 4.0 * tech.scaled_width("ff_pass")
+    )
+
+
+def buffer_width_um(model: FIFOBufferPower) -> float:
+    """SRAM array inventory: cells (6T plus port transistors), wordline
+    drivers, write drivers and precharge devices."""
+    tech = model.tech
+    cell = (
+        2.0 * tech.scaled_width("memcell_nmos")
+        + 2.0 * tech.scaled_width("memcell_pmos")
+        + 2.0 * model.ports * tech.scaled_width("memcell_access")
+    )
+    cells = model.depth_flits * model.flit_bits * cell
+    wordline_drivers = model.depth_flits * (
+        tech.scaled_width("wordline_driver_n")
+        + tech.scaled_width("wordline_driver_p")
+    )
+    write_drivers = model.flit_bits * model.write_ports * (
+        tech.scaled_width("bitline_driver_n")
+        + tech.scaled_width("bitline_driver_p")
+    )
+    precharge = 2.0 * model.flit_bits * model.read_ports * \
+        tech.scaled_width("precharge")
+    return cells + wordline_drivers + write_drivers + precharge
+
+
+def crossbar_width_um(
+        model: Union[MatrixCrossbarPower, MuxTreeCrossbarPower]) -> float:
+    """Crosspoint (or mux) transistors plus the input/output drivers."""
+    if not isinstance(model, (MatrixCrossbarPower, MuxTreeCrossbarPower)):
+        raise TypeError(f"no leakage inventory for {type(model).__name__}")
+    tech = model.tech
+    pass_w = tech.scaled_width("crossbar_pass")
+    driver = (tech.scaled_width("crossbar_in_driver_n")
+              + tech.scaled_width("crossbar_in_driver_p"))
+    if isinstance(model, MatrixCrossbarPower):
+        crosspoints = model.inputs * model.outputs * model.width_bits * \
+            pass_w
+        drivers = (model.inputs + model.outputs) * model.width_bits * \
+            driver
+        return crosspoints + drivers
+    if isinstance(model, MuxTreeCrossbarPower):
+        # Each output's binary tree has ~2*(I-1) pass transistors per bit.
+        muxes = model.outputs * max(1, 2 * (model.inputs - 1)) * \
+            model.width_bits * pass_w
+        drivers = model.outputs * model.width_bits * driver
+        return muxes + drivers
+    raise TypeError(f"no leakage inventory for {type(model).__name__}")
+
+
+def arbiter_width_um(model) -> float:
+    """NOR/inverter grant logic plus the priority state."""
+    if not isinstance(model, (MatrixArbiterPower, RoundRobinArbiterPower,
+                              QueuingArbiterPower)):
+        raise TypeError(f"no leakage inventory for {type(model).__name__}")
+    tech = model.tech
+    nor = 4.0 * (tech.scaled_width("nor_gate_n")
+                 + tech.scaled_width("nor_gate_p"))
+    inv = tech.scaled_width("inverter_n") + tech.scaled_width("inverter_p")
+    ff = flipflop_width_um(FlipFlopPower(tech))
+    r = model.requesters
+    if isinstance(model, MatrixArbiterPower):
+        return r * (r - 1) * nor + r * inv + model.priority_bits * ff
+    if isinstance(model, RoundRobinArbiterPower):
+        return 2.0 * r * nor + r * inv + model.pointer_bits * ff
+    if isinstance(model, QueuingArbiterPower):
+        return buffer_width_um(model.queue) + r * inv
+    raise TypeError(f"no leakage inventory for {type(model).__name__}")
+
+
+def central_buffer_width_um(model: CentralBufferPower) -> float:
+    """Banks plus chunk-wide pipeline registers plus both crossbars."""
+    banks = buffer_width_um(model.bank_model)
+    if not model.row_access:
+        banks *= model.banks
+    registers = 2.0 * model.access_bits * flipflop_width_um(
+        model.register_model)
+    return (
+        banks
+        + registers
+        + crossbar_width_um(model.input_crossbar)
+        + crossbar_width_um(model.output_crossbar)
+    )

@@ -1,0 +1,165 @@
+"""Link power models (section 3.2, "Link power modeling", and section 4.4).
+
+Two link families with very different power characteristics:
+
+* :class:`OnChipLinkPower` — an on-chip wire bundle whose energy is
+  capacitive and therefore *traffic-sensitive*: ``E = 1/2 * C_wire * Vdd^2``
+  per switching bit.  The paper's on-chip study uses 1.08 pF per 3 mm of
+  link at 0.1 um, which this model reproduces via the technology's
+  ``link`` metal layer.
+* :class:`ChipToChipLinkPower` — a high-speed differentially-signalled
+  chip-to-chip link that "consumes almost the same power regardless of
+  link activity" (section 4.4); modelled as constant power, plugged in
+  from a datasheet figure (3 W for a 32 Gb/s IBM InfiniBand-style link).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.power.base import EnergyModel, expected_switches
+
+
+@dataclass(frozen=True)
+class OnChipLinkPower(EnergyModel):
+    """Capacitive on-chip link of ``width_bits`` wires, ``length_mm`` long."""
+
+    length_mm: float = 3.0
+    width_bits: int = 32
+
+    wire_cap_per_bit: float = field(init=False)
+
+    def __post_init__(self) -> None:
+        if self.length_mm <= 0:
+            raise ValueError(f"link length must be positive, got {self.length_mm}")
+        if self.width_bits < 1:
+            raise ValueError(f"link width must be >= 1, got {self.width_bits}")
+        cap = self.tech.wire_cap(self.length_mm * 1000.0, layer="link")
+        object.__setattr__(self, "wire_cap_per_bit", cap)
+
+    @property
+    def is_traffic_sensitive(self) -> bool:
+        """On-chip links burn energy only when bits toggle."""
+        return True
+
+    @property
+    def bit_energy(self) -> float:
+        """Energy of one wire toggling once."""
+        return self.switch_energy(self.wire_cap_per_bit)
+
+    def traversal_energy(self,
+                         old_value: Optional[int] = None,
+                         new_value: Optional[int] = None) -> float:
+        """``E_link``: one flit crossing the link.
+
+        Charges one wire toggle per bit that differs from the previous
+        flit on the link (random-data expectation when payloads are not
+        tracked).
+        """
+        switching = expected_switches(self.width_bits, old_value, new_value)
+        return switching * self.bit_energy
+
+    def idle_energy_per_cycle(self) -> float:
+        """On-chip links dissipate (to first order) nothing when idle."""
+        return 0.0
+
+    def describe(self) -> dict:
+        """Capacitances and energies for reports and validation."""
+        return {
+            "length_mm": self.length_mm,
+            "width_bits": self.width_bits,
+            "wire_cap_per_bit_f": self.wire_cap_per_bit,
+            "traversal_energy_j": self.traversal_energy(),
+        }
+
+
+@dataclass(frozen=True)
+class BusInvertLinkPower(OnChipLinkPower):
+    """On-chip link with bus-invert coding — a power-efficiency
+    technique of the kind the paper positions Orion to evaluate
+    (usage category 3).
+
+    The sender transmits either the flit or its complement, whichever
+    toggles fewer wires, plus one invert-indication wire: at most
+    ``W/2 + 1`` transitions instead of up to ``W``.  With payload
+    tracking the exact coded Hamming distance is charged; in average
+    mode the exact expectation of ``min(d, W - d) + 1`` over random
+    data is precomputed from the binomial distribution.
+    """
+
+    expected_coded_switches: float = 0.0
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        object.__setattr__(self, "expected_coded_switches",
+                           _expected_bus_invert_switches(self.width_bits))
+
+    def traversal_energy(self,
+                         old_value: Optional[int] = None,
+                         new_value: Optional[int] = None) -> float:
+        if old_value is None or new_value is None:
+            switching = self.expected_coded_switches
+        else:
+            distance = expected_switches(self.width_bits, old_value,
+                                         new_value)
+            switching = min(distance, self.width_bits - distance) + 1.0
+        return switching * self.bit_energy
+
+    def describe(self) -> dict:
+        base = super().describe()
+        base["encoding"] = "bus_invert"
+        base["expected_coded_switches"] = self.expected_coded_switches
+        base["traversal_energy_j"] = self.traversal_energy()
+        return base
+
+
+def _expected_bus_invert_switches(width: int) -> float:
+    """``E[min(d, W - d) + 1]`` for ``d ~ Binomial(W, 1/2)``."""
+    import math
+    total = 0.0
+    scale = 2.0 ** width
+    for d in range(width + 1):
+        total += math.comb(width, d) / scale * min(d, width - d)
+    return total + 1.0
+
+
+@dataclass(frozen=True)
+class ChipToChipLinkPower(EnergyModel):
+    """Constant-power chip-to-chip link (differential signalling).
+
+    ``power_watts`` defaults to the paper's 3 W figure for a 32 Gb/s link
+    (from the 3 W consumption of a 30 Gb/s IBM InfiniBand 12X link).
+    """
+
+    power_watts: float = 3.0
+    width_bits: int = 32
+
+    def __post_init__(self) -> None:
+        if self.power_watts < 0:
+            raise ValueError(f"link power must be >= 0, got {self.power_watts}")
+        if self.width_bits < 1:
+            raise ValueError(f"link width must be >= 1, got {self.width_bits}")
+
+    @property
+    def is_traffic_sensitive(self) -> bool:
+        """Chip-to-chip links burn the same power loaded or idle."""
+        return False
+
+    def traversal_energy(self,
+                         old_value: Optional[int] = None,
+                         new_value: Optional[int] = None) -> float:
+        """Traffic adds no energy beyond the constant baseline."""
+        return 0.0
+
+    def idle_energy_per_cycle(self) -> float:
+        """Constant energy per clock cycle: ``P / f_clk``."""
+        return self.power_watts / self.tech.frequency_hz
+
+    def describe(self) -> dict:
+        """Parameters for reports and validation."""
+        return {
+            "power_watts": self.power_watts,
+            "width_bits": self.width_bits,
+            "energy_per_cycle_j": self.idle_energy_per_cycle(),
+        }

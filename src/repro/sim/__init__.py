@@ -1,0 +1,68 @@
+"""Flit-level, cycle-accurate interconnection network simulator.
+
+The performance half of Orion: topologies, routing, traffic, flow
+control, router microarchitectures and the cycle engine whose events
+drive the power models.
+"""
+
+from repro.sim.engine import (
+    DeadlockError,
+    Simulation,
+    SimulationResult,
+    SimulationTimeout,
+)
+from repro.sim.message import Flit, FlitType, Packet
+from repro.sim.network import Network
+from repro.sim.routing import dimension_ordered_route, route_hops, route_nodes
+from repro.sim.stats import (
+    LatencyStats,
+    is_saturated,
+    saturation_rate,
+    zero_load_latency_estimate,
+)
+from repro.sim.topology import EAST, LOCAL, NORTH, SOUTH, WEST, Mesh, Torus
+from repro.sim.traffic import (
+    BitComplementTraffic,
+    BroadcastTraffic,
+    BurstyTraffic,
+    HotspotTraffic,
+    NearestNeighborTraffic,
+    ShuffleTraffic,
+    TornadoTraffic,
+    TraceTraffic,
+    TrafficPattern,
+    TransposeTraffic,
+    UniformRandomTraffic,
+)
+
+__all__ = [
+    "DeadlockError",
+    "Simulation",
+    "SimulationResult",
+    "SimulationTimeout",
+    "Flit",
+    "FlitType",
+    "Packet",
+    "Network",
+    "dimension_ordered_route",
+    "route_hops",
+    "route_nodes",
+    "LatencyStats",
+    "is_saturated",
+    "saturation_rate",
+    "zero_load_latency_estimate",
+    "NORTH", "SOUTH", "EAST", "WEST", "LOCAL",
+    "Mesh",
+    "Torus",
+    "TrafficPattern",
+    "UniformRandomTraffic",
+    "BroadcastTraffic",
+    "TransposeTraffic",
+    "BitComplementTraffic",
+    "HotspotTraffic",
+    "BurstyTraffic",
+    "ShuffleTraffic",
+    "TornadoTraffic",
+    "NearestNeighborTraffic",
+    "TraceTraffic",
+]

@@ -1,0 +1,141 @@
+"""Functional arbiters — the decision logic the power models are hooked to.
+
+Each arbiter picks one winner among requesters.  The policies mirror the
+power-model variants of :mod:`repro.power.arbiter`:
+
+* :class:`MatrixArbiter` — least-recently-served via an explicit pairwise
+  priority matrix (the hardware the matrix arbiter power model describes);
+* :class:`RoundRobinArbiter` — rotating pointer;
+* :class:`QueuingArbiter` — strict FCFS on request arrival order.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Optional, Sequence
+
+
+class Arbiter:
+    """Base arbiter over ``size`` requester slots."""
+
+    def __init__(self, size: int) -> None:
+        if size < 1:
+            raise ValueError(f"arbiter size must be >= 1, got {size}")
+        self.size = size
+
+    def grant(self, requests: Sequence[int]) -> Optional[int]:
+        """Pick a winner among ``requests`` (requester indices).
+
+        Returns ``None`` when there are no requests.  Updates internal
+        priority state when a grant is issued.
+        """
+        raise NotImplementedError
+
+    def _check(self, requests: Sequence[int]) -> None:
+        for r in requests:
+            if not 0 <= r < self.size:
+                raise ValueError(
+                    f"requester {r} outside 0..{self.size - 1}"
+                )
+
+
+class MatrixArbiter(Arbiter):
+    """Least-recently-served arbiter with a pairwise priority matrix.
+
+    ``self._pri[i][j]`` is True when requester ``i`` beats ``j``.  After a
+    grant, the winner loses priority against everyone (its row clears, its
+    column sets) — exactly the update whose flip-flop energy the matrix
+    arbiter power model charges.
+    """
+
+    def __init__(self, size: int) -> None:
+        super().__init__(size)
+        self._pri = [[i < j for j in range(size)] for i in range(size)]
+
+    def grant(self, requests: Sequence[int]) -> Optional[int]:
+        self._check(requests)
+        if not requests:
+            return None
+        active = set(requests)
+        winner = None
+        for i in active:
+            if all(self._pri[i][j] for j in active if j != i):
+                winner = i
+                break
+        if winner is None:
+            # The priority matrix is a total order among any subset, so a
+            # maximum always exists; this is unreachable but kept defensive.
+            winner = min(active)
+        for j in range(self.size):
+            if j != winner:
+                self._pri[winner][j] = False
+                self._pri[j][winner] = True
+        return winner
+
+
+class RoundRobinArbiter(Arbiter):
+    """Rotating-priority arbiter: the pointer moves past each winner."""
+
+    def __init__(self, size: int) -> None:
+        super().__init__(size)
+        self._pointer = 0
+
+    def grant(self, requests: Sequence[int]) -> Optional[int]:
+        self._check(requests)
+        if not requests:
+            return None
+        active = set(requests)
+        for offset in range(self.size):
+            candidate = (self._pointer + offset) % self.size
+            if candidate in active:
+                self._pointer = (candidate + 1) % self.size
+                return candidate
+        return None  # pragma: no cover - active is non-empty
+
+
+class QueuingArbiter(Arbiter):
+    """First-come-first-served arbiter.
+
+    Requesters join a queue the first round they request; grants pop the
+    oldest requester that is still requesting.
+    """
+
+    def __init__(self, size: int) -> None:
+        super().__init__(size)
+        self._queue: Deque[int] = deque()
+        self._queued = set()
+
+    def grant(self, requests: Sequence[int]) -> Optional[int]:
+        self._check(requests)
+        active = set(requests)
+        for r in requests:
+            if r not in self._queued:
+                self._queue.append(r)
+                self._queued.add(r)
+        # Drop queued requesters that withdrew.
+        while self._queue and self._queue[0] not in active:
+            stale = self._queue.popleft()
+            self._queued.discard(stale)
+        if not self._queue:
+            return None
+        winner = self._queue.popleft()
+        self._queued.discard(winner)
+        return winner
+
+
+ARBITER_KINDS = {
+    "matrix": MatrixArbiter,
+    "round_robin": RoundRobinArbiter,
+    "queuing": QueuingArbiter,
+}
+
+
+def make_arbiter(kind: str, size: int) -> Arbiter:
+    """Instantiate an arbiter by policy name."""
+    try:
+        cls = ARBITER_KINDS[kind]
+    except KeyError:
+        raise ValueError(
+            f"unknown arbiter kind {kind!r}; options: {sorted(ARBITER_KINDS)}"
+        ) from None
+    return cls(size)

@@ -1,0 +1,200 @@
+"""Simulation engine implementing the paper's measurement protocol.
+
+Section 4.1: "Each simulation is run for a warm-up phase of 1000 cycles
+with 10,000 packets injected thereafter and the simulation continued at
+the prescribed packet injection rate till these packets in the sample
+space have all been received, and their average latency calculated. ...
+The simulator records energy consumption of each component ... over the
+entire simulation excluding the first 1000 cycles.  Average power is then
+computed by multiplying the total energy by frequency and then dividing by
+total simulation cycles."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.core.config import NetworkConfig
+from repro.core.events import EnergyAccountant
+from repro.core.power_binding import NullBinding, PowerBinding
+from repro.sim.network import Network
+from repro.sim.stats import LatencyStats
+from repro.sim.traffic import TrafficPattern
+
+
+class DeadlockError(RuntimeError):
+    """No flit moved for the watchdog window while traffic was pending."""
+
+
+class SimulationTimeout(RuntimeError):
+    """The run exceeded ``max_cycles`` before the sample drained."""
+
+
+@dataclass
+class SimulationResult:
+    """Everything one run produces."""
+
+    config: NetworkConfig
+    avg_latency: float
+    latency: LatencyStats
+    sample_packets: int
+    warmup_cycles: int
+    measured_cycles: int
+    total_cycles: int
+    flits_injected: int
+    flits_ejected: int
+    measured_flits_ejected: int
+    packets_delivered: int
+    accountant: Optional[EnergyAccountant]
+    #: Occupancy/utilization monitor, when enabled.
+    monitor: Optional[object] = None
+
+    @property
+    def throughput_flits_per_cycle(self) -> float:
+        """Network-wide accepted flit rate over the measured window."""
+        if self.measured_cycles == 0:
+            return 0.0
+        return self.measured_flits_ejected / self.measured_cycles
+
+    @property
+    def total_energy_j(self) -> float:
+        if self.accountant is None:
+            raise ValueError("run had power collection disabled")
+        return self.accountant.total_energy()
+
+    @property
+    def total_power_w(self) -> float:
+        """Average network power over the measured window."""
+        if self.measured_cycles == 0:
+            return 0.0
+        frequency = self.config.tech.frequency_hz
+        return self.total_energy_j * frequency / self.measured_cycles
+
+    def power_breakdown_w(self) -> Dict[str, float]:
+        """Average power per component category (W)."""
+        if self.accountant is None:
+            raise ValueError("run had power collection disabled")
+        if self.measured_cycles == 0:
+            return {c: 0.0 for c in self.accountant.breakdown()}
+        frequency = self.config.tech.frequency_hz
+        scale = frequency / self.measured_cycles
+        return {component: energy * scale
+                for component, energy in self.accountant.breakdown().items()}
+
+    def node_power_w(self) -> List[float]:
+        """Average power per node (W) — Figure 6's spatial data."""
+        if self.accountant is None:
+            raise ValueError("run had power collection disabled")
+        if self.measured_cycles == 0:
+            return [0.0] * self.config.num_nodes
+        frequency = self.config.tech.frequency_hz
+        scale = frequency / self.measured_cycles
+        return [energy * scale for energy in self.accountant.spatial_map()]
+
+
+class Simulation:
+    """One network + one workload, run to the paper's completion rule."""
+
+    def __init__(self, config: NetworkConfig, traffic: TrafficPattern,
+                 warmup_cycles: int = 1000,
+                 sample_packets: int = 10000,
+                 max_cycles: int = 2_000_000,
+                 watchdog_cycles: int = 20_000,
+                 collect_power: bool = True,
+                 monitor: bool = False) -> None:
+        if warmup_cycles < 0:
+            raise ValueError(f"warmup_cycles must be >= 0, got {warmup_cycles}")
+        if sample_packets < 1:
+            raise ValueError(
+                f"sample_packets must be >= 1, got {sample_packets}"
+            )
+        self.traffic = traffic
+        self.warmup_cycles = warmup_cycles
+        self.sample_packets = sample_packets
+        self.max_cycles = max_cycles
+        self.watchdog_cycles = watchdog_cycles
+        if collect_power:
+            self.accountant = EnergyAccountant(config.num_nodes)
+            self.binding = PowerBinding(config, self.accountant)
+        else:
+            self.accountant = None
+            self.binding = NullBinding()
+        self.network = Network(config, self.binding)
+        self.config = config
+        if monitor:
+            from repro.sim.monitor import NetworkMonitor
+            self.monitor = NetworkMonitor(self.network)
+        else:
+            self.monitor = None
+
+    def run(self) -> SimulationResult:
+        """Execute the full warm-up / sample / drain protocol."""
+        network = self.network
+        stats = LatencyStats()
+        sample_tagged = 0
+        sample_done = 0
+
+        def on_delivered(packet) -> None:
+            nonlocal sample_done
+            if packet.in_sample:
+                sample_done += 1
+                stats.record(packet)
+
+        network.on_packet_delivered = on_delivered
+        idle_streak = 0
+        ejected_at_warmup = 0
+        while True:
+            cycle = network.cycle
+            if cycle == self.warmup_cycles:
+                ejected_at_warmup = network.flits_ejected
+                if self.accountant is not None:
+                    self.accountant.reset()
+            for src, dst in self.traffic.packets_at(cycle):
+                in_sample = (cycle >= self.warmup_cycles
+                             and sample_tagged < self.sample_packets)
+                if in_sample:
+                    sample_tagged += 1
+                network.create_packet(src, dst, cycle, in_sample)
+            moved = network.step()
+            if self.monitor is not None and cycle >= self.warmup_cycles:
+                self.monitor.sample()
+            if sample_tagged >= self.sample_packets and \
+                    sample_done >= self.sample_packets:
+                break
+            if moved == 0 and (network.flits_in_flight > 0
+                               or network.flits_awaiting_injection > 0):
+                idle_streak += 1
+                if idle_streak >= self.watchdog_cycles:
+                    raise DeadlockError(
+                        f"no flit moved for {idle_streak} cycles at cycle "
+                        f"{network.cycle} with "
+                        f"{network.flits_in_flight} flits in flight"
+                    )
+            else:
+                idle_streak = 0
+            if network.cycle >= self.max_cycles:
+                raise SimulationTimeout(
+                    f"exceeded {self.max_cycles} cycles with "
+                    f"{sample_done}/{self.sample_packets} sample packets "
+                    f"delivered"
+                )
+        total_cycles = network.cycle
+        measured = total_cycles - self.warmup_cycles
+        if self.accountant is not None:
+            self.binding.finalize(measured, network.links_per_node())
+        return SimulationResult(
+            config=self.config,
+            avg_latency=stats.average,
+            latency=stats,
+            sample_packets=sample_done,
+            warmup_cycles=self.warmup_cycles,
+            measured_cycles=measured,
+            total_cycles=total_cycles,
+            flits_injected=network.flits_injected,
+            flits_ejected=network.flits_ejected,
+            measured_flits_ejected=network.flits_ejected - ejected_at_warmup,
+            packets_delivered=network.packets_delivered,
+            accountant=self.accountant,
+            monitor=self.monitor,
+        )

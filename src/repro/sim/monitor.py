@@ -1,0 +1,113 @@
+"""Network occupancy/utilization monitoring.
+
+An optional observer that samples the network once per cycle and
+accumulates:
+
+* per-channel utilization (fraction of cycles a flit was in flight) —
+  the load map behind saturation behaviour;
+* per-router buffer occupancy (average and peak flits buffered);
+* per-node ejection counts (accepted traffic distribution).
+
+Monitoring is opt-in (``Simulation(..., monitor=True)``) since sampling
+touches every channel every cycle.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.sim.network import Network
+from repro.sim.topology import PORT_NAMES
+
+
+class NetworkMonitor:
+    """Accumulates per-cycle occupancy statistics for one network."""
+
+    def __init__(self, network: Network) -> None:
+        self.network = network
+        self._channels: List = []
+        for router in network.routers:
+            for channel in router.out_channels:
+                if channel is not None:
+                    self._channels.append(channel)
+        self.cycles = 0
+        self._channel_busy = [0] * len(self._channels)
+        n = len(network.routers)
+        self._occupancy_sum = [0] * n
+        self._occupancy_peak = [0] * n
+        self._ejected_before = [0] * n
+
+    def sample(self) -> None:
+        """Record one cycle's state (call once per simulated cycle)."""
+        self.cycles += 1
+        for i, channel in enumerate(self._channels):
+            if channel.busy:
+                self._channel_busy[i] += 1
+        for node, router in enumerate(self.network.routers):
+            buffered = router.buffered_flits()
+            self._occupancy_sum[node] += buffered
+            if buffered > self._occupancy_peak[node]:
+                self._occupancy_peak[node] = buffered
+
+    # --- queries ---------------------------------------------------------------
+
+    def channel_utilization(self) -> Dict[Tuple[int, int], float]:
+        """``(src_node, out_port) -> busy fraction`` for every channel."""
+        if self.cycles == 0:
+            raise ValueError("no cycles sampled yet")
+        return {
+            (ch.src_node, ch.src_port): busy / self.cycles
+            for ch, busy in zip(self._channels, self._channel_busy)
+        }
+
+    def max_channel_utilization(self) -> float:
+        """Utilization of the most loaded channel (the bottleneck)."""
+        return max(self.channel_utilization().values())
+
+    def mean_channel_utilization(self) -> float:
+        """Average utilization across all channels."""
+        utils = self.channel_utilization()
+        return sum(utils.values()) / len(utils)
+
+    def average_occupancy(self, node: int) -> float:
+        """Mean flits buffered at one router."""
+        if self.cycles == 0:
+            raise ValueError("no cycles sampled yet")
+        return self._occupancy_sum[node] / self.cycles
+
+    def peak_occupancy(self, node: int) -> int:
+        """Most flits ever buffered at one router."""
+        return self._occupancy_peak[node]
+
+    def hottest_channels(self, count: int = 5) -> List[Tuple[str, float]]:
+        """The ``count`` most utilized channels, labelled for humans."""
+        if count < 1:
+            raise ValueError(f"count must be >= 1, got {count}")
+        utils = self.channel_utilization()
+        ranked = sorted(utils.items(), key=lambda kv: -kv[1])[:count]
+        out = []
+        for (node, port), util in ranked:
+            x, y = self.network.topo.coords(node)
+            out.append((f"({x},{y}) {PORT_NAMES[port]}", util))
+        return out
+
+    def report(self) -> str:
+        """Human-readable utilization/occupancy summary."""
+        lines = [
+            f"cycles sampled: {self.cycles}",
+            f"channel utilization: mean "
+            f"{self.mean_channel_utilization():.3f}, max "
+            f"{self.max_channel_utilization():.3f}",
+            "hottest channels:",
+        ]
+        for label, util in self.hottest_channels():
+            lines.append(f"  {label:<16} {util:.3f}")
+        occupancies = [self.average_occupancy(n)
+                       for n in range(len(self.network.routers))]
+        peaks = [self.peak_occupancy(n)
+                 for n in range(len(self.network.routers))]
+        lines.append(
+            f"buffer occupancy: avg {sum(occupancies) / len(occupancies):.2f} "
+            f"flits/router, peak {max(peaks)} flits"
+        )
+        return "\n".join(lines)

@@ -1,0 +1,178 @@
+"""Network assembly: routers, channels, sources and sinks.
+
+Builds the paper's experimental fabric (section 4.1): a grid of routers
+with five bidirectional ports each, single-cycle data and credit channels,
+credit-based flow control, unbounded source queues at the injection ports
+(source queuing counts toward latency) and immediate ejection at the
+LOCAL ports.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+from typing import Callable, Deque, List, Optional
+
+from repro.core.config import NetworkConfig
+from repro.core.power_binding import NullBinding
+from repro.sim.message import Flit, Packet
+from repro.sim.routers import ROUTER_CLASSES, Channel
+from repro.sim.routing import dimension_ordered_route
+from repro.sim.topology import LOCAL, OPPOSITE, Mesh, Torus
+
+
+class Network:
+    """A simulatable interconnection network instance."""
+
+    def __init__(self, config: NetworkConfig, binding=None,
+                 payload_seed: int = 7) -> None:
+        self.config = config
+        self.binding = binding if binding is not None else NullBinding()
+        if config.topology == "torus":
+            self.topo = Torus(config.width, config.height)
+        else:
+            self.topo = Mesh(config.width, config.height)
+        router_cls = ROUTER_CLASSES[config.router.kind]
+        self.routers = [
+            router_cls(node, config, self.binding)
+            for node in range(self.topo.num_nodes)
+        ]
+        self._wire()
+        self.source_queues: List[Deque[Flit]] = [
+            deque() for _ in range(self.topo.num_nodes)
+        ]
+        self.cycle = 0
+        self._packet_counter = 0
+        self.flits_injected = 0
+        self.flits_ejected = 0
+        self.packets_created = 0
+        self.packets_delivered = 0
+        #: Installed by the engine: called with each completed packet.
+        self.on_packet_delivered: Optional[Callable[[Packet], None]] = None
+        self._payload_rng = random.Random(payload_seed)
+        self._track_payloads = config.activity_mode == "data"
+
+    # --- construction -----------------------------------------------------------
+
+    def _wire(self) -> None:
+        """Create data+credit channels and initialise credit counters."""
+        rc = self.config.router
+        for src, out_port, dst in self.topo.channels():
+            in_port = OPPOSITE[out_port]
+            channel = Channel(src, out_port, dst, in_port)
+            self.routers[src].connect_out(out_port, channel)
+            self.routers[dst].connect_in(in_port, channel)
+            self.routers[src].set_downstream_depth(
+                out_port, rc.buffer_depth, rc.num_vcs)
+        for router in self.routers:
+            router.eject = self._make_eject(router.node)
+            # VC routers need the topology for dateline tracking.
+            if hasattr(router, "topo"):
+                router.topo = self.topo
+
+    def _make_eject(self, node: int) -> Callable[[Flit], None]:
+        def eject(flit: Flit) -> None:
+            self.flits_ejected += 1
+            if flit.packet.dst != node:
+                raise RuntimeError(
+                    f"flit of packet {flit.packet.packet_id} ejected at "
+                    f"node {node}, destination is {flit.packet.dst}"
+                )
+            if flit.is_tail:
+                packet = flit.packet
+                packet.eject_cycle = self.cycle
+                self.packets_delivered += 1
+                if self.on_packet_delivered is not None:
+                    self.on_packet_delivered(packet)
+        return eject
+
+    # --- packet creation -----------------------------------------------------------
+
+    def create_packet(self, src: int, dst: int, cycle: int,
+                      in_sample: bool = False) -> Packet:
+        """Create a packet, segment it and queue its flits at the source."""
+        route = dimension_ordered_route(self.topo, src, dst,
+                                        tie_break=self.config.tie_break)
+        packet = Packet(
+            packet_id=self._packet_counter,
+            src=src,
+            dst=dst,
+            length_flits=self.config.packet_length_flits,
+            creation_cycle=cycle,
+            route=route,
+            in_sample=in_sample,
+        )
+        self._packet_counter += 1
+        self.packets_created += 1
+        payloads = None
+        if self._track_payloads:
+            bits = self.config.router.flit_bits
+            payloads = [self._payload_rng.getrandbits(bits)
+                        for _ in range(packet.length_flits)]
+        self.source_queues[src].extend(packet.make_flits(payloads))
+        return packet
+
+    # --- simulation step ---------------------------------------------------------------
+
+    def step(self) -> int:
+        """Advance one cycle; returns the number of flits that moved
+        (traversals plus injections — the deadlock watchdog's signal)."""
+        cycle = self.cycle
+        for router in self.routers:
+            router.moved_flits = 0
+        for router in self.routers:
+            router.arrival_phase(cycle)
+        for router in self.routers:
+            router.traversal_phase(cycle)
+        for router in self.routers:
+            router.allocation_phase(cycle)
+        moved = self._injection_phase()
+        moved += sum(r.moved_flits for r in self.routers)
+        self.cycle = cycle + 1
+        return moved
+
+    def _injection_phase(self) -> int:
+        """Move at most one flit per node from its source queue into the
+        router's injection port (one-flit-per-cycle injection channel)."""
+        injected = 0
+        for node, queue in enumerate(self.source_queues):
+            if not queue:
+                continue
+            if self.routers[node].inject_flit(queue[0]):
+                queue.popleft()
+                self.flits_injected += 1
+                injected += 1
+        return injected
+
+    # --- accounting ------------------------------------------------------------------------
+
+    @property
+    def flits_in_flight(self) -> int:
+        """Flits injected into routers but not yet ejected."""
+        return self.flits_injected - self.flits_ejected
+
+    @property
+    def flits_awaiting_injection(self) -> int:
+        return sum(len(q) for q in self.source_queues)
+
+    def links_per_node(self) -> List[int]:
+        """Outgoing inter-router link count per node (for constant-power
+        link accounting)."""
+        return [router.out_degree for router in self.routers]
+
+    def audit(self) -> None:
+        """Flit-conservation check: every injected flit is buffered, in
+        flight on a channel, or ejected.  Raises on violation."""
+        buffered = sum(r.buffered_flits() for r in self.routers)
+        on_wire = sum(
+            1 for r in self.routers for c in r.out_channels
+            if c is not None and c.busy
+        )
+        accounted = buffered + on_wire + self.flits_ejected
+        if accounted != self.flits_injected:
+            raise RuntimeError(
+                f"flit conservation violated: {self.flits_injected} "
+                f"injected but {accounted} accounted for "
+                f"({buffered} buffered, {on_wire} on wire, "
+                f"{self.flits_ejected} ejected)"
+            )

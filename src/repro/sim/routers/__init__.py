@@ -1,0 +1,24 @@
+"""Router microarchitectures: wormhole, virtual-channel, central-buffered."""
+
+from repro.sim.routers.base import BaseRouter, Channel
+from repro.sim.routers.wormhole import WormholeRouter
+from repro.sim.routers.vc import VCRouter
+from repro.sim.routers.central import CentralBufferRouter
+from repro.sim.routers.speculative import SpeculativeVCRouter
+
+ROUTER_CLASSES = {
+    "wormhole": WormholeRouter,
+    "vc": VCRouter,
+    "speculative_vc": SpeculativeVCRouter,
+    "central": CentralBufferRouter,
+}
+
+__all__ = [
+    "BaseRouter",
+    "Channel",
+    "WormholeRouter",
+    "VCRouter",
+    "CentralBufferRouter",
+    "SpeculativeVCRouter",
+    "ROUTER_CLASSES",
+]

@@ -1,0 +1,186 @@
+"""Shared router machinery: ports, channels and the phase protocol.
+
+Routers are cycle-driven.  Each simulated cycle the network calls, on
+every router in turn:
+
+1. ``arrival_phase``   — drain data/credit channels written last cycle;
+2. ``traversal_phase`` — execute switch traversals granted last cycle
+   (the ST pipeline stage);
+3. ``allocation_phase``— arbitrate for next cycle (SA, and VA for VC
+   routers);
+
+followed by source injection handled by the network.  This ordering gives
+each pipeline stage a one-cycle latency: a grant issued during allocation
+in cycle *t* is acted on during traversal in cycle *t+1*, matching the
+2-stage wormhole and 3-stage virtual-channel pipelines of the paper
+(section 4.2, per the Peh-Dally router delay model).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from repro.core.config import NetworkConfig
+from repro.sim.message import Flit
+from repro.sim.topology import LOCAL
+
+
+class Channel:
+    """A unidirectional inter-router channel with one-cycle propagation,
+    plus the reverse credit wire (also one cycle, per section 4.1)."""
+
+    def __init__(self, src_node: int, src_port: int, dst_node: int,
+                 dst_port: int) -> None:
+        self.src_node = src_node
+        self.src_port = src_port
+        self.dst_node = dst_node
+        self.dst_port = dst_port
+        self._flit: Optional[Flit] = None
+        self._credits: List[int] = []
+
+    def send_flit(self, flit: Flit) -> None:
+        """Place a flit on the wire (at most one per cycle)."""
+        if self._flit is not None:
+            raise RuntimeError(
+                f"channel {self.src_node}:{self.src_port}->"
+                f"{self.dst_node}:{self.dst_port} already carries a flit"
+            )
+        self._flit = flit
+
+    def take_flit(self) -> Optional[Flit]:
+        """Remove and return the in-flight flit (receiver side)."""
+        flit, self._flit = self._flit, None
+        return flit
+
+    def send_credit(self, vc: int) -> None:
+        """Return one credit upstream for the given VC."""
+        self._credits.append(vc)
+
+    def take_credits(self) -> List[int]:
+        """Drain pending credits (sender side)."""
+        credits, self._credits = self._credits, []
+        return credits
+
+    @property
+    def busy(self) -> bool:
+        """Whether a flit is currently in flight."""
+        return self._flit is not None
+
+
+class BaseRouter:
+    """Common state and wiring for all router microarchitectures."""
+
+    PORTS = 5
+
+    def __init__(self, node: int, config: NetworkConfig, binding) -> None:
+        self.node = node
+        self.config = config
+        self.binding = binding
+        #: Incoming channels by input port (None where no neighbour).
+        self.in_channels: List[Optional[Channel]] = [None] * self.PORTS
+        #: Outgoing channels by output port (None for LOCAL / no
+        #: neighbour).
+        self.out_channels: List[Optional[Channel]] = [None] * self.PORTS
+        #: Ejection callback installed by the network: ``eject(flit)``.
+        self.eject: Callable[[Flit], None] = _unwired_eject
+        #: Count of flits that moved this cycle (deadlock watchdog food).
+        self.moved_flits = 0
+        #: Current cycle, updated at the start of each arrival phase and
+        #: stamped onto arriving flits for stage-eligibility checks.
+        self.now = 0
+
+    # --- wiring (done by the network) ---------------------------------------
+
+    def connect_in(self, port: int, channel: Channel) -> None:
+        if self.in_channels[port] is not None:
+            raise RuntimeError(f"node {self.node} input {port} already wired")
+        self.in_channels[port] = channel
+
+    def connect_out(self, port: int, channel: Channel) -> None:
+        if self.out_channels[port] is not None:
+            raise RuntimeError(f"node {self.node} output {port} already wired")
+        self.out_channels[port] = channel
+
+    def set_downstream_depth(self, port: int, flits: int,
+                             num_vcs: int = 1) -> None:
+        """Initialise credit counters for the buffer at the far end of
+        output ``port``.  Subclasses override to store the counters."""
+        raise NotImplementedError
+
+    @property
+    def out_degree(self) -> int:
+        """Number of outgoing inter-router links (for constant-power link
+        accounting)."""
+        return sum(1 for c in self.out_channels if c is not None)
+
+    # --- the phase protocol ---------------------------------------------------
+
+    def arrival_phase(self, cycle: int) -> None:
+        """Drain channels: incoming flits into buffers, credits back."""
+        self.now = cycle
+        for port in range(self.PORTS):
+            channel = self.in_channels[port]
+            if channel is not None:
+                flit = channel.take_flit()
+                if flit is not None:
+                    self.accept_flit(port, flit)
+            channel = self.out_channels[port]
+            if channel is not None:
+                for vc in channel.take_credits():
+                    self.credit_return(port, vc)
+
+    def accept_flit(self, port: int, flit: Flit) -> None:
+        """Store an arriving flit into the input buffer at ``port``."""
+        raise NotImplementedError
+
+    def credit_return(self, port: int, vc: int) -> None:
+        """A downstream buffer slot freed up on output ``port``."""
+        raise NotImplementedError
+
+    def traversal_phase(self, cycle: int) -> None:
+        """Execute the switch traversals granted last cycle."""
+        raise NotImplementedError
+
+    def allocation_phase(self, cycle: int) -> None:
+        """Arbitrate resources for next cycle."""
+        raise NotImplementedError
+
+    # --- injection (called by the network's source processes) ----------------
+
+    def injection_space(self) -> int:
+        """Free flit slots at the injection (LOCAL) input port."""
+        raise NotImplementedError
+
+    def inject_flit(self, flit: Flit) -> bool:
+        """Offer one flit to the injection port; returns acceptance."""
+        if self.injection_space() <= 0:
+            return False
+        self.accept_flit(LOCAL, flit)
+        return True
+
+    # --- introspection ---------------------------------------------------------
+
+    def buffered_flits(self) -> int:
+        """Total flits currently buffered in this router."""
+        raise NotImplementedError
+
+    def _send(self, out_port: int, flit: Flit) -> None:
+        """Ship a flit: eject locally or launch onto the outgoing link,
+        emitting the link-traversal event."""
+        self.moved_flits += 1
+        if out_port == LOCAL:
+            self.eject(flit)
+            return
+        if flit.is_head:
+            flit.route_idx += 1
+        channel = self.out_channels[out_port]
+        if channel is None:
+            raise RuntimeError(
+                f"node {self.node}: no channel on output port {out_port}"
+            )
+        self.binding.link_traversal(self.node, out_port, flit.payload)
+        channel.send_flit(flit)
+
+
+def _unwired_eject(flit: Flit) -> None:
+    raise RuntimeError("router ejection callback not wired to a network")

@@ -1,0 +1,317 @@
+"""Virtual-channel router: 3-stage pipeline (VA, SA, ST).
+
+The VC16/VC64/VC128 configurations of section 4.2 and the XB router of
+section 4.4.  Each input port holds ``num_vcs`` virtual channels of
+``buffer_depth`` flits, all stored in one SRAM array per port (so buffer
+power follows the *total* per-port flit count).  Head flits first acquire
+an output virtual channel (VA), then flits compete cycle-by-cycle for the
+crossbar in two separable stages (a V:1 stage per input port and a 4:1
+stage per output port), and finally traverse the switch (ST) — the
+three-stage pipeline prescribed by the Peh-Dally delay model [15].
+
+Deadlock freedom on tori comes either from the routing tie-break (see
+:mod:`repro.sim.routing`) or, for ``vc_class_mode="dateline"``, from
+splitting the VCs of each ring channel into before/after-dateline
+classes.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, List, Optional, Tuple
+
+from repro.core.config import NetworkConfig
+from repro.sim.arbiters import make_arbiter
+from repro.sim.message import Flit
+from repro.sim.routers.base import BaseRouter
+from repro.sim.topology import LOCAL, NORTH, SOUTH
+
+
+class _InputVC:
+    """State of one virtual channel at one input port."""
+
+    __slots__ = ("fifo", "active", "out_port", "out_vc")
+
+    def __init__(self) -> None:
+        self.fifo: Deque[Flit] = deque()
+        self.active = False
+        self.out_port: Optional[int] = None
+        self.out_vc: Optional[int] = None
+
+
+class VCRouter(BaseRouter):
+    """Input-buffered virtual-channel router."""
+
+    def __init__(self, node: int, config: NetworkConfig, binding) -> None:
+        super().__init__(node, config, binding)
+        rc = config.router
+        self.num_vcs = rc.num_vcs
+        self.vc_depth = rc.buffer_depth
+        self.vcs: List[List[_InputVC]] = [
+            [_InputVC() for _ in range(self.num_vcs)]
+            for _ in range(self.PORTS)
+        ]
+        #: (in_port, in_vc) owning each output VC, or None.
+        self.out_vc_owner: List[List[Optional[Tuple[int, int]]]] = [
+            [None] * self.num_vcs for _ in range(self.PORTS)
+        ]
+        #: Per-output-VC downstream credits; None = unlimited (ejection).
+        self.out_credits: List[Optional[List[int]]] = [None] * self.PORTS
+        self.switch_arbiters = [
+            make_arbiter(rc.arbiter_type, self.PORTS)
+            for _ in range(self.PORTS)
+        ]
+        self.local_arbiters = [
+            make_arbiter(rc.arbiter_type, self.num_vcs)
+            for _ in range(self.PORTS)
+        ]
+        self.vc_arbiters = [
+            [make_arbiter(rc.arbiter_type, self.PORTS * self.num_vcs)
+             for _ in range(self.num_vcs)]
+            for _ in range(self.PORTS)
+        ]
+        #: Switch grants executed next traversal phase:
+        #: (in_port, in_vc, out_port, out_vc) tuples.
+        self._st_grants: List[Tuple[int, int, int, int]] = []
+        self.dateline = rc.vc_class_mode == "dateline"
+        #: Topology reference, installed by the network (needed for
+        #: dateline wrap-edge detection).
+        self.topo = None
+        # Injection bookkeeping: VC receiving the in-progress packet.
+        self._inject_vc: Optional[int] = None
+        self._inject_rr = 0
+
+    # --- wiring -----------------------------------------------------------------
+
+    def set_downstream_depth(self, port: int, flits: int,
+                             num_vcs: int = 1) -> None:
+        if port == LOCAL:
+            raise ValueError("ejection port has unlimited credits")
+        if num_vcs != self.num_vcs:
+            raise ValueError(
+                f"node {self.node}: neighbour has {num_vcs} VCs, expected "
+                f"{self.num_vcs} (heterogeneous VC counts not supported)"
+            )
+        self.out_credits[port] = [flits] * num_vcs
+
+    # --- arrivals ------------------------------------------------------------------
+
+    def accept_flit(self, port: int, flit: Flit) -> None:
+        vc = self.vcs[port][flit.vc]
+        if len(vc.fifo) >= self.vc_depth:
+            raise RuntimeError(
+                f"node {self.node} port {port} vc {flit.vc}: buffer "
+                f"overflow — credit accounting is broken"
+            )
+        flit.arrived_cycle = self.now
+        vc.fifo.append(flit)
+        self.binding.buffer_write(self.node, port, flit.payload)
+
+    def credit_return(self, port: int, vc: int) -> None:
+        credits = self.out_credits[port]
+        if credits is None:
+            raise RuntimeError(
+                f"node {self.node}: credit on un-wired output {port}"
+            )
+        credits[vc] += 1
+        if credits[vc] > self.vc_depth:
+            raise RuntimeError(
+                f"node {self.node} output {port} vc {vc}: credit overflow"
+            )
+
+    # --- pipeline stages ------------------------------------------------------------
+
+    def traversal_phase(self, cycle: int) -> None:
+        """ST: execute last cycle's switch grants."""
+        grants, self._st_grants = self._st_grants, []
+        for in_port, in_vc, out_port, out_vc in grants:
+            vc = self.vcs[in_port][in_vc]
+            flit = vc.fifo.popleft()
+            self.binding.buffer_read(self.node)
+            self.binding.xbar_traversal(self.node, out_port, flit.payload)
+            channel = self.in_channels[in_port]
+            if channel is not None:
+                channel.send_credit(in_vc)
+            if flit.is_head:
+                self._update_dateline(flit, out_port)
+            if flit.is_tail:
+                self.out_vc_owner[out_port][out_vc] = None
+                vc.active = False
+                vc.out_port = None
+                vc.out_vc = None
+            flit.vc = out_vc
+            self._send(out_port, flit)
+
+    def allocation_phase(self, cycle: int) -> None:
+        """SA then VA (so VA grants become SA-visible next cycle)."""
+        self._switch_allocation(cycle)
+        self._vc_allocation(cycle)
+
+    #: Allocation iterations per cycle.  A single pass of a separable
+    #: allocator wastes input slots (a stage-1 winner that loses the
+    #: output stage idles its whole port); two iterations recover most
+    #: of the matching quality, as in iSLIP.
+    SA_ITERATIONS = 2
+
+    def _switch_allocation(self, cycle: int) -> Tuple[set, set]:
+        """Iterative two-stage separable switch allocation.
+
+        Returns the sets of matched input and output ports (used by the
+        speculative subclass to fill leftover slots)."""
+        matched_inputs = set()
+        matched_outputs = set()
+        for _ in range(self.SA_ITERATIONS):
+            stage1: List[Tuple[int, int]] = []
+            for in_port in range(self.PORTS):
+                if in_port in matched_inputs:
+                    continue
+                candidates = []
+                for v, vc in enumerate(self.vcs[in_port]):
+                    if not vc.active or not vc.fifo or \
+                            vc.fifo[0].arrived_cycle >= cycle:
+                        continue
+                    if vc.out_port in matched_outputs:
+                        continue
+                    credits = self.out_credits[vc.out_port]
+                    if credits is not None and credits[vc.out_vc] <= 0:
+                        continue
+                    candidates.append(v)
+                if not candidates:
+                    continue
+                winner = self.local_arbiters[in_port].grant(candidates)
+                self.binding.arbitration(self.node, "local",
+                                         len(candidates))
+                stage1.append((in_port, winner))
+            if not stage1:
+                break
+            by_output: Dict[int, List[Tuple[int, int]]] = {}
+            for in_port, v in stage1:
+                out_port = self.vcs[in_port][v].out_port
+                by_output.setdefault(out_port, []).append((in_port, v))
+            for out_port, contenders in by_output.items():
+                ports = [p for p, _ in contenders]
+                winner_port = self.switch_arbiters[out_port].grant(ports)
+                self.binding.arbitration(self.node, "switch", len(ports))
+                winner_vc = next(v for p, v in contenders
+                                 if p == winner_port)
+                vc = self.vcs[winner_port][winner_vc]
+                credits = self.out_credits[out_port]
+                if credits is not None:
+                    credits[vc.out_vc] -= 1
+                matched_inputs.add(winner_port)
+                matched_outputs.add(out_port)
+                self._st_grants.append(
+                    (winner_port, winner_vc, out_port, vc.out_vc))
+        return matched_inputs, matched_outputs
+
+    def _vc_allocation(self, cycle: int) -> List[Tuple[int, int]]:
+        """Heads of idle VCs request one candidate output VC each.
+
+        Returns the input VCs granted an output VC this cycle (used by
+        the speculative subclass)."""
+        requests: Dict[Tuple[int, int], List[Tuple[int, int]]] = {}
+        for in_port in range(self.PORTS):
+            for v, vc in enumerate(self.vcs[in_port]):
+                if vc.active or not vc.fifo or \
+                        vc.fifo[0].arrived_cycle >= cycle:
+                    continue
+                head = vc.fifo[0]
+                if not head.is_head:
+                    raise RuntimeError(
+                        f"node {self.node} port {in_port} vc {v}: idle VC "
+                        f"headed by a {head.ftype.name} flit"
+                    )
+                out_port = head.next_output_port()
+                candidate = self._pick_output_vc(head, out_port)
+                if candidate is None:
+                    continue
+                requests.setdefault((out_port, candidate), []).append(
+                    (in_port, v))
+        granted: List[Tuple[int, int]] = []
+        for (out_port, out_vc), reqs in requests.items():
+            ids = [p * self.num_vcs + v for p, v in reqs]
+            winner_id = self.vc_arbiters[out_port][out_vc].grant(ids)
+            self.binding.arbitration(self.node, "vc", len(ids))
+            in_port, v = divmod(winner_id, self.num_vcs)
+            vc = self.vcs[in_port][v]
+            vc.active = True
+            vc.out_port = out_port
+            vc.out_vc = out_vc
+            self.out_vc_owner[out_port][out_vc] = (in_port, v)
+            granted.append((in_port, v))
+        return granted
+
+    def _pick_output_vc(self, head: Flit, out_port: int) -> Optional[int]:
+        """First free output VC in the head's allowed class, scanning from
+        a packet-dependent start for load balance."""
+        lo, hi = self._allowed_vc_range(head, out_port)
+        owners = self.out_vc_owner[out_port]
+        span = hi - lo
+        start = (head.packet.packet_id + self.node) % span
+        for i in range(span):
+            candidate = lo + (start + i) % span
+            if owners[candidate] is None:
+                return candidate
+        return None
+
+    def _allowed_vc_range(self, head: Flit, out_port: int) -> Tuple[int, int]:
+        """VC class restriction: [lo, hi) of usable output VCs."""
+        if not self.dateline or out_port == LOCAL:
+            return 0, self.num_vcs
+        dim = "y" if out_port in (NORTH, SOUTH) else "x"
+        crossed = head.crossed_dateline and head.travel_dim == dim
+        half = self.num_vcs // 2
+        return (half, self.num_vcs) if crossed else (0, half)
+
+    def _update_dateline(self, head: Flit, out_port: int) -> None:
+        """Track dateline crossings for the class restriction."""
+        if not self.dateline or out_port == LOCAL or self.topo is None:
+            return
+        dim = "y" if out_port in (NORTH, SOUTH) else "x"
+        if head.travel_dim != dim:
+            head.travel_dim = dim
+            head.crossed_dateline = False
+        if self.topo.crosses_wrap_edge(self.node, out_port):
+            head.crossed_dateline = True
+
+    # --- injection --------------------------------------------------------------------
+
+    def injection_space(self) -> int:
+        return sum(self.vc_depth - len(vc.fifo)
+                   for vc in self.vcs[LOCAL])
+
+    def inject_flit(self, flit: Flit) -> bool:
+        """Place one flit into an injection-port VC.
+
+        A packet's flits all enter the same VC; heads pick the next VC
+        (round-robin) with room for at least one flit.
+        """
+        if flit.is_head:
+            chosen = None
+            for i in range(self.num_vcs):
+                v = (self._inject_rr + i) % self.num_vcs
+                if len(self.vcs[LOCAL][v].fifo) < self.vc_depth:
+                    chosen = v
+                    break
+            if chosen is None:
+                return False
+            self._inject_rr = (chosen + 1) % self.num_vcs
+            self._inject_vc = chosen
+        elif self._inject_vc is None:
+            raise RuntimeError(
+                f"node {self.node}: body flit injected with no open packet"
+            )
+        v = self._inject_vc
+        if len(self.vcs[LOCAL][v].fifo) >= self.vc_depth:
+            return False
+        flit.vc = v
+        self.accept_flit(LOCAL, flit)
+        if flit.is_tail:
+            self._inject_vc = None
+        return True
+
+    # --- introspection ----------------------------------------------------------------
+
+    def buffered_flits(self) -> int:
+        return sum(len(vc.fifo)
+                   for port in self.vcs for vc in port)

@@ -1,0 +1,94 @@
+"""Latency and throughput statistics (paper section 4.1).
+
+Latency "spans from when the first flit of the packet is created, to when
+its last flit is ejected at the destination node, including source queuing
+time".  Saturation throughput is "the point at which average packet
+latency increases to more than twice zero-load latency".
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from repro.sim.message import Packet
+
+
+@dataclass
+class LatencyStats:
+    """Accumulates per-packet latencies for the measured sample."""
+
+    latencies: List[int] = field(default_factory=list)
+
+    def record(self, packet: Packet) -> None:
+        """Record a completed sample packet."""
+        self.latencies.append(packet.latency)
+
+    @property
+    def count(self) -> int:
+        return len(self.latencies)
+
+    @property
+    def average(self) -> float:
+        """Mean packet latency in cycles."""
+        if not self.latencies:
+            raise ValueError("no packets recorded")
+        return sum(self.latencies) / len(self.latencies)
+
+    @property
+    def maximum(self) -> int:
+        if not self.latencies:
+            raise ValueError("no packets recorded")
+        return max(self.latencies)
+
+    @property
+    def minimum(self) -> int:
+        if not self.latencies:
+            raise ValueError("no packets recorded")
+        return min(self.latencies)
+
+    def percentile(self, q: float) -> float:
+        """Latency percentile ``q`` in [0, 100] (nearest-rank)."""
+        if not self.latencies:
+            raise ValueError("no packets recorded")
+        if not 0.0 <= q <= 100.0:
+            raise ValueError(f"percentile must be in [0, 100], got {q}")
+        ordered = sorted(self.latencies)
+        rank = max(1, math.ceil(q / 100.0 * len(ordered)))
+        return float(ordered[rank - 1])
+
+
+def is_saturated(average_latency: float, zero_load_latency: float) -> bool:
+    """The paper's saturation criterion: latency above twice zero-load."""
+    if zero_load_latency <= 0:
+        raise ValueError(
+            f"zero-load latency must be positive, got {zero_load_latency}"
+        )
+    return average_latency > 2.0 * zero_load_latency
+
+
+def saturation_rate(rates: Sequence[float], latencies: Sequence[float],
+                    zero_load_latency: float) -> Optional[float]:
+    """First injection rate in a sweep whose latency exceeds twice the
+    zero-load latency; ``None`` if the sweep never saturates."""
+    if len(rates) != len(latencies):
+        raise ValueError("rates and latencies must have equal length")
+    for rate, latency in sorted(zip(rates, latencies)):
+        if is_saturated(latency, zero_load_latency):
+            return rate
+    return None
+
+
+def zero_load_latency_estimate(avg_hops: float, pipeline_stages: int,
+                               packet_length_flits: int,
+                               link_cycles: int = 1) -> float:
+    """Analytic zero-load latency for an uncontended network.
+
+    The head flit pays the full pipeline plus the link at every hop (and
+    the pipeline once more to eject at the destination), then the
+    remaining flits stream out one per cycle.
+    """
+    per_hop = pipeline_stages + link_cycles
+    head = avg_hops * per_hop + pipeline_stages
+    return head + (packet_length_flits - 1)

@@ -1,0 +1,140 @@
+"""Network topologies: 2-D torus and mesh.
+
+The paper's experiments use a 16-node 4x4 torus (Figure 4) where each
+router has five physical bidirectional ports: north, south, east, west and
+injection/ejection.  Nodes are labelled in a 2-D Cartesian space with
+tuples ``(x, y)``.
+
+Port numbering convention (shared by routers and routing):
+``NORTH=0, SOUTH=1, EAST=2, WEST=3, LOCAL=4`` — LOCAL is the
+injection/ejection port.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Optional, Tuple
+
+NORTH, SOUTH, EAST, WEST, LOCAL = 0, 1, 2, 3, 4
+
+PORT_NAMES = {NORTH: "north", SOUTH: "south", EAST: "east", WEST: "west",
+              LOCAL: "local"}
+
+#: The input port a flit arrives on after leaving through a given output
+#: port (north output feeds the neighbour's south input, etc.).
+OPPOSITE = {NORTH: SOUTH, SOUTH: NORTH, EAST: WEST, WEST: EAST}
+
+
+@dataclass(frozen=True)
+class Topology:
+    """Base 2-D grid topology of ``width x height`` nodes."""
+
+    width: int
+    height: int
+    wraparound: bool
+
+    def __post_init__(self) -> None:
+        if self.width < 2 or self.height < 2:
+            raise ValueError(
+                f"topology needs at least 2x2 nodes, got "
+                f"{self.width}x{self.height}"
+            )
+
+    @property
+    def num_nodes(self) -> int:
+        return self.width * self.height
+
+    @property
+    def router_ports(self) -> int:
+        """Physical ports per router (4 directions + local)."""
+        return 5
+
+    def coords(self, node: int) -> Tuple[int, int]:
+        """Node id -> ``(x, y)``."""
+        self._check_node(node)
+        return node % self.width, node // self.width
+
+    def node_at(self, x: int, y: int) -> int:
+        """``(x, y)`` -> node id."""
+        if not (0 <= x < self.width and 0 <= y < self.height):
+            raise ValueError(f"({x}, {y}) outside {self.width}x{self.height}")
+        return y * self.width + x
+
+    def neighbor(self, node: int, port: int) -> Optional[int]:
+        """Node reached by leaving ``node`` through ``port``.
+
+        Returns ``None`` for the LOCAL port or, in a mesh, for a port off
+        the edge of the grid.
+        """
+        self._check_node(node)
+        if port == LOCAL:
+            return None
+        x, y = self.coords(node)
+        if port == NORTH:
+            y += 1
+        elif port == SOUTH:
+            y -= 1
+        elif port == EAST:
+            x += 1
+        elif port == WEST:
+            x -= 1
+        else:
+            raise ValueError(f"unknown port {port}")
+        if self.wraparound:
+            x %= self.width
+            y %= self.height
+        elif not (0 <= x < self.width and 0 <= y < self.height):
+            return None
+        return self.node_at(x, y)
+
+    def channels(self) -> Iterator[Tuple[int, int, int]]:
+        """All directed channels as ``(src_node, out_port, dst_node)``."""
+        for node in range(self.num_nodes):
+            for port in (NORTH, SOUTH, EAST, WEST):
+                dst = self.neighbor(node, port)
+                if dst is not None:
+                    yield node, port, dst
+
+    def crosses_wrap_edge(self, node: int, port: int) -> bool:
+        """Whether leaving ``node`` through ``port`` uses a wraparound
+        channel (the ring's dateline, for deadlock-avoidance logic)."""
+        if not self.wraparound or port == LOCAL:
+            return False
+        x, y = self.coords(node)
+        return (
+            (port == NORTH and y == self.height - 1)
+            or (port == SOUTH and y == 0)
+            or (port == EAST and x == self.width - 1)
+            or (port == WEST and x == 0)
+        )
+
+    def manhattan_distance(self, a: int, b: int) -> int:
+        """Hop distance between two nodes under minimal routing."""
+        ax, ay = self.coords(a)
+        bx, by = self.coords(b)
+        dx = abs(ax - bx)
+        dy = abs(ay - by)
+        if self.wraparound:
+            dx = min(dx, self.width - dx)
+            dy = min(dy, self.height - dy)
+        return dx + dy
+
+    def _check_node(self, node: int) -> None:
+        if not (0 <= node < self.num_nodes):
+            raise ValueError(
+                f"node {node} outside 0..{self.num_nodes - 1}"
+            )
+
+
+class Torus(Topology):
+    """k-ary 2-cube: 2-D grid with wraparound channels (paper Figure 4)."""
+
+    def __init__(self, width: int, height: Optional[int] = None) -> None:
+        super().__init__(width, height if height is not None else width, True)
+
+
+class Mesh(Topology):
+    """2-D grid without wraparound channels."""
+
+    def __init__(self, width: int, height: Optional[int] = None) -> None:
+        super().__init__(width, height if height is not None else width, False)

@@ -1,0 +1,337 @@
+"""Communication workloads (paper section 4.1/4.3).
+
+Traffic patterns decide, per node per cycle, whether a packet is created
+and to which destination.  Injection is an open-loop Bernoulli process at
+the prescribed packet injection rate (packets/cycle/node); created packets
+wait in an unbounded source queue until the injection port accepts them,
+so source queuing time is part of packet latency, as the paper specifies.
+
+Patterns provided:
+
+* :class:`UniformRandomTraffic` — each node sends to uniformly random
+  destinations other than itself (the paper's default workload);
+* :class:`BroadcastTraffic` — one node sends to all others (section 4.3);
+  successive packets sweep the other nodes round-robin so every
+  destination receives the same share;
+* :class:`TransposeTraffic`, :class:`BitComplementTraffic`,
+  :class:`HotspotTraffic`, :class:`NearestNeighborTraffic` — standard
+  synthetic patterns for additional studies;
+* :class:`TraceTraffic` — replays an explicit (cycle, src, dst) trace,
+  the hook for "actual communication traces" the paper mentions.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.sim.topology import Topology
+
+
+class TrafficPattern:
+    """Base class: per-cycle packet generation decisions."""
+
+    def __init__(self, topo: Topology, seed: int = 1) -> None:
+        self.topo = topo
+        self.rng = random.Random(seed)
+
+    def packets_at(self, cycle: int) -> List[Tuple[int, int]]:
+        """``(src, dst)`` pairs for packets created this cycle."""
+        raise NotImplementedError
+
+    def reset(self, seed: Optional[int] = None) -> None:
+        """Restart the pattern's random stream."""
+        if seed is not None:
+            self.rng = random.Random(seed)
+
+
+class UniformRandomTraffic(TrafficPattern):
+    """Every node injects at ``rate`` to uniformly random destinations."""
+
+    def __init__(self, topo: Topology, rate: float, seed: int = 1) -> None:
+        super().__init__(topo, seed)
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError(f"injection rate must be in [0, 1], got {rate}")
+        self.rate = rate
+
+    def packets_at(self, cycle: int) -> List[Tuple[int, int]]:
+        pairs = []
+        n = self.topo.num_nodes
+        rng = self.rng
+        for src in range(n):
+            if rng.random() < self.rate:
+                dst = rng.randrange(n - 1)
+                if dst >= src:
+                    dst += 1
+                pairs.append((src, dst))
+        return pairs
+
+
+class BroadcastTraffic(TrafficPattern):
+    """One source node injects at ``rate`` to all other nodes in turn.
+
+    The paper's section 4.3 broadcast: the node at (1, 2) injects at the
+    maximum rate of 0.2 packets/cycle while every other node is silent,
+    keeping total network injection equal to the uniform workload's.
+    """
+
+    def __init__(self, topo: Topology, source: int, rate: float,
+                 seed: int = 1) -> None:
+        super().__init__(topo, seed)
+        topo.coords(source)  # validates
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError(f"injection rate must be in [0, 1], got {rate}")
+        self.source = source
+        self.rate = rate
+        self._targets = [n for n in range(topo.num_nodes) if n != source]
+        self._next_target = 0
+
+    def packets_at(self, cycle: int) -> List[Tuple[int, int]]:
+        if self.rng.random() >= self.rate:
+            return []
+        dst = self._targets[self._next_target]
+        self._next_target = (self._next_target + 1) % len(self._targets)
+        return [(self.source, dst)]
+
+    def reset(self, seed: Optional[int] = None) -> None:
+        super().reset(seed)
+        self._next_target = 0
+
+
+class TransposeTraffic(TrafficPattern):
+    """Node (x, y) sends to node (y, x); diagonal nodes stay silent."""
+
+    def __init__(self, topo: Topology, rate: float, seed: int = 1) -> None:
+        super().__init__(topo, seed)
+        if topo.width != topo.height:
+            raise ValueError("transpose traffic needs a square topology")
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError(f"injection rate must be in [0, 1], got {rate}")
+        self.rate = rate
+        self._dst = {}
+        for node in range(topo.num_nodes):
+            x, y = topo.coords(node)
+            if x != y:
+                self._dst[node] = topo.node_at(y, x)
+
+    def packets_at(self, cycle: int) -> List[Tuple[int, int]]:
+        rng = self.rng
+        return [(src, dst) for src, dst in self._dst.items()
+                if rng.random() < self.rate]
+
+
+class BitComplementTraffic(TrafficPattern):
+    """Node (x, y) sends to (width-1-x, height-1-y)."""
+
+    def __init__(self, topo: Topology, rate: float, seed: int = 1) -> None:
+        super().__init__(topo, seed)
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError(f"injection rate must be in [0, 1], got {rate}")
+        self.rate = rate
+        self._dst = {}
+        for node in range(topo.num_nodes):
+            x, y = topo.coords(node)
+            dst = topo.node_at(topo.width - 1 - x, topo.height - 1 - y)
+            if dst != node:
+                self._dst[node] = dst
+
+    def packets_at(self, cycle: int) -> List[Tuple[int, int]]:
+        rng = self.rng
+        return [(src, dst) for src, dst in self._dst.items()
+                if rng.random() < self.rate]
+
+
+class HotspotTraffic(TrafficPattern):
+    """Uniform random, but a fraction of packets target one hot node."""
+
+    def __init__(self, topo: Topology, rate: float, hotspot: int,
+                 hot_fraction: float = 0.2, seed: int = 1) -> None:
+        super().__init__(topo, seed)
+        topo.coords(hotspot)  # validates
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError(f"injection rate must be in [0, 1], got {rate}")
+        if not 0.0 <= hot_fraction <= 1.0:
+            raise ValueError(
+                f"hot fraction must be in [0, 1], got {hot_fraction}"
+            )
+        self.rate = rate
+        self.hotspot = hotspot
+        self.hot_fraction = hot_fraction
+
+    def packets_at(self, cycle: int) -> List[Tuple[int, int]]:
+        pairs = []
+        n = self.topo.num_nodes
+        rng = self.rng
+        for src in range(n):
+            if rng.random() >= self.rate:
+                continue
+            if src != self.hotspot and rng.random() < self.hot_fraction:
+                dst = self.hotspot
+            else:
+                dst = rng.randrange(n - 1)
+                if dst >= src:
+                    dst += 1
+            pairs.append((src, dst))
+        return pairs
+
+
+class NearestNeighborTraffic(TrafficPattern):
+    """Each node sends to a random adjacent node (distance-1 traffic)."""
+
+    def __init__(self, topo: Topology, rate: float, seed: int = 1) -> None:
+        super().__init__(topo, seed)
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError(f"injection rate must be in [0, 1], got {rate}")
+        self.rate = rate
+        self._neighbors = {
+            node: [topo.neighbor(node, p) for p in range(4)
+                   if topo.neighbor(node, p) is not None]
+            for node in range(topo.num_nodes)
+        }
+
+    def packets_at(self, cycle: int) -> List[Tuple[int, int]]:
+        pairs = []
+        rng = self.rng
+        for src, neighbors in self._neighbors.items():
+            if rng.random() < self.rate:
+                pairs.append((src, rng.choice(neighbors)))
+        return pairs
+
+
+class TornadoTraffic(TrafficPattern):
+    """Node (x, y) sends half-way around both rings: the classic
+    worst case for minimal routing on tori."""
+
+    def __init__(self, topo: Topology, rate: float, seed: int = 1) -> None:
+        super().__init__(topo, seed)
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError(f"injection rate must be in [0, 1], got {rate}")
+        self.rate = rate
+        dx = max(1, (topo.width + 1) // 2 - 1) if topo.width > 2 else 1
+        dy = max(1, (topo.height + 1) // 2 - 1) if topo.height > 2 else 1
+        self._dst = {}
+        for node in range(topo.num_nodes):
+            x, y = topo.coords(node)
+            dst = topo.node_at((x + dx) % topo.width,
+                               (y + dy) % topo.height)
+            if dst != node:
+                self._dst[node] = dst
+
+    def packets_at(self, cycle: int) -> List[Tuple[int, int]]:
+        rng = self.rng
+        return [(src, dst) for src, dst in self._dst.items()
+                if rng.random() < self.rate]
+
+
+class ShuffleTraffic(TrafficPattern):
+    """Perfect-shuffle permutation on node indices (rotate the node id's
+    bits left by one).  Requires a power-of-two node count."""
+
+    def __init__(self, topo: Topology, rate: float, seed: int = 1) -> None:
+        super().__init__(topo, seed)
+        n = topo.num_nodes
+        if n & (n - 1):
+            raise ValueError(
+                f"shuffle traffic needs a power-of-two node count, got {n}"
+            )
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError(f"injection rate must be in [0, 1], got {rate}")
+        self.rate = rate
+        bits = n.bit_length() - 1
+        self._dst = {}
+        for node in range(n):
+            dst = ((node << 1) | (node >> (bits - 1))) & (n - 1)
+            if dst != node:
+                self._dst[node] = dst
+
+    def packets_at(self, cycle: int) -> List[Tuple[int, int]]:
+        rng = self.rng
+        return [(src, dst) for src, dst in self._dst.items()
+                if rng.random() < self.rate]
+
+
+class BurstyTraffic(TrafficPattern):
+    """Two-state Markov-modulated uniform random traffic.
+
+    Each node alternates between an OFF state (silent) and an ON state
+    injecting at ``rate / duty_cycle``, with mean burst length
+    ``burst_length`` cycles — same average ``rate`` as the uniform
+    pattern, much burstier arrivals.
+    """
+
+    def __init__(self, topo: Topology, rate: float,
+                 burst_length: float = 10.0, duty_cycle: float = 0.25,
+                 seed: int = 1) -> None:
+        super().__init__(topo, seed)
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError(f"injection rate must be in [0, 1], got {rate}")
+        if burst_length < 1.0:
+            raise ValueError(
+                f"burst length must be >= 1, got {burst_length}"
+            )
+        if not 0.0 < duty_cycle <= 1.0:
+            raise ValueError(
+                f"duty cycle must be in (0, 1], got {duty_cycle}"
+            )
+        on_rate = rate / duty_cycle
+        if on_rate > 1.0:
+            raise ValueError(
+                f"rate {rate} at duty cycle {duty_cycle} needs an in-burst "
+                f"rate above 1 packet/cycle"
+            )
+        self.rate = rate
+        self.on_rate = on_rate
+        #: P(ON -> OFF) per cycle: bursts last burst_length on average.
+        self._p_off = 1.0 / burst_length
+        #: P(OFF -> ON) chosen so the steady-state ON fraction is the
+        #: duty cycle.
+        self._p_on = self._p_off * duty_cycle / (1.0 - duty_cycle) \
+            if duty_cycle < 1.0 else 1.0
+        self._state = [False] * topo.num_nodes
+
+    def packets_at(self, cycle: int) -> List[Tuple[int, int]]:
+        pairs = []
+        n = self.topo.num_nodes
+        rng = self.rng
+        for src in range(n):
+            if self._state[src]:
+                if rng.random() < self._p_off:
+                    self._state[src] = False
+            else:
+                if rng.random() < self._p_on:
+                    self._state[src] = True
+            if self._state[src] and rng.random() < self.on_rate:
+                dst = rng.randrange(n - 1)
+                if dst >= src:
+                    dst += 1
+                pairs.append((src, dst))
+        return pairs
+
+    def reset(self, seed: Optional[int] = None) -> None:
+        super().reset(seed)
+        self._state = [False] * self.topo.num_nodes
+
+
+class TraceTraffic(TrafficPattern):
+    """Replays an explicit trace of ``(cycle, src, dst)`` records."""
+
+    def __init__(self, topo: Topology,
+                 trace: Sequence[Tuple[int, int, int]]) -> None:
+        super().__init__(topo, seed=0)
+        self._by_cycle: Dict[int, List[Tuple[int, int]]] = {}
+        for cycle, src, dst in trace:
+            if cycle < 0:
+                raise ValueError(f"trace cycle must be >= 0, got {cycle}")
+            topo.coords(src)
+            topo.coords(dst)
+            if src == dst:
+                raise ValueError(f"trace record {cycle}: src == dst == {src}")
+            self._by_cycle.setdefault(cycle, []).append((src, dst))
+
+    def packets_at(self, cycle: int) -> List[Tuple[int, int]]:
+        return self._by_cycle.get(cycle, [])
+
+    @property
+    def last_cycle(self) -> int:
+        """Cycle of the final trace record (0 for an empty trace)."""
+        return max(self._by_cycle) if self._by_cycle else 0

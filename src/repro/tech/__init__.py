@@ -1,0 +1,23 @@
+"""Technology substrate: CMOS process constants and capacitance primitives.
+
+This package stands in for Cacti [23] + Wattch [3] in the original Orion:
+it provides gate, diffusion and wire capacitances (``Cg``, ``Cd``, ``Cw`` of
+the paper's Table 1) for any feature size, plus default transistor sizing
+and load-driven driver sizing.
+"""
+
+from repro.tech.technology import Technology
+from repro.tech.sizing import (
+    default_width,
+    driver_width_for_load,
+    driver_total_cap,
+    driver_drain_cap,
+)
+
+__all__ = [
+    "Technology",
+    "default_width",
+    "driver_width_for_load",
+    "driver_total_cap",
+    "driver_drain_cap",
+]

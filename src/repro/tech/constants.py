@@ -1,0 +1,119 @@
+"""Base CMOS process constants for the capacitance substrate.
+
+Orion derives switch capacitances from per-transistor gate and diffusion
+capacitances and per-length wire capacitances, computed "using Cacti" [23]
+with scaling factors "from Wattch" [3].  Both tools anchor their constants in
+a 0.8 um process (Wilton & Jouppi, DEC WRL TR 93/5) and scale linearly with
+feature size.  We embed the same public base constants here and scale them in
+:class:`repro.tech.technology.Technology`.
+
+All capacitances are in farads, all lengths and widths in micrometres (um),
+following Cacti's conventions.
+"""
+
+# Feature size the base constants are characterised at (um).
+BASE_FEATURE_SIZE_UM = 0.8
+
+# Effective gate length at the base feature size (um).
+BASE_LEFF_UM = 0.8
+
+# --- Gate capacitance ------------------------------------------------------
+# Gate oxide capacitance per unit gate area (F/um^2).
+CGATE_PER_AREA = 1.95e-15
+# Gate capacitance of a pass transistor per unit area (F/um^2); pass gates
+# see a slightly lower effective capacitance in Cacti.
+CGATEPASS_PER_AREA = 1.45e-15
+# Polysilicon overhang capacitance per unit transistor width (F/um).
+CPOLYWIRE_PER_UM = 0.25e-15
+
+# --- Diffusion capacitance -------------------------------------------------
+# Area capacitance of n/p diffusion (F/um^2).
+CNDIFF_AREA = 0.137e-15
+CPDIFF_AREA = 0.343e-15
+# Sidewall capacitance of n/p diffusion (F/um of perimeter).
+CNDIFF_SIDE = 0.275e-15
+CPDIFF_SIDE = 0.275e-15
+# Gate-drain overlap capacitance (F/um of width).
+CNDIFF_OVERLAP = 0.138e-15
+CPDIFF_OVERLAP = 0.138e-15
+
+# Length of a source/drain diffusion region, in multiples of the feature
+# size (Cacti uses 3.05 * feature size for a contacted diffusion).
+DIFF_LENGTH_FACTOR = 3.05
+
+# --- Wire capacitance ------------------------------------------------------
+# Metal wire capacitance per unit length at the base feature size (F/um).
+# Cacti distinguishes wordline-layer and bitline-layer metal.
+CWORDMETAL_PER_UM = 1.8e-15
+CBITMETAL_PER_UM = 4.4e-15
+
+# On-chip global link wire capacitance.  The paper (section 4.2) uses
+# 1.08 pF per 3 mm of link at 0.1 um, i.e. 0.36 fF/um; we anchor the link
+# metal constant so that the 0.1 um technology reproduces that figure.
+CLINK_PER_UM_AT_0P1 = 1.08e-12 / 3000.0  # = 3.6e-16 F/um at 0.1 um
+
+# --- Default supply voltages by feature size (um -> V) ---------------------
+# Representative Vdd values for each process generation (ITRS-era defaults;
+# the paper's on-chip study uses 1.2 V at 0.1 um).
+DEFAULT_VDD_BY_FEATURE = {
+    0.8: 5.0,
+    0.35: 3.3,
+    0.25: 2.5,
+    0.18: 1.8,
+    0.13: 1.5,
+    0.10: 1.2,
+    0.07: 1.0,
+}
+
+# --- Default clock frequencies by feature size (um -> Hz) ------------------
+DEFAULT_FREQ_BY_FEATURE = {
+    0.8: 200e6,
+    0.35: 450e6,
+    0.25: 600e6,
+    0.18: 1.0e9,
+    0.13: 1.5e9,
+    0.10: 2.0e9,
+    0.07: 3.0e9,
+}
+
+# --- Default transistor widths (um, at the base 0.8 um process) ------------
+# Cacti/Wattch-lineage sizing; scaled linearly with feature size.
+BASE_WIDTHS = {
+    # SRAM cell
+    "memcell_access": 2.4,     # pass transistor connecting bitline and cell
+    "memcell_nmos": 2.0,       # cell inverter NMOS
+    "memcell_pmos": 4.0,       # cell inverter PMOS
+    "precharge": 10.0,         # bitline precharge/equalisation PMOS
+    "wordline_driver_n": 38.4, # wordline driver (sized for a 64-bit row)
+    "wordline_driver_p": 76.8,
+    "bitline_driver_n": 19.2,  # write bitline driver
+    "bitline_driver_p": 38.4,
+    # Crossbar
+    "crossbar_pass": 6.0,      # crosspoint connector transistor
+    "crossbar_in_driver_n": 30.0,
+    "crossbar_in_driver_p": 60.0,
+    "crossbar_out_driver_n": 30.0,
+    "crossbar_out_driver_p": 60.0,
+    # Arbiter logic
+    "nor_gate_n": 4.0,         # first/second level NOR transistors
+    "nor_gate_p": 8.0,
+    "inverter_n": 4.0,
+    "inverter_p": 8.0,
+    # Flip-flop internals
+    "ff_inverter_n": 3.0,
+    "ff_inverter_p": 6.0,
+    "ff_pass": 2.4,
+}
+
+# --- Memory cell geometry (um, at the base 0.8 um process) -----------------
+# A single-ported 6T SRAM cell footprint; each extra port widens/heightens
+# the cell by one wire pitch per the FIFO model's length equations.
+BASE_CELL_WIDTH = 12.8   # w_cell
+BASE_CELL_HEIGHT = 12.8  # h_cell
+BASE_WIRE_SPACING = 3.2  # d_w (wire pitch)
+
+# --- Sense amplifier -------------------------------------------------------
+# Empirical per-bit sense-amplifier energy model [Zyuban & Kogge, ISLPED'98]:
+# modelled as an equivalent switched capacitance per sensed bit at the base
+# process, scaled with feature size and Vdd^2 like the rest of the model.
+BASE_SENSE_AMP_CAP = 12.0e-15  # F per bit sensed, at 0.8 um

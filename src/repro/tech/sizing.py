@@ -1,0 +1,67 @@
+"""Transistor sizing helpers.
+
+Orion lets transistor sizes be "user-input parameters, or automatically
+determined ... with a set of default values from Cacti and applied with
+scaling factors from Wattch.  Sizes of driver transistors, e.g. crossbar
+input drivers, are computed according to their load capacitance."
+
+This module implements both paths:
+
+* :func:`default_width` looks up the scaled Cacti/Wattch default for a named
+  device;
+* :func:`driver_width_for_load` sizes a driver so its input presents a
+  fixed fraction (one electrical *effort* stage) of the load it drives —
+  the standard logical-effort final-stage rule.
+"""
+
+from __future__ import annotations
+
+from repro.tech.technology import Technology
+
+# Electrical effort of the final driver stage: the driver's input gate
+# capacitance is load / DRIVER_STAGE_EFFORT.  Cacti uses staged drivers with
+# per-stage fanout near 4; a single lumped stage with effort ~10 models the
+# whole chain's final-stage contribution.
+DRIVER_STAGE_EFFORT = 10.0
+
+# PMOS width relative to NMOS width in a driver (mobility compensation).
+PMOS_TO_NMOS_RATIO = 2.0
+
+
+def default_width(tech: Technology, name: str) -> float:
+    """Scaled default width (um) of the named device at this node."""
+    return tech.scaled_width(name)
+
+
+def driver_width_for_load(tech: Technology, load_cap: float) -> tuple[float, float]:
+    """Size an inverter driver for ``load_cap`` farads.
+
+    Returns ``(width_n_um, width_p_um)`` such that the driver's total input
+    gate capacitance is ``load_cap / DRIVER_STAGE_EFFORT``, split between
+    NMOS and PMOS at :data:`PMOS_TO_NMOS_RATIO`.
+
+    A minimum width of one feature size is enforced so tiny loads still get
+    a physical transistor.
+    """
+    if load_cap < 0:
+        raise ValueError(f"load capacitance must be non-negative, got {load_cap}")
+    target_gate_cap = load_cap / DRIVER_STAGE_EFFORT
+    # Cg(w) ~= per_area * w * leff + cpoly * w  => solve for total width.
+    per_um = tech.gate_cap(1.0)
+    total_width = target_gate_cap / per_um if per_um > 0 else 0.0
+    width_n = total_width / (1.0 + PMOS_TO_NMOS_RATIO)
+    width_p = width_n * PMOS_TO_NMOS_RATIO
+    minimum = tech.feature_size_um
+    return max(width_n, minimum), max(width_p, minimum)
+
+
+def driver_total_cap(tech: Technology, load_cap: float) -> float:
+    """``Ca`` (gate + drain) of a driver sized for ``load_cap``."""
+    width_n, width_p = driver_width_for_load(tech, load_cap)
+    return tech.inverter_cap(width_n, width_p)
+
+
+def driver_drain_cap(tech: Technology, load_cap: float) -> float:
+    """Output (drain) capacitance of a driver sized for ``load_cap``."""
+    width_n, width_p = driver_width_for_load(tech, load_cap)
+    return tech.inverter_drain_cap(width_n, width_p)

@@ -1,0 +1,192 @@
+"""Technology model: scaled capacitance primitives.
+
+Provides the three capacitance primitives of the paper's Table 1 —
+``Cg(T)`` (gate capacitance), ``Cd(T)`` (diffusion capacitance) and
+``Cw(L)`` (wire capacitance) — for an arbitrary CMOS feature size, by
+linear scaling of the 0.8 um base constants (the Cacti/Wattch approach).
+
+A *transistor* is identified by its channel width in um (already scaled to
+the target technology).  Gates built from several transistors (e.g. an
+inverter with an NMOS and a PMOS) expose their total capacitance through
+the convenience methods on :class:`Technology`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.tech import constants as k
+
+
+@dataclass(frozen=True)
+class Technology:
+    """A CMOS process node plus operating point.
+
+    Parameters
+    ----------
+    feature_size_um:
+        Drawn feature size in micrometres (e.g. ``0.1`` for the paper's
+        on-chip experiments).
+    vdd:
+        Supply voltage in volts.  Defaults to a representative value for
+        the feature size.
+    frequency_hz:
+        Clock frequency in hertz.  Defaults likewise.
+    """
+
+    feature_size_um: float
+    vdd: float = field(default=0.0)
+    frequency_hz: float = field(default=0.0)
+
+    def __post_init__(self) -> None:
+        if self.feature_size_um <= 0:
+            raise ValueError(
+                f"feature size must be positive, got {self.feature_size_um}"
+            )
+        if not self.vdd:
+            object.__setattr__(
+                self, "vdd", _nearest(k.DEFAULT_VDD_BY_FEATURE, self.feature_size_um)
+            )
+        if not self.frequency_hz:
+            object.__setattr__(
+                self,
+                "frequency_hz",
+                _nearest(k.DEFAULT_FREQ_BY_FEATURE, self.feature_size_um),
+            )
+        if self.vdd <= 0:
+            raise ValueError(f"Vdd must be positive, got {self.vdd}")
+        if self.frequency_hz <= 0:
+            raise ValueError(f"frequency must be positive, got {self.frequency_hz}")
+
+    # --- scaling -----------------------------------------------------------
+
+    @property
+    def scale(self) -> float:
+        """Linear scale factor relative to the 0.8 um base process."""
+        return self.feature_size_um / k.BASE_FEATURE_SIZE_UM
+
+    @property
+    def leff_um(self) -> float:
+        """Effective transistor gate length (um)."""
+        return k.BASE_LEFF_UM * self.scale
+
+    def scaled_width(self, base_name: str) -> float:
+        """Default transistor width (um) for the named device at this node.
+
+        ``base_name`` is a key of :data:`repro.tech.constants.BASE_WIDTHS`.
+        """
+        try:
+            return k.BASE_WIDTHS[base_name] * self.scale
+        except KeyError:
+            raise KeyError(
+                f"unknown transistor name {base_name!r}; known: "
+                f"{sorted(k.BASE_WIDTHS)}"
+            ) from None
+
+    # --- capacitance primitives (Table 1) ----------------------------------
+
+    def gate_cap(self, width_um: float, *, pass_gate: bool = False) -> float:
+        """``Cg(T)``: gate capacitance (F) of a transistor of given width.
+
+        Gate area capacitance plus polysilicon overhang, per Cacti.
+        """
+        per_area = k.CGATEPASS_PER_AREA if pass_gate else k.CGATE_PER_AREA
+        return per_area * width_um * self.leff_um + k.CPOLYWIRE_PER_UM * width_um
+
+    def diff_cap(self, width_um: float, *, pmos: bool = False) -> float:
+        """``Cd(T)``: drain diffusion capacitance (F) of a transistor.
+
+        Area + sidewall + gate-overlap components for a contacted
+        diffusion region of length ``DIFF_LENGTH_FACTOR * feature size``.
+        """
+        diff_len = k.DIFF_LENGTH_FACTOR * self.feature_size_um
+        if pmos:
+            area, side, ovlp = k.CPDIFF_AREA, k.CPDIFF_SIDE, k.CPDIFF_OVERLAP
+        else:
+            area, side, ovlp = k.CNDIFF_AREA, k.CNDIFF_SIDE, k.CNDIFF_OVERLAP
+        return (
+            area * width_um * diff_len
+            + side * (width_um + 2.0 * diff_len)
+            + ovlp * width_um
+        )
+
+    def total_cap(self, width_um: float, *, pmos: bool = False,
+                  pass_gate: bool = False) -> float:
+        """``Ca(T) = Cg(T) + Cd(T)``."""
+        return self.gate_cap(width_um, pass_gate=pass_gate) + self.diff_cap(
+            width_um, pmos=pmos
+        )
+
+    def wire_cap(self, length_um: float, *, layer: str = "word") -> float:
+        """``Cw(L)``: capacitance (F) of a metal wire of given length.
+
+        ``layer`` selects the metal layer model: ``"word"`` (wordline-layer
+        metal), ``"bit"`` (bitline-layer metal) or ``"link"`` (global link
+        metal anchored to the paper's 1.08 pF / 3 mm at 0.1 um).
+
+        Capacitance per unit length is treated as technology-independent:
+        wire aspect ratios are held roughly constant across process
+        generations, so per-um wire capacitance stays near-constant while
+        wire *lengths* shrink with the layout.  (The paper's own link
+        figure, 0.36 fF/um at 0.1 um, is consistent with this.)  Only the
+        lengths derived from cell geometry scale with feature size.
+        """
+        if length_um < 0:
+            raise ValueError(f"wire length must be non-negative, got {length_um}")
+        if layer == "word":
+            per_um = k.CWORDMETAL_PER_UM
+        elif layer == "bit":
+            per_um = k.CBITMETAL_PER_UM
+        elif layer == "link":
+            per_um = k.CLINK_PER_UM_AT_0P1
+        else:
+            raise ValueError(f"unknown metal layer {layer!r}")
+        return per_um * length_um
+
+    # --- composite gates ----------------------------------------------------
+
+    def inverter_cap(self, width_n_um: float, width_p_um: float) -> float:
+        """``Ca`` of a CMOS inverter: both gates plus both drains."""
+        return self.total_cap(width_n_um) + self.total_cap(width_p_um, pmos=True)
+
+    def inverter_gate_cap(self, width_n_um: float, width_p_um: float) -> float:
+        """Input (gate-only) capacitance of a CMOS inverter."""
+        return self.gate_cap(width_n_um) + self.gate_cap(width_p_um)
+
+    def inverter_drain_cap(self, width_n_um: float, width_p_um: float) -> float:
+        """Output (drain-only) capacitance of a CMOS inverter."""
+        return self.diff_cap(width_n_um) + self.diff_cap(width_p_um, pmos=True)
+
+    # --- geometry -----------------------------------------------------------
+
+    @property
+    def cell_width_um(self) -> float:
+        """Single-port SRAM cell width ``w_cell`` (um)."""
+        return k.BASE_CELL_WIDTH * self.scale
+
+    @property
+    def cell_height_um(self) -> float:
+        """Single-port SRAM cell height ``h_cell`` (um)."""
+        return k.BASE_CELL_HEIGHT * self.scale
+
+    @property
+    def wire_spacing_um(self) -> float:
+        """Wire pitch ``d_w`` (um)."""
+        return k.BASE_WIRE_SPACING * self.scale
+
+    @property
+    def sense_amp_cap(self) -> float:
+        """Equivalent switched capacitance of one sense amplifier (F)."""
+        return k.BASE_SENSE_AMP_CAP * self.scale
+
+    # --- energy -------------------------------------------------------------
+
+    def switch_energy(self, cap_farads: float) -> float:
+        """``E_x = 1/2 * C_x * Vdd^2`` (J): energy of one switching event."""
+        return 0.5 * cap_farads * self.vdd * self.vdd
+
+
+def _nearest(table: dict, feature: float) -> float:
+    """Value from ``table`` whose key is closest to ``feature``."""
+    key = min(table, key=lambda f: abs(f - feature))
+    return table[key]

@@ -1,0 +1,15 @@
+"""Ballpark validation models (paper section 3.2)."""
+
+from repro.validation.routers import (
+    Alpha21364Router,
+    InfiniBand12XSwitch,
+    RouterEstimate,
+    validation_report,
+)
+
+__all__ = [
+    "Alpha21364Router",
+    "InfiniBand12XSwitch",
+    "RouterEstimate",
+    "validation_report",
+]

@@ -1,0 +1,47 @@
+"""Shared fixtures: small, fast network configurations for simulator
+tests."""
+
+import pytest
+
+from repro.core.config import (
+    LinkConfig,
+    NetworkConfig,
+    RouterConfig,
+    TechConfig,
+)
+
+SMALL_TECH = TechConfig(feature_size_um=0.1, vdd=1.2, frequency_hz=1e9)
+SMALL_LINK = LinkConfig(kind="on_chip", length_mm=1.0)
+
+
+def small_config(kind="wormhole", **router_kwargs) -> NetworkConfig:
+    """A 4x4 torus with narrow flits and small buffers — fast to
+    simulate, same code paths as the paper configs."""
+    defaults = dict(kind=kind, flit_bits=16, buffer_depth=4)
+    if kind == "vc":
+        defaults.update(num_vcs=2, buffer_depth=4)
+    if kind == "central":
+        defaults.update(cb_rows=64, cb_banks=2, cb_read_ports=2,
+                        cb_write_ports=2, buffer_depth=4)
+    defaults.update(router_kwargs)
+    return NetworkConfig(
+        topology="torus", width=4, height=4,
+        router=RouterConfig(**defaults),
+        link=SMALL_LINK, tech=SMALL_TECH,
+        packet_length_flits=3,
+    )
+
+
+@pytest.fixture
+def wormhole_config():
+    return small_config("wormhole")
+
+
+@pytest.fixture
+def vc_config():
+    return small_config("vc")
+
+
+@pytest.fixture
+def central_config():
+    return small_config("central")

@@ -1,0 +1,54 @@
+"""Unit tests for the inter-router channel."""
+
+import pytest
+
+from repro.sim.message import Packet
+from repro.sim.routers.base import Channel
+
+
+def flit():
+    return Packet(packet_id=0, src=0, dst=1, length_flits=1,
+                  creation_cycle=0, route=[4]).make_flits()[0]
+
+
+class TestDataPath:
+    def test_flit_round_trip(self):
+        ch = Channel(0, 0, 1, 1)
+        f = flit()
+        ch.send_flit(f)
+        assert ch.busy
+        assert ch.take_flit() is f
+        assert not ch.busy
+
+    def test_empty_take_returns_none(self):
+        assert Channel(0, 0, 1, 1).take_flit() is None
+
+    def test_single_flit_bandwidth(self):
+        """One flit per cycle: a second send before the take is a
+        protocol violation."""
+        ch = Channel(0, 0, 1, 1)
+        ch.send_flit(flit())
+        with pytest.raises(RuntimeError):
+            ch.send_flit(flit())
+
+    def test_take_clears_slot_for_next_cycle(self):
+        ch = Channel(0, 0, 1, 1)
+        ch.send_flit(flit())
+        ch.take_flit()
+        ch.send_flit(flit())  # no error
+
+
+class TestCreditPath:
+    def test_credits_drain_in_order(self):
+        ch = Channel(0, 0, 1, 1)
+        ch.send_credit(2)
+        ch.send_credit(0)
+        assert ch.take_credits() == [2, 0]
+        assert ch.take_credits() == []
+
+    def test_credits_and_data_are_independent(self):
+        ch = Channel(0, 0, 1, 1)
+        ch.send_flit(flit())
+        ch.send_credit(1)
+        assert ch.take_credits() == [1]
+        assert ch.busy

@@ -1,0 +1,127 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestPresets:
+    def test_lists_all_presets(self, capsys):
+        assert main(["presets"]) == 0
+        out = capsys.readouterr().out
+        for name in ("WH64", "VC16", "VC64", "VC128", "CB", "XB"):
+            assert name in out
+
+
+class TestRun:
+    def test_run_prints_summary(self, capsys):
+        code = main(["run", "--preset", "VC16", "--rate", "0.03",
+                     "--sample", "60", "--warmup", "100"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "avg latency" in out
+        assert "total power" in out
+        assert "crossbar" in out
+
+    def test_run_spatial_map(self, capsys):
+        code = main(["run", "--preset", "VC16", "--rate", "0.03",
+                     "--sample", "60", "--warmup", "100", "--spatial"])
+        assert code == 0
+        assert "y=3" in capsys.readouterr().out
+
+    def test_run_broadcast(self, capsys):
+        code = main(["run", "--preset", "VC16", "--traffic", "broadcast",
+                     "--source", "9", "--rate", "0.1",
+                     "--sample", "60", "--warmup", "100"])
+        assert code == 0
+        assert "broadcast" in capsys.readouterr().out
+
+    def test_run_with_leakage(self, capsys):
+        code = main(["run", "--preset", "VC16", "--rate", "0.03",
+                     "--sample", "60", "--warmup", "100", "--leakage"])
+        assert code == 0
+
+    def test_run_data_activity(self, capsys):
+        code = main(["run", "--preset", "VC16", "--rate", "0.03",
+                     "--sample", "40", "--warmup", "80",
+                     "--activity", "data"])
+        assert code == 0
+
+    @pytest.mark.parametrize("traffic", ["transpose", "bitcomp",
+                                         "hotspot", "neighbor"])
+    def test_other_traffic_kinds(self, capsys, traffic):
+        code = main(["run", "--preset", "VC16", "--traffic", traffic,
+                     "--rate", "0.03", "--sample", "40",
+                     "--warmup", "80"])
+        assert code == 0
+
+
+class TestSweep:
+    def test_sweep_prints_table(self, capsys):
+        code = main(["sweep", "--preset", "VC16",
+                     "--rates", "0.02,0.05", "--sample", "60",
+                     "--warmup", "100"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "0.020" in out and "0.050" in out
+        assert "saturation" in out
+
+
+class TestPower:
+    def test_power_walkthrough(self, capsys):
+        assert main(["power", "--preset", "WH64"]) == 0
+        out = capsys.readouterr().out
+        for term in ("E_wrt", "E_arb", "E_read", "E_xb", "E_link",
+                     "E_flit"):
+            assert term in out
+
+    def test_power_cb_shows_central_model(self, capsys):
+        assert main(["power", "--preset", "CB"]) == 0
+        assert "central buffer" in capsys.readouterr().out
+
+
+class TestDelay:
+    def test_delay_report(self, capsys):
+        assert main(["delay", "--preset", "VC64"]) == 0
+        out = capsys.readouterr().out
+        assert "3-stage" in out
+        assert "GHz" in out
+
+
+class TestErrors:
+    def test_unknown_command_exits(self):
+        with pytest.raises(SystemExit):
+            main(["teleport"])
+
+    def test_unknown_preset_raises(self):
+        with pytest.raises(ValueError):
+            main(["delay", "--preset", "VC9000"])
+
+
+class TestExportFlags:
+    def test_run_json_and_csv(self, tmp_path, capsys):
+        json_path = tmp_path / "r.json"
+        csv_path = tmp_path / "r.csv"
+        code = main(["run", "--preset", "VC16", "--rate", "0.03",
+                     "--sample", "50", "--warmup", "80",
+                     "--json", str(json_path), "--csv", str(csv_path)])
+        assert code == 0
+        assert json_path.exists() and csv_path.exists()
+        assert "node,x,y,power_w" in csv_path.read_text().splitlines()[0]
+
+    def test_sweep_csv(self, tmp_path, capsys):
+        csv_path = tmp_path / "s.csv"
+        code = main(["sweep", "--preset", "VC16",
+                     "--rates", "0.02,0.04", "--sample", "50",
+                     "--warmup", "80", "--csv", str(csv_path)])
+        assert code == 0
+        lines = csv_path.read_text().splitlines()
+        assert len(lines) == 3  # header + two rates
+
+
+class TestValidate:
+    def test_validate_prints_both_routers(self, capsys):
+        assert main(["validate"]) == 0
+        out = capsys.readouterr().out
+        assert "Alpha 21364" in out
+        assert "InfiniBand" in out

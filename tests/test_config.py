@@ -1,0 +1,111 @@
+"""Unit tests for configuration validation."""
+
+import pytest
+
+from repro.core.config import (
+    LinkConfig,
+    NetworkConfig,
+    RouterConfig,
+    TechConfig,
+)
+
+
+class TestTechConfig:
+    def test_builds_technology(self):
+        tech = TechConfig(0.1, vdd=1.2, frequency_hz=2e9).build()
+        assert tech.vdd == 1.2
+        assert tech.frequency_hz == 2e9
+
+
+class TestRouterConfig:
+    def test_defaults_valid(self):
+        RouterConfig()
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError):
+            RouterConfig(kind="optical")
+
+    def test_vc_buffer_is_per_vc(self):
+        rc = RouterConfig(kind="vc", num_vcs=8, buffer_depth=8)
+        assert rc.buffer_flits_per_port == 64
+
+    def test_wormhole_buffer_is_per_port(self):
+        rc = RouterConfig(kind="wormhole", buffer_depth=64)
+        assert rc.buffer_flits_per_port == 64
+
+    def test_cb_capacity(self):
+        rc = RouterConfig(kind="central", cb_rows=2560, cb_banks=4)
+        assert rc.cb_capacity_flits == 10240
+
+    def test_dateline_needs_two_vcs(self):
+        with pytest.raises(ValueError):
+            RouterConfig(kind="vc", num_vcs=1, vc_class_mode="dateline")
+        RouterConfig(kind="vc", num_vcs=2, vc_class_mode="dateline")
+
+    @pytest.mark.parametrize("field,value", [
+        ("flit_bits", 0), ("buffer_depth", 0), ("num_vcs", 0),
+        ("arbiter_type", "oracle"), ("crossbar_type", "optical"),
+        ("vc_class_mode", "escape"),
+    ])
+    def test_invalid_fields(self, field, value):
+        with pytest.raises(ValueError):
+            RouterConfig(**{field: value})
+
+    def test_central_validation(self):
+        with pytest.raises(ValueError):
+            RouterConfig(kind="central", cb_rows=0)
+        with pytest.raises(ValueError):
+            RouterConfig(kind="central", cb_read_ports=0)
+
+
+class TestLinkConfig:
+    def test_on_chip_needs_positive_length(self):
+        with pytest.raises(ValueError):
+            LinkConfig(kind="on_chip", length_mm=0.0)
+
+    def test_chip_to_chip_needs_nonnegative_power(self):
+        with pytest.raises(ValueError):
+            LinkConfig(kind="chip_to_chip", power_watts=-1.0)
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError):
+            LinkConfig(kind="wireless")
+
+
+class TestNetworkConfig:
+    def test_num_nodes(self):
+        assert NetworkConfig(width=4, height=4).num_nodes == 16
+
+    def test_unknown_topology(self):
+        with pytest.raises(ValueError):
+            NetworkConfig(topology="hypercube")
+
+    def test_unknown_tie_break(self):
+        with pytest.raises(ValueError):
+            NetworkConfig(tie_break="flip")
+
+    def test_unknown_activity_mode(self):
+        with pytest.raises(ValueError):
+            NetworkConfig(activity_mode="peak")
+
+    def test_zero_length_packets_rejected(self):
+        with pytest.raises(ValueError):
+            NetworkConfig(packet_length_flits=0)
+
+    def test_with_router_replaces_only_router_fields(self):
+        cfg = NetworkConfig()
+        new = cfg.with_router(buffer_depth=99)
+        assert new.router.buffer_depth == 99
+        assert new.width == cfg.width
+        assert cfg.router.buffer_depth != 99  # original untouched
+
+    def test_with_replaces_top_level(self):
+        cfg = NetworkConfig()
+        new = cfg.with_(activity_mode="data")
+        assert new.activity_mode == "data"
+        assert cfg.activity_mode == "average"
+
+    def test_frozen(self):
+        cfg = NetworkConfig()
+        with pytest.raises(Exception):
+            cfg.width = 8

@@ -1,0 +1,67 @@
+"""Unit tests for the event system and energy accountant."""
+
+import pytest
+
+from repro.core import events as ev
+from repro.core.events import EnergyAccountant
+
+
+class TestAccounting:
+    def test_add_and_query(self):
+        acc = EnergyAccountant(4)
+        acc.add(0, ev.INPUT_BUFFER, ev.BUFFER_WRITE, 1e-12)
+        acc.add(0, ev.CROSSBAR, ev.XBAR_TRAVERSAL, 2e-12)
+        acc.add(1, ev.INPUT_BUFFER, ev.BUFFER_READ, 3e-12)
+        assert acc.node_total(0) == pytest.approx(3e-12)
+        assert acc.node_total(1) == pytest.approx(3e-12)
+        assert acc.total_energy() == pytest.approx(6e-12)
+        assert acc.component_energy(ev.INPUT_BUFFER) == pytest.approx(4e-12)
+
+    def test_event_counts(self):
+        acc = EnergyAccountant(2)
+        acc.add(0, ev.ARBITER, ev.ARBITRATION, 1e-15)
+        acc.add(0, ev.ARBITER, ev.ARBITRATION, 1e-15)
+        acc.add(1, ev.ARBITER, ev.ARBITRATION, 1e-15)
+        assert acc.event_count(ev.ARBITRATION) == 3
+        assert acc.event_count(ev.ARBITRATION, node=0) == 2
+
+    def test_count_parameter(self):
+        acc = EnergyAccountant(1)
+        acc.add(0, ev.LINK, ev.LINK_TRAVERSAL, 5e-12, count=5)
+        assert acc.event_count(ev.LINK_TRAVERSAL) == 5
+        assert acc.total_energy() == pytest.approx(5e-12)
+
+    def test_reset_implements_warmup_exclusion(self):
+        """Section 4.1 excludes the first 1000 cycles: reset() zeroes
+        everything accumulated during warm-up."""
+        acc = EnergyAccountant(2)
+        acc.add(0, ev.LINK, ev.LINK_TRAVERSAL, 1.0)
+        acc.reset()
+        assert acc.total_energy() == 0.0
+        assert acc.event_count(ev.LINK_TRAVERSAL) == 0
+
+    def test_breakdown_covers_all_components(self):
+        acc = EnergyAccountant(1)
+        assert set(acc.breakdown()) == set(ev.COMPONENTS)
+
+    def test_spatial_map_shape(self):
+        acc = EnergyAccountant(16)
+        acc.add(5, ev.INPUT_BUFFER, ev.BUFFER_WRITE, 7e-12)
+        spatial = acc.spatial_map()
+        assert len(spatial) == 16
+        assert spatial[5] == pytest.approx(7e-12)
+        assert sum(spatial) == pytest.approx(acc.total_energy())
+
+    def test_unknown_component_rejected(self):
+        acc = EnergyAccountant(1)
+        with pytest.raises(ValueError):
+            acc.component_energy("warp_core")
+
+    def test_unknown_event_rejected(self):
+        acc = EnergyAccountant(1)
+        with pytest.raises(ValueError):
+            acc.event_count("warp_jump")
+
+    def test_rejects_zero_nodes(self):
+        with pytest.raises(ValueError):
+            EnergyAccountant(0)

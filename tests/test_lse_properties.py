@@ -1,0 +1,97 @@
+"""Property-based tests for the component framework and delay model."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.delay import (
+    arbiter_delay_fo4,
+    buffer_access_delay_fo4,
+    crossbar_delay_fo4,
+    inverter,
+    nand,
+    nor,
+    path_delay_tau,
+)
+from repro.lse import Message, build_full_router, build_ring_network, ring_route
+
+
+class TestLogicalEffortProperties:
+    @given(st.integers(1, 8), st.floats(1.0, 64.0), st.floats(0.1, 64.0))
+    @settings(max_examples=60)
+    def test_path_delay_positive_and_monotone_in_effort(self, n, b, h):
+        gates = [inverter()] * n
+        base = path_delay_tau(gates, branching=b, electrical=h)
+        more = path_delay_tau(gates, branching=b * 2, electrical=h)
+        assert base > 0
+        assert more > base
+
+    @given(st.integers(1, 16))
+    @settings(max_examples=30)
+    def test_wider_gates_slower(self, fan_in):
+        base = path_delay_tau([nand(fan_in)])
+        wider = path_delay_tau([nand(fan_in + 1)])
+        assert wider > base
+        assert path_delay_tau([nor(fan_in + 1)]) > \
+            path_delay_tau([nor(fan_in)])
+
+    @given(st.integers(2, 64), st.integers(2, 64))
+    @settings(max_examples=40)
+    def test_router_function_delays_monotone(self, a, b):
+        lo, hi = sorted((a, b))
+        if lo == hi:
+            return
+        assert arbiter_delay_fo4(hi) > arbiter_delay_fo4(lo)
+        assert crossbar_delay_fo4(5, hi * 8) >= crossbar_delay_fo4(
+            5, lo * 8)
+        assert buffer_access_delay_fo4(hi * 8, 32) >= \
+            buffer_access_delay_fo4(lo * 8, 32)
+
+
+class TestRingProperties:
+    @given(st.integers(2, 6), st.data())
+    @settings(max_examples=15, deadline=None)
+    def test_any_ring_any_message_delivered(self, size, data):
+        pairs = data.draw(st.lists(
+            st.tuples(st.integers(0, size - 1),
+                      st.integers(0, size - 1)),
+            min_size=1, max_size=6))
+        schedules = [[] for _ in range(size)]
+        expected = []
+        for k, (src, dst) in enumerate(pairs):
+            if src == dst:
+                continue
+            schedules[src].append((k % 3, Message(
+                payload=k, route=ring_route(src, dst, size))))
+            expected.append((dst, k))
+        system = build_ring_network(schedules)
+        for _ in range(40 * size):
+            system.step()
+        got = []
+        for r in range(size):
+            for _, message in system.module(f"R{r}.Sink").received:
+                got.append((r, message.payload))
+        assert sorted(got) == sorted(expected)
+
+
+class TestFullRouterProperties:
+    @given(st.data())
+    @settings(max_examples=15, deadline=None)
+    def test_random_schedules_fully_delivered(self, data):
+        ports = data.draw(st.integers(2, 5))
+        schedules = []
+        total = 0
+        for i in range(ports):
+            n = data.draw(st.integers(0, 4))
+            schedule = []
+            for k in range(n):
+                out = data.draw(st.integers(0, ports - 1))
+                schedule.append((k, Message(payload=i * 100 + k,
+                                            out_port=out)))
+                total += 1
+            schedules.append(schedule)
+        system = build_full_router(schedules)
+        for _ in range(20 + 6 * total):
+            system.step()
+        delivered = sum(len(system.module(f"Sink{o}").received)
+                        for o in range(ports))
+        assert delivered == total

@@ -1,0 +1,95 @@
+"""The section 3.3 walkthrough, executed on the component framework."""
+
+import pytest
+
+from repro import Orion
+from repro.core import events as ev
+from repro.core.presets import walkthrough_router
+from repro.lse import Message, PowerHooks, build_walkthrough_router
+from repro.power import (
+    FIFOBufferPower,
+    MatrixArbiterPower,
+    MatrixCrossbarPower,
+    OnChipLinkPower,
+)
+from repro.tech import Technology
+
+
+def assembled_system(payload=0x5A5A5A5A):
+    system = build_walkthrough_router(
+        [(0, Message(payload=payload, out_port=0))])
+    system.bus.record = True
+    return system
+
+
+def hooks_for(system):
+    tech = Technology(0.1, vdd=1.2, frequency_hz=2e9)
+    xbar = MatrixCrossbarPower(tech, 5, 5, 32)
+    return PowerHooks(
+        system.bus,
+        buffer_model=FIFOBufferPower(tech, depth_flits=4, flit_bits=32),
+        arbiter_model=MatrixArbiterPower(
+            tech, requesters=4,
+            xbar_control_energy=xbar.control_line_energy),
+        crossbar_model=xbar,
+        link_model=OnChipLinkPower(tech, length_mm=3.0, width_bits=32),
+    )
+
+
+class TestWalkthrough:
+    def test_event_sequence_matches_section_3_3(self):
+        """Write -> arbitration -> read -> crossbar -> link, in order."""
+        system = assembled_system()
+        system.run(6)
+        names = [name for _, name, _ in system.bus.log]
+        assert names == [
+            ev.BUFFER_WRITE,
+            ev.ARBITRATION,
+            ev.BUFFER_READ,
+            ev.XBAR_TRAVERSAL,
+            ev.LINK_TRAVERSAL,
+        ]
+
+    def test_flit_reaches_the_sink(self):
+        system = assembled_system(payload=123)
+        system.run(6)
+        received = system.module("Sink").received
+        assert len(received) == 1
+        assert received[0][1].payload == 123
+
+    def test_energy_matches_the_analytic_walkthrough(self):
+        """E_flit from the module assembly equals the facade's
+        closed-form E_wrt + E_arb + E_read + E_xb + E_link."""
+        system = assembled_system()
+        hooks = hooks_for(system)
+        system.run(6)
+        expected = Orion(walkthrough_router()).flit_energy_walkthrough()
+        assert hooks.total_energy == pytest.approx(expected["E_flit"])
+        assert hooks.energy_by_event[ev.BUFFER_WRITE] == pytest.approx(
+            expected["E_wrt"])
+        assert hooks.energy_by_event[ev.ARBITRATION] == pytest.approx(
+            expected["E_arb"])
+        assert hooks.energy_by_event[ev.LINK_TRAVERSAL] == pytest.approx(
+            expected["E_link"])
+
+    def test_multi_flit_packet_accumulates_linearly(self):
+        schedule = [(i, Message(payload=i, out_port=0)) for i in range(5)]
+        system = build_walkthrough_router(schedule)
+        hooks = hooks_for(system)
+        system.run(15)
+        assert len(system.module("Sink").received) == 5
+        single = Orion(walkthrough_router()).flit_energy_walkthrough()
+        assert hooks.total_energy == pytest.approx(
+            5 * single["E_flit"], rel=0.01)
+
+    def test_per_event_counts(self):
+        system = assembled_system()
+        hooks = hooks_for(system)
+        system.run(6)
+        assert hooks.counts == {
+            ev.BUFFER_WRITE: 1,
+            ev.ARBITRATION: 1,
+            ev.BUFFER_READ: 1,
+            ev.XBAR_TRAVERSAL: 1,
+            ev.LINK_TRAVERSAL: 1,
+        }

@@ -1,0 +1,119 @@
+"""Unit tests for the arbiter power models (paper Table 4)."""
+
+import pytest
+
+from repro.power import (
+    MatrixArbiterPower,
+    MatrixCrossbarPower,
+    QueuingArbiterPower,
+    RoundRobinArbiterPower,
+)
+from repro.tech import Technology
+
+ALL_KINDS = [MatrixArbiterPower, RoundRobinArbiterPower, QueuingArbiterPower]
+
+
+def tech():
+    return Technology(0.1, vdd=1.2, frequency_hz=2e9)
+
+
+class TestMatrixArbiter:
+    def test_priority_bits_count(self):
+        # R(R-1)/2 priority flip-flops.
+        assert MatrixArbiterPower(tech(), requesters=4).priority_bits == 6
+        assert MatrixArbiterPower(tech(), requesters=8).priority_bits == 28
+
+    def test_no_requests_costs_nothing(self):
+        arb = MatrixArbiterPower(tech(), requesters=4)
+        assert arb.arbitration_energy(0) == 0.0
+
+    def test_grant_includes_grant_and_control_unfactored(self):
+        """Per the Appendix: E_gnt and E_xb_ctr carry no activity factor
+        because each arbitration grants exactly one request."""
+        ctrl = 1e-12
+        arb = MatrixArbiterPower(tech(), requesters=4,
+                                 xbar_control_energy=ctrl)
+        no_ctrl = MatrixArbiterPower(tech(), requesters=4)
+        delta = arb.arbitration_energy(2) - no_ctrl.arbitration_energy(2)
+        assert delta == pytest.approx(ctrl)
+
+    def test_ungranted_round_skips_grant_energy(self):
+        arb = MatrixArbiterPower(tech(), requesters=4,
+                                 xbar_control_energy=1e-12)
+        granted = arb.arbitration_energy(2, granted=True)
+        idle = arb.arbitration_energy(2, granted=False)
+        assert idle < granted
+
+    def test_energy_grows_with_requests(self):
+        arb = MatrixArbiterPower(tech(), requesters=8)
+        assert arb.arbitration_energy(8) > arb.arbitration_energy(2)
+
+    def test_explicit_changed_requests(self):
+        arb = MatrixArbiterPower(tech(), requesters=4)
+        more = arb.arbitration_energy(3, changed_requests=3)
+        fewer = arb.arbitration_energy(3, changed_requests=0)
+        assert more - fewer == pytest.approx(3 * arb.request_energy)
+
+    def test_rejects_out_of_range_requests(self):
+        arb = MatrixArbiterPower(tech(), requesters=4)
+        with pytest.raises(ValueError):
+            arb.arbitration_energy(5)
+        with pytest.raises(ValueError):
+            arb.arbitration_energy(-1)
+
+
+class TestRoundRobinArbiter:
+    def test_pointer_bits(self):
+        assert RoundRobinArbiterPower(tech(), requesters=4).pointer_bits == 2
+        assert RoundRobinArbiterPower(tech(), requesters=5).pointer_bits == 3
+        assert RoundRobinArbiterPower(tech(), requesters=1).pointer_bits == 1
+
+    def test_less_state_than_matrix_for_many_requesters(self):
+        """A pointer is log R bits versus the matrix's R(R-1)/2 — grants
+        update less state, so per-arbitration energy is lower."""
+        rr = RoundRobinArbiterPower(tech(), requesters=16)
+        mx = MatrixArbiterPower(tech(), requesters=16)
+        assert rr.arbitration_energy(16) < mx.arbitration_energy(16)
+
+    def test_no_requests_costs_nothing(self):
+        assert RoundRobinArbiterPower(tech(), requesters=4) \
+            .arbitration_energy(0) == 0.0
+
+
+class TestQueuingArbiter:
+    def test_token_width_is_log2(self):
+        arb = QueuingArbiterPower(tech(), requesters=8)
+        assert arb.queue.flit_bits == 3
+
+    def test_built_on_fifo_buffer_model(self):
+        """Hierarchical reuse (section 3.2): grant cost includes a queue
+        read."""
+        arb = QueuingArbiterPower(tech(), requesters=4)
+        granted = arb.arbitration_energy(2, changed_requests=0)
+        assert granted >= arb.queue.read_energy()
+
+    def test_no_requests_costs_nothing(self):
+        assert QueuingArbiterPower(tech(), requesters=4) \
+            .arbitration_energy(0) == 0.0
+
+
+class TestCommon:
+    @pytest.mark.parametrize("cls", ALL_KINDS)
+    def test_rejects_zero_requesters(self, cls):
+        with pytest.raises(ValueError):
+            cls(tech(), requesters=0)
+
+    @pytest.mark.parametrize("cls", ALL_KINDS)
+    def test_describe_reports_energy(self, cls):
+        d = cls(tech(), requesters=4).describe()
+        assert d["arbitration_energy_j"] > 0
+
+    @pytest.mark.parametrize("cls", ALL_KINDS)
+    def test_arbiter_is_negligible_versus_datapath(self, cls):
+        """The paper's headline: arbiter power is < 1% of node power
+        (Figure 5c).  Compare one arbitration against one 256-bit
+        crossbar traversal."""
+        t = tech()
+        arb = cls(t, requesters=4)
+        xbar = MatrixCrossbarPower(t, inputs=5, outputs=5, width_bits=256)
+        assert arb.arbitration_energy(4) < 0.01 * xbar.traversal_energy()

@@ -1,0 +1,98 @@
+"""Unit tests for area estimation (the section 4.4 fair-area method)."""
+
+import pytest
+
+from repro.power import (
+    CentralBufferPower,
+    FIFOBufferPower,
+    MatrixCrossbarPower,
+    MuxTreeCrossbarPower,
+    area,
+)
+from repro.tech import Technology
+
+
+def tech():
+    return Technology(0.1, vdd=1.2, frequency_hz=1e9)
+
+
+class TestPrimitives:
+    def test_buffer_area_is_wordline_times_bitline(self):
+        buf = FIFOBufferPower(tech(), depth_flits=64, flit_bits=32)
+        assert area.buffer_area_um2(buf) == pytest.approx(
+            buf.wordline_length_um * buf.bitline_length_um)
+
+    def test_matrix_crossbar_area(self):
+        xb = MatrixCrossbarPower(tech(), inputs=5, outputs=5, width_bits=32)
+        assert area.crossbar_area_um2(xb) == pytest.approx(
+            xb.input_line_length_um * xb.output_line_length_um)
+
+    def test_mux_tree_is_denser_than_matrix(self):
+        t = tech()
+        mx = MatrixCrossbarPower(t, inputs=5, outputs=5, width_bits=32)
+        mt = MuxTreeCrossbarPower(t, inputs=5, outputs=5, width_bits=32)
+        assert area.crossbar_area_um2(mt) < area.crossbar_area_um2(mx)
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(TypeError):
+            area.crossbar_area_um2(object())
+
+    def test_area_grows_with_buffer_depth(self):
+        small = FIFOBufferPower(tech(), depth_flits=16, flit_bits=32)
+        big = FIFOBufferPower(tech(), depth_flits=256, flit_bits=32)
+        assert area.buffer_area_um2(big) > area.buffer_area_um2(small)
+
+
+class TestRouterAreas:
+    def test_xb_router_counts_all_port_buffers(self):
+        t = tech()
+        buf = FIFOBufferPower(t, depth_flits=64, flit_bits=32)
+        xb = MatrixCrossbarPower(t, inputs=5, outputs=5, width_bits=32)
+        one = area.xb_router_area_um2(buf, xb, ports=5, buffers_per_port=1)
+        two = area.xb_router_area_um2(buf, xb, ports=5, buffers_per_port=2)
+        assert two - one == pytest.approx(5 * area.buffer_area_um2(buf))
+
+    def test_cb_router_includes_central_and_input_buffers(self):
+        t = tech()
+        central = CentralBufferPower(t, rows=256, banks=4, flit_bits=32)
+        buf = FIFOBufferPower(t, depth_flits=64, flit_bits=32)
+        total = area.cb_router_area_um2(central, buf, ports=5)
+        assert total == pytest.approx(
+            area.central_buffer_area_um2(central)
+            + 5 * area.buffer_area_um2(buf))
+
+    def test_row_and_flit_access_have_similar_array_area(self):
+        """Same storage -> same silicon, whether modelled as one wide
+        array or per-bank arrays (within port-overhead differences)."""
+        t = tech()
+        row = CentralBufferPower(t, rows=256, banks=4, flit_bits=32,
+                                 row_access=True)
+        flat = CentralBufferPower(t, rows=256, banks=4, flit_bits=32,
+                                  row_access=False)
+        a_row = area.central_buffer_area_um2(row)
+        a_flat = area.central_buffer_area_um2(flat)
+        assert a_row == pytest.approx(a_flat, rel=0.25)
+
+    def test_paper_cb_and_xb_configs_have_matching_area(self):
+        """Section 4.4 chose CB and XB to 'take up roughly the same
+        area'; the models should agree to within ~15%."""
+        t = tech()
+        xb_buf = FIFOBufferPower(t, depth_flits=16 * 268, flit_bits=32)
+        xbar = MatrixCrossbarPower(t, inputs=5, outputs=5, width_bits=32)
+        xb_area = area.xb_router_area_um2(xb_buf, xbar, ports=5)
+        central = CentralBufferPower(t, rows=2560, banks=4, flit_bits=32)
+        cb_buf = FIFOBufferPower(t, depth_flits=64, flit_bits=32)
+        cb_area = area.cb_router_area_um2(central, cb_buf, ports=5)
+        assert cb_area == pytest.approx(xb_area, rel=0.15)
+
+    def test_rejects_bad_port_counts(self):
+        t = tech()
+        buf = FIFOBufferPower(t, depth_flits=4, flit_bits=8)
+        xb = MatrixCrossbarPower(t, inputs=5, outputs=5, width_bits=8)
+        with pytest.raises(ValueError):
+            area.xb_router_area_um2(buf, xb, ports=0)
+        with pytest.raises(ValueError):
+            area.xb_router_area_um2(buf, xb, ports=5, buffers_per_port=0)
+        central = CentralBufferPower(t, rows=16, banks=2, flit_bits=8)
+        with pytest.raises(ValueError):
+            area.cb_router_area_um2(central, buf, ports=0)

@@ -1,0 +1,152 @@
+"""Unit tests for the FIFO buffer power model (paper Table 2)."""
+
+import pytest
+
+from repro.power import FIFOBufferPower
+from repro.tech import Technology
+
+
+def tech():
+    return Technology(0.1, vdd=1.2, frequency_hz=2e9)
+
+
+def buf(depth=64, bits=256, pr=1, pw=1, t=None):
+    return FIFOBufferPower(t or tech(), depth_flits=depth, flit_bits=bits,
+                           read_ports=pr, write_ports=pw)
+
+
+class TestGeometry:
+    def test_wordline_length_formula(self):
+        # L_wl = F * (w_cell + 2*(Pr+Pw)*d_w)
+        t = tech()
+        b = buf(depth=8, bits=32, t=t)
+        expected = 32 * (t.cell_width_um + 2 * 2 * t.wire_spacing_um)
+        assert b.wordline_length_um == pytest.approx(expected)
+
+    def test_bitline_length_formula(self):
+        # L_bl = B * (h_cell + (Pr+Pw)*d_w)
+        t = tech()
+        b = buf(depth=8, bits=32, t=t)
+        expected = 8 * (t.cell_height_um + 2 * t.wire_spacing_um)
+        assert b.bitline_length_um == pytest.approx(expected)
+
+    def test_extra_ports_stretch_both_dimensions(self):
+        single = buf(pr=1, pw=1)
+        multi = buf(pr=2, pw=2)
+        assert multi.wordline_length_um > single.wordline_length_um
+        assert multi.bitline_length_um > single.bitline_length_um
+
+
+class TestCapacitances:
+    def test_wordline_cap_formula(self):
+        # C_wl = 2*F*Cg(Tp) + Ca(Twd) + Cw(L_wl)
+        t = tech()
+        b = buf(depth=4, bits=16, t=t)
+        expected = (
+            2 * 16 * t.gate_cap(t.scaled_width("memcell_access"),
+                                pass_gate=True)
+            + t.inverter_cap(t.scaled_width("wordline_driver_n"),
+                             t.scaled_width("wordline_driver_p"))
+            + t.wire_cap(b.wordline_length_um, layer="word")
+        )
+        assert b.wordline_cap == pytest.approx(expected)
+
+    def test_read_bitline_cap_formula(self):
+        # C_br = B*Cd(Tp) + Cd(Tc) + Cw(L_bl)
+        t = tech()
+        b = buf(depth=4, bits=16, t=t)
+        expected = (
+            4 * t.diff_cap(t.scaled_width("memcell_access"))
+            + t.diff_cap(t.scaled_width("precharge"), pmos=True)
+            + t.wire_cap(b.bitline_length_um, layer="bit")
+        )
+        assert b.read_bitline_cap == pytest.approx(expected)
+
+    def test_write_bitline_cap_formula(self):
+        # C_bw = B*Cd(Tp) + Ca(Tbd) + Cw(L_bl)
+        t = tech()
+        b = buf(depth=4, bits=16, t=t)
+        expected = (
+            4 * t.diff_cap(t.scaled_width("memcell_access"))
+            + t.inverter_cap(t.scaled_width("bitline_driver_n"),
+                             t.scaled_width("bitline_driver_p"))
+            + t.wire_cap(b.bitline_length_um, layer="bit")
+        )
+        assert b.write_bitline_cap == pytest.approx(expected)
+
+    def test_precharge_cap_is_gate_only(self):
+        t = tech()
+        b = buf(t=t)
+        assert b.precharge_cap == pytest.approx(
+            t.gate_cap(t.scaled_width("precharge")))
+
+    def test_cell_cap_formula(self):
+        # C_cell = 2*(Pr+Pw)*Cd(Tp) + 2*Ca(Tm)
+        t = tech()
+        b = buf(pr=2, pw=1, t=t)
+        expected = (
+            2 * 3 * t.diff_cap(t.scaled_width("memcell_access"))
+            + 2 * t.inverter_cap(t.scaled_width("memcell_nmos"),
+                                 t.scaled_width("memcell_pmos"))
+        )
+        assert b.cell_cap == pytest.approx(expected)
+
+
+class TestEnergies:
+    def test_read_energy_composition(self):
+        # E_read = E_wl + F*(E_br + 2*E_chg + E_amp)
+        b = buf(depth=8, bits=32)
+        per_bit = (b.read_bitline_energy + 2 * b.precharge_energy
+                   + b.sense_amp_energy)
+        assert b.read_energy() == pytest.approx(
+            b.wordline_energy + 32 * per_bit)
+
+    def test_write_energy_average_uses_half_width(self):
+        # E_wrt = E_wl + (F/2)*(E_bw + E_cell) under random data.
+        b = buf(depth=8, bits=32)
+        assert b.write_energy() == pytest.approx(
+            b.wordline_energy
+            + 16 * (b.write_bitline_energy + b.cell_energy))
+
+    def test_write_energy_tracks_hamming_distance(self):
+        b = buf(depth=8, bits=32)
+        zero_flip = b.write_energy(0b1010, 0b1010)
+        one_flip = b.write_energy(0b1010, 0b1011)
+        assert zero_flip == pytest.approx(b.wordline_energy)
+        assert one_flip == pytest.approx(
+            b.wordline_energy + b.write_bitline_energy + b.cell_energy)
+
+    def test_read_energy_grows_with_flit_width(self):
+        assert buf(bits=256).read_energy() > buf(bits=64).read_energy()
+
+    def test_read_energy_grows_with_depth(self):
+        # Longer bitlines make reads dearer.
+        assert buf(depth=128).read_energy() > buf(depth=16).read_energy()
+
+    def test_vc64_equals_wh64_buffer_power(self):
+        """VC64's shared per-port array (8 VCs x 8 flits) is physically
+        the same 64-flit array as WH64's — the Figure 5(b) equality."""
+        assert buf(depth=8 * 8).read_energy() == pytest.approx(
+            buf(depth=64).read_energy())
+
+    def test_describe_is_complete(self):
+        d = buf().describe()
+        for key in ("wordline_cap_f", "read_energy_j", "write_energy_j",
+                    "bitline_length_um"):
+            assert key in d
+
+
+class TestValidation:
+    def test_rejects_zero_depth(self):
+        with pytest.raises(ValueError):
+            buf(depth=0)
+
+    def test_rejects_zero_width(self):
+        with pytest.raises(ValueError):
+            buf(bits=0)
+
+    def test_rejects_zero_ports(self):
+        with pytest.raises(ValueError):
+            buf(pr=0)
+        with pytest.raises(ValueError):
+            buf(pw=0)

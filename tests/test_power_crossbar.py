@@ -1,0 +1,132 @@
+"""Unit tests for the crossbar power models (paper Table 3)."""
+
+import pytest
+
+from repro.power import MatrixCrossbarPower, MuxTreeCrossbarPower
+from repro.tech import Technology, driver_total_cap
+
+
+def tech():
+    return Technology(0.1, vdd=1.2, frequency_hz=2e9)
+
+
+def matrix(i=5, o=5, w=32, t=None):
+    return MatrixCrossbarPower(t or tech(), inputs=i, outputs=o,
+                               width_bits=w)
+
+
+def muxtree(i=5, o=5, w=32, t=None):
+    return MuxTreeCrossbarPower(t or tech(), inputs=i, outputs=o,
+                                width_bits=w)
+
+
+class TestMatrixGeometry:
+    def test_input_line_length(self):
+        # L_in spans O output columns of W wires at the crosspoint pitch.
+        t = tech()
+        xb = matrix(i=5, o=5, w=32, t=t)
+        assert xb.input_line_length_um == pytest.approx(
+            5 * 32 * xb.crosspoint_pitch_um)
+
+    def test_output_line_length(self):
+        t = tech()
+        xb = matrix(i=3, o=7, w=16, t=t)
+        assert xb.output_line_length_um == pytest.approx(
+            3 * 16 * xb.crosspoint_pitch_um)
+
+    def test_crosspoint_pitch_is_two_wire_pitches(self):
+        t = tech()
+        assert matrix(t=t).crosspoint_pitch_um == pytest.approx(
+            2 * t.wire_spacing_um)
+
+
+class TestMatrixCapacitances:
+    def test_input_line_cap_composition(self):
+        # C_in = Ca(T_id) + O*Cd(T_x) + Cw(L_in)
+        t = tech()
+        xb = matrix(i=5, o=5, w=32, t=t)
+        connector = t.diff_cap(t.scaled_width("crossbar_pass"))
+        wire = t.wire_cap(xb.input_line_length_um, layer="word")
+        passive = 5 * connector + wire
+        assert xb.input_line_cap == pytest.approx(
+            driver_total_cap(t, passive) + passive)
+
+    def test_control_line_cap_composition(self):
+        # C_xb_ctr = W*Cg(T_x) + Cw(L_in / 2)
+        t = tech()
+        xb = matrix(i=5, o=5, w=32, t=t)
+        gate = t.gate_cap(t.scaled_width("crossbar_pass"), pass_gate=True)
+        expected = 32 * gate + t.wire_cap(xb.input_line_length_um / 2,
+                                          layer="word")
+        assert xb.control_line_cap == pytest.approx(expected)
+
+    def test_more_outputs_heavier_input_lines(self):
+        assert matrix(o=8).input_line_cap > matrix(o=4).input_line_cap
+
+    def test_more_inputs_heavier_output_lines(self):
+        assert matrix(i=8).output_line_cap > matrix(i=4).output_line_cap
+
+
+class TestMatrixEnergies:
+    def test_traversal_energy_average(self):
+        # delta = W/2 lines switch, each charging input + output line.
+        xb = matrix(w=32)
+        assert xb.traversal_energy() == pytest.approx(
+            16 * (xb.input_line_energy + xb.output_line_energy))
+
+    def test_traversal_energy_tracks_hamming(self):
+        xb = matrix(w=32)
+        same = xb.traversal_energy(0xDEAD, 0xDEAD)
+        diff = xb.traversal_energy(0, 0b111)
+        assert same == 0.0
+        assert diff == pytest.approx(
+            3 * (xb.input_line_energy + xb.output_line_energy))
+
+    def test_traversal_energy_grows_with_width(self):
+        assert matrix(w=256).traversal_energy() > matrix(w=32).traversal_energy()
+
+    def test_describe_is_complete(self):
+        d = matrix().describe()
+        for key in ("input_line_cap_f", "control_line_cap_f",
+                    "traversal_energy_j"):
+            assert key in d
+
+
+class TestMuxTree:
+    def test_depth_is_log2_inputs(self):
+        assert muxtree(i=2).depth == 1
+        assert muxtree(i=5).depth == 3
+        assert muxtree(i=8).depth == 3
+        assert muxtree(i=1).depth == 0
+
+    def test_traversal_energy_average(self):
+        xb = muxtree(w=32)
+        assert xb.traversal_energy() == pytest.approx(16 * xb.per_bit_energy)
+
+    def test_traversal_energy_tracks_hamming(self):
+        xb = muxtree(w=32)
+        assert xb.traversal_energy(0, 0) == 0.0
+        assert xb.traversal_energy(0, 1) == pytest.approx(xb.per_bit_energy)
+
+    def test_cheaper_than_matrix_for_wide_fabrics(self):
+        """A mux tree switches one log-depth path instead of full
+        crosspoint rails, so traversals cost less."""
+        assert muxtree(w=256).traversal_energy() < \
+            matrix(w=256).traversal_energy()
+
+    def test_deeper_tree_for_more_inputs(self):
+        assert muxtree(i=16).traversal_energy() > muxtree(i=4).traversal_energy()
+
+
+class TestValidation:
+    @pytest.mark.parametrize("cls", [MatrixCrossbarPower, MuxTreeCrossbarPower])
+    def test_rejects_zero_ports(self, cls):
+        with pytest.raises(ValueError):
+            cls(tech(), inputs=0, outputs=5, width_bits=32)
+        with pytest.raises(ValueError):
+            cls(tech(), inputs=5, outputs=0, width_bits=32)
+
+    @pytest.mark.parametrize("cls", [MatrixCrossbarPower, MuxTreeCrossbarPower])
+    def test_rejects_zero_width(self, cls):
+        with pytest.raises(ValueError):
+            cls(tech(), inputs=5, outputs=5, width_bits=0)

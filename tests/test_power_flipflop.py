@@ -1,0 +1,36 @@
+"""Unit tests for the flip-flop power subcomponent."""
+
+import pytest
+
+from repro.power import FlipFlopPower
+from repro.tech import Technology
+
+
+def ff(feature=0.1):
+    return FlipFlopPower(Technology(feature, vdd=1.2, frequency_hz=2e9))
+
+
+class TestFlipFlop:
+    def test_clock_energy_paid_even_without_data_change(self):
+        f = ff()
+        assert f.write_energy(bit_changed=False) == pytest.approx(
+            f.clock_energy)
+
+    def test_data_flip_adds_internal_energy(self):
+        f = ff()
+        assert f.write_energy(bit_changed=True) == pytest.approx(
+            f.clock_energy + f.data_switch_energy)
+
+    def test_internal_cap_exceeds_clock_cap(self):
+        # Four inverters plus pass drains outweigh four pass gates.
+        f = ff()
+        assert f.internal_cap > f.clock_cap
+
+    def test_scales_with_feature_size(self):
+        assert ff(0.07).data_switch_energy < ff(0.25).data_switch_energy
+
+    def test_describe_is_complete(self):
+        d = ff().describe()
+        for key in ("internal_cap_f", "clock_cap_f",
+                    "data_switch_energy_j", "clock_energy_j"):
+            assert key in d

@@ -1,0 +1,72 @@
+"""Unit tests for the link power models."""
+
+import pytest
+
+from repro.power import ChipToChipLinkPower, OnChipLinkPower
+from repro.tech import Technology
+
+
+def tech(f=2e9):
+    return Technology(0.1, vdd=1.2, frequency_hz=f)
+
+
+class TestOnChipLink:
+    def test_reproduces_paper_link_capacitance(self):
+        # 1.08 pF per 3 mm at 0.1 um (section 4.2).
+        link = OnChipLinkPower(tech(), length_mm=3.0, width_bits=256)
+        assert link.wire_cap_per_bit == pytest.approx(1.08e-12)
+
+    def test_traversal_energy_average(self):
+        link = OnChipLinkPower(tech(), length_mm=3.0, width_bits=256)
+        assert link.traversal_energy() == pytest.approx(
+            128 * link.bit_energy)
+
+    def test_traversal_energy_tracks_hamming(self):
+        link = OnChipLinkPower(tech(), length_mm=3.0, width_bits=8)
+        assert link.traversal_energy(0xFF, 0xFF) == 0.0
+        assert link.traversal_energy(0, 0xFF) == pytest.approx(
+            8 * link.bit_energy)
+
+    def test_traffic_sensitive_with_no_idle_cost(self):
+        link = OnChipLinkPower(tech(), length_mm=3.0, width_bits=256)
+        assert link.is_traffic_sensitive
+        assert link.idle_energy_per_cycle() == 0.0
+
+    def test_energy_linear_in_length(self):
+        short = OnChipLinkPower(tech(), length_mm=1.5, width_bits=32)
+        long = OnChipLinkPower(tech(), length_mm=3.0, width_bits=32)
+        assert long.traversal_energy() == pytest.approx(
+            2 * short.traversal_energy())
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            OnChipLinkPower(tech(), length_mm=0.0, width_bits=32)
+        with pytest.raises(ValueError):
+            OnChipLinkPower(tech(), length_mm=3.0, width_bits=0)
+
+
+class TestChipToChipLink:
+    def test_constant_power_independent_of_traffic(self):
+        link = ChipToChipLinkPower(tech(1e9), power_watts=3.0, width_bits=32)
+        assert not link.is_traffic_sensitive
+        assert link.traversal_energy() == 0.0
+        assert link.traversal_energy(0, 0xFFFF) == 0.0
+
+    def test_energy_per_cycle_is_power_over_frequency(self):
+        link = ChipToChipLinkPower(tech(1e9), power_watts=3.0, width_bits=32)
+        assert link.idle_energy_per_cycle() == pytest.approx(3.0 / 1e9)
+
+    def test_integrates_back_to_rated_power(self):
+        """One simulated second of idle energy equals the rated watts."""
+        f = 1e9
+        link = ChipToChipLinkPower(tech(f), power_watts=3.0, width_bits=32)
+        total = link.idle_energy_per_cycle() * f
+        assert total == pytest.approx(3.0)
+
+    def test_rejects_negative_power(self):
+        with pytest.raises(ValueError):
+            ChipToChipLinkPower(tech(), power_watts=-1.0, width_bits=32)
+
+    def test_rejects_zero_width(self):
+        with pytest.raises(ValueError):
+            ChipToChipLinkPower(tech(), power_watts=3.0, width_bits=0)

@@ -1,0 +1,162 @@
+"""Property-based tests (hypothesis) on power-model invariants."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.power import (
+    FIFOBufferPower,
+    MatrixArbiterPower,
+    MatrixCrossbarPower,
+    MuxTreeCrossbarPower,
+    OnChipLinkPower,
+    expected_switches,
+    hamming_distance,
+)
+from repro.tech import Technology
+
+features = st.sampled_from([0.35, 0.25, 0.18, 0.13, 0.10, 0.07])
+depths = st.integers(min_value=1, max_value=512)
+widths = st.integers(min_value=1, max_value=512)
+ports = st.integers(min_value=1, max_value=4)
+
+
+def tech(feature):
+    return Technology(feature)
+
+
+class TestHamming:
+    @given(st.integers(min_value=0, max_value=2**64 - 1),
+           st.integers(min_value=0, max_value=2**64 - 1))
+    def test_symmetric(self, a, b):
+        assert hamming_distance(a, b) == hamming_distance(b, a)
+
+    @given(st.integers(min_value=0, max_value=2**64 - 1))
+    def test_identity_is_zero(self, a):
+        assert hamming_distance(a, a) == 0
+
+    @given(st.integers(min_value=0, max_value=2**32 - 1),
+           st.integers(min_value=0, max_value=2**32 - 1),
+           st.integers(min_value=0, max_value=2**32 - 1))
+    def test_triangle_inequality(self, a, b, c):
+        assert hamming_distance(a, c) <= (
+            hamming_distance(a, b) + hamming_distance(b, c))
+
+    @given(st.integers(min_value=1, max_value=256))
+    def test_expected_switches_default_is_half_width(self, width):
+        assert expected_switches(width, None, None) == width / 2
+
+    @given(st.integers(min_value=1, max_value=64), st.data())
+    def test_expected_switches_bounded_by_width(self, width, data):
+        a = data.draw(st.integers(min_value=0, max_value=2**width - 1))
+        b = data.draw(st.integers(min_value=0, max_value=2**width - 1))
+        assert 0 <= expected_switches(width, a, b) <= width
+
+
+class TestBufferProperties:
+    @settings(max_examples=40)
+    @given(features, depths, widths, ports, ports)
+    def test_energies_positive_and_finite(self, f, depth, width, pr, pw):
+        buf = FIFOBufferPower(tech(f), depth_flits=depth, flit_bits=width,
+                              read_ports=pr, write_ports=pw)
+        for energy in (buf.read_energy(), buf.write_energy()):
+            assert energy > 0
+            assert math.isfinite(energy)
+
+    @settings(max_examples=30)
+    @given(features, depths, widths)
+    def test_read_energy_monotone_in_width(self, f, depth, width):
+        t = tech(f)
+        narrow = FIFOBufferPower(t, depth_flits=depth, flit_bits=width)
+        wide = FIFOBufferPower(t, depth_flits=depth, flit_bits=width + 8)
+        assert wide.read_energy() > narrow.read_energy()
+
+    @settings(max_examples=30)
+    @given(features, depths, widths)
+    def test_read_energy_monotone_in_depth(self, f, depth, width):
+        t = tech(f)
+        shallow = FIFOBufferPower(t, depth_flits=depth, flit_bits=width)
+        deep = FIFOBufferPower(t, depth_flits=depth + 8, flit_bits=width)
+        assert deep.read_energy() > shallow.read_energy()
+
+    @settings(max_examples=30)
+    @given(features, depths, widths, ports)
+    def test_more_ports_longer_lines(self, f, depth, width, p):
+        t = tech(f)
+        few = FIFOBufferPower(t, depth_flits=depth, flit_bits=width,
+                              read_ports=p, write_ports=p)
+        more = FIFOBufferPower(t, depth_flits=depth, flit_bits=width,
+                               read_ports=p + 1, write_ports=p + 1)
+        assert more.wordline_length_um > few.wordline_length_um
+        assert more.bitline_length_um > few.bitline_length_um
+
+    @settings(max_examples=30)
+    @given(st.integers(min_value=2, max_value=64), st.data())
+    def test_write_energy_bounded_by_full_flip(self, width, data):
+        buf = FIFOBufferPower(tech(0.1), depth_flits=8, flit_bits=width)
+        a = data.draw(st.integers(min_value=0, max_value=2**width - 1))
+        b = data.draw(st.integers(min_value=0, max_value=2**width - 1))
+        tracked = buf.write_energy(a, b)
+        full = buf.write_energy(0, 2**width - 1)
+        floor = buf.write_energy(a, a)
+        assert floor <= tracked <= full
+
+
+class TestCrossbarProperties:
+    @settings(max_examples=40)
+    @given(features, st.integers(2, 12), st.integers(2, 12),
+           st.integers(1, 512))
+    def test_matrix_energies_positive(self, f, i, o, w):
+        xb = MatrixCrossbarPower(tech(f), inputs=i, outputs=o, width_bits=w)
+        assert xb.traversal_energy() > 0
+        assert xb.control_line_energy > 0
+
+    @settings(max_examples=30)
+    @given(features, st.integers(2, 12), st.integers(1, 256))
+    def test_matrix_monotone_in_radix(self, f, radix, w):
+        t = tech(f)
+        small = MatrixCrossbarPower(t, inputs=radix, outputs=radix,
+                                    width_bits=w)
+        big = MatrixCrossbarPower(t, inputs=radix + 1, outputs=radix + 1,
+                                  width_bits=w)
+        assert big.traversal_energy() > small.traversal_energy()
+
+    @settings(max_examples=30)
+    @given(features, st.integers(2, 32), st.integers(1, 128))
+    def test_mux_tree_never_beats_matrix_radix_growth(self, f, i, w):
+        """Mux-tree traversal grows logarithmically with inputs, matrix
+        linearly — the tree is never the more expensive of the two at
+        large radix and equal width."""
+        t = tech(f)
+        mt = MuxTreeCrossbarPower(t, inputs=i, outputs=i, width_bits=w)
+        mx = MatrixCrossbarPower(t, inputs=i, outputs=i, width_bits=w)
+        assert mt.traversal_energy() <= mx.traversal_energy() * 1.5
+
+
+class TestArbiterProperties:
+    @settings(max_examples=40)
+    @given(features, st.integers(1, 32), st.data())
+    def test_energy_monotone_in_requests(self, f, r, data):
+        arb = MatrixArbiterPower(tech(f), requesters=r)
+        n = data.draw(st.integers(min_value=0, max_value=r - 1))
+        assert arb.arbitration_energy(n + 1) >= arb.arbitration_energy(n)
+
+    @settings(max_examples=40)
+    @given(features, st.integers(1, 32))
+    def test_energy_nonnegative(self, f, r):
+        arb = MatrixArbiterPower(tech(f), requesters=r)
+        for n in range(r + 1):
+            assert arb.arbitration_energy(n) >= 0.0
+
+
+class TestLinkProperties:
+    @settings(max_examples=40)
+    @given(features, st.floats(min_value=0.5, max_value=20.0),
+           st.integers(1, 512))
+    def test_on_chip_energy_scales_with_length_and_width(self, f, mm, w):
+        t = tech(f)
+        link = OnChipLinkPower(t, length_mm=mm, width_bits=w)
+        double = OnChipLinkPower(t, length_mm=2 * mm, width_bits=w)
+        assert double.traversal_energy() > link.traversal_energy()
+        assert link.traversal_energy() > 0

@@ -1,0 +1,78 @@
+"""Unit tests for the paper's named configurations."""
+
+import pytest
+
+from repro.core.presets import PRESETS, preset
+
+
+class TestOnChipPresets:
+    def test_wh64(self):
+        cfg = preset("WH64")
+        assert cfg.router.kind == "wormhole"
+        assert cfg.router.buffer_depth == 64
+        assert cfg.router.flit_bits == 256
+        assert cfg.tech.frequency_hz == 2.0e9
+        assert cfg.tech.vdd == 1.2
+        assert cfg.tech.feature_size_um == 0.1
+        assert cfg.link.kind == "on_chip"
+        assert cfg.link.length_mm == 3.0
+
+    def test_vc16(self):
+        cfg = preset("VC16")
+        assert cfg.router.kind == "vc"
+        assert cfg.router.num_vcs == 2
+        assert cfg.router.buffer_depth == 8
+        assert cfg.router.buffer_flits_per_port == 16
+
+    def test_vc64(self):
+        cfg = preset("VC64")
+        assert cfg.router.num_vcs == 8
+        assert cfg.router.buffer_flits_per_port == 64
+
+    def test_vc128(self):
+        cfg = preset("VC128")
+        assert cfg.router.num_vcs == 8
+        assert cfg.router.buffer_depth == 16
+        assert cfg.router.buffer_flits_per_port == 128
+
+    def test_vc64_matches_wh64_buffering(self):
+        """The section 4.2 pairing: same total buffer per port."""
+        assert preset("VC64").router.buffer_flits_per_port == \
+            preset("WH64").router.buffer_flits_per_port
+
+
+class TestChipToChipPresets:
+    def test_cb(self):
+        cfg = preset("CB")
+        assert cfg.router.kind == "central"
+        assert cfg.router.cb_rows == 2560
+        assert cfg.router.cb_banks == 4
+        assert cfg.router.cb_read_ports == 2
+        assert cfg.router.cb_write_ports == 2
+        assert cfg.router.buffer_depth == 64
+        assert cfg.router.flit_bits == 32
+        assert cfg.tech.frequency_hz == 1.0e9
+        assert cfg.link.kind == "chip_to_chip"
+        assert cfg.link.power_watts == 3.0
+
+    def test_xb(self):
+        cfg = preset("XB")
+        assert cfg.router.kind == "vc"
+        assert cfg.router.num_vcs == 16
+        assert cfg.router.buffer_depth == 268
+
+
+class TestCommon:
+    @pytest.mark.parametrize("name", sorted(PRESETS))
+    def test_all_presets_are_4x4_torus_with_5_flit_packets(self, name):
+        cfg = preset(name)
+        assert cfg.topology == "torus"
+        assert (cfg.width, cfg.height) == (4, 4)
+        assert cfg.packet_length_flits == 5
+
+    def test_lookup_case_insensitive(self):
+        assert preset("vc16") == preset("VC16")
+
+    def test_unknown_preset(self):
+        with pytest.raises(ValueError):
+            preset("VC999")

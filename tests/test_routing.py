@@ -1,0 +1,136 @@
+"""Unit tests for dimension-ordered source routing."""
+
+import pytest
+
+from repro.sim.routing import dimension_ordered_route, route_hops, route_nodes
+from repro.sim.topology import EAST, LOCAL, NORTH, SOUTH, WEST, Mesh, Torus
+
+
+class TestBasics:
+    def test_route_ends_with_ejection(self):
+        topo = Torus(4)
+        route = dimension_ordered_route(topo, 0, 5)
+        assert route[-1] == LOCAL
+
+    def test_y_dimension_first(self):
+        """Section 4.3: 'In our dimension-ordered routing, we route along
+        the y-axis first.'"""
+        topo = Torus(4)
+        src = topo.node_at(0, 0)
+        dst = topo.node_at(1, 1)
+        route = dimension_ordered_route(topo, src, dst)
+        assert route == [NORTH, EAST, LOCAL]
+
+    def test_single_dimension_route(self):
+        topo = Torus(4)
+        route = dimension_ordered_route(
+            topo, topo.node_at(0, 0), topo.node_at(0, 1))
+        assert route == [NORTH, LOCAL]
+
+    def test_rejects_self_route(self):
+        with pytest.raises(ValueError):
+            dimension_ordered_route(Torus(4), 3, 3)
+
+    def test_rejects_unknown_tie_break(self):
+        with pytest.raises(ValueError):
+            dimension_ordered_route(Torus(4), 0, 1, tie_break="coin_flip")
+
+    def test_route_hops(self):
+        topo = Torus(4)
+        route = dimension_ordered_route(
+            topo, topo.node_at(0, 0), topo.node_at(1, 1))
+        assert route_hops(route) == 2
+
+
+class TestMinimality:
+    def test_all_pairs_minimal_on_torus(self):
+        topo = Torus(4)
+        for src in range(16):
+            for dst in range(16):
+                if src == dst:
+                    continue
+                for tie in ("avoid_wrap", "even"):
+                    route = dimension_ordered_route(topo, src, dst,
+                                                    tie_break=tie)
+                    assert route_hops(route) == \
+                        topo.manhattan_distance(src, dst)
+
+    def test_all_pairs_minimal_on_mesh(self):
+        topo = Mesh(3)
+        for src in range(9):
+            for dst in range(9):
+                if src == dst:
+                    continue
+                route = dimension_ordered_route(topo, src, dst)
+                assert route_hops(route) == topo.manhattan_distance(src, dst)
+
+    def test_routes_terminate_at_destination(self):
+        topo = Torus(4)
+        for src in range(16):
+            for dst in range(16):
+                if src == dst:
+                    continue
+                route = dimension_ordered_route(topo, src, dst)
+                assert route_nodes(topo, src, route)[-1] == dst
+
+
+class TestWraparound:
+    def test_uses_wrap_when_strictly_shorter(self):
+        topo = Torus(4)
+        route = dimension_ordered_route(
+            topo, topo.node_at(0, 0), topo.node_at(0, 3))
+        assert route == [SOUTH, LOCAL]
+
+    def test_avoid_wrap_keeps_two_hop_runs_off_wrap_edges(self):
+        """The deadlock-freedom property: with avoid_wrap, no multi-hop
+        straight run crosses a wraparound edge on a radix-4 torus, so
+        intra-ring channel cycles cannot form."""
+        topo = Torus(4)
+        for src in range(16):
+            for dst in range(16):
+                if src == dst:
+                    continue
+                route = dimension_ordered_route(topo, src, dst,
+                                                tie_break="avoid_wrap")
+                nodes = route_nodes(topo, src, route)
+                for dim in ("y", "x"):
+                    in_dim = [(i, p) for i, p in enumerate(route[:-1])
+                              if (p in (NORTH, SOUTH)) == (dim == "y")]
+                    if len(in_dim) >= 2:
+                        # A multi-hop run must stay off wrap edges.
+                        for i, port in in_dim:
+                            assert not topo.crosses_wrap_edge(
+                                nodes[i], port), (src, dst, route)
+
+    def test_even_tie_break_balances_directions(self):
+        """Half the sources take each direction on equidistant pairs,
+        preserving torus symmetry."""
+        topo = Torus(4)
+        directions = []
+        for x in range(4):
+            for y in range(4):
+                src = topo.node_at(x, y)
+                dst = topo.node_at(x, (y + 2) % 4)
+                route = dimension_ordered_route(topo, src, dst,
+                                                tie_break="even")
+                directions.append(route[0])
+        assert directions.count(NORTH) == 8
+        assert directions.count(SOUTH) == 8
+
+    def test_mesh_never_wraps(self):
+        topo = Mesh(4)
+        route = dimension_ordered_route(
+            topo, topo.node_at(0, 0), topo.node_at(0, 3))
+        assert route == [NORTH, NORTH, NORTH, LOCAL]
+
+
+class TestRouteNodes:
+    def test_node_sequence(self):
+        topo = Torus(4)
+        src = topo.node_at(1, 2)
+        dst = topo.node_at(2, 3)
+        route = dimension_ordered_route(topo, src, dst)
+        nodes = route_nodes(topo, src, route)
+        assert nodes[0] == src
+        assert nodes[-1] == dst
+        assert len(nodes) == route_hops(route) + 1

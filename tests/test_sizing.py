@@ -1,0 +1,61 @@
+"""Unit tests for transistor sizing helpers."""
+
+import pytest
+
+from repro.tech import (
+    Technology,
+    default_width,
+    driver_drain_cap,
+    driver_total_cap,
+    driver_width_for_load,
+)
+from repro.tech.sizing import DRIVER_STAGE_EFFORT, PMOS_TO_NMOS_RATIO
+
+
+def tech():
+    return Technology(0.1, vdd=1.2, frequency_hz=2e9)
+
+
+class TestDefaultWidth:
+    def test_matches_scaled_width(self):
+        t = tech()
+        assert default_width(t, "precharge") == t.scaled_width("precharge")
+
+
+class TestDriverSizing:
+    def test_gate_cap_tracks_effort(self):
+        t = tech()
+        load = 500e-15
+        wn, wp = driver_width_for_load(t, load)
+        gate = t.gate_cap(wn) + t.gate_cap(wp)
+        assert gate == pytest.approx(load / DRIVER_STAGE_EFFORT, rel=1e-6)
+
+    def test_pmos_to_nmos_ratio(self):
+        t = tech()
+        wn, wp = driver_width_for_load(t, 500e-15)
+        assert wp == pytest.approx(PMOS_TO_NMOS_RATIO * wn)
+
+    def test_minimum_width_for_tiny_load(self):
+        t = tech()
+        wn, wp = driver_width_for_load(t, 1e-18)
+        assert wn >= t.feature_size_um
+        assert wp >= t.feature_size_um
+
+    def test_larger_load_larger_driver(self):
+        t = tech()
+        small = driver_width_for_load(t, 100e-15)
+        large = driver_width_for_load(t, 1000e-15)
+        assert large[0] > small[0]
+        assert large[1] > small[1]
+
+    def test_rejects_negative_load(self):
+        with pytest.raises(ValueError):
+            driver_width_for_load(tech(), -1e-15)
+
+    def test_total_cap_exceeds_drain_cap(self):
+        t = tech()
+        assert driver_total_cap(t, 500e-15) > driver_drain_cap(t, 500e-15)
+
+    def test_driver_cap_monotone_in_load(self):
+        t = tech()
+        assert driver_total_cap(t, 1000e-15) > driver_total_cap(t, 100e-15)

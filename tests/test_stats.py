@@ -1,0 +1,98 @@
+"""Unit tests for latency statistics and the saturation criterion."""
+
+import pytest
+
+from repro.sim.message import Packet
+from repro.sim.stats import (
+    LatencyStats,
+    is_saturated,
+    saturation_rate,
+    zero_load_latency_estimate,
+)
+
+
+def done_packet(created, ejected):
+    p = Packet(packet_id=0, src=0, dst=1, length_flits=5,
+               creation_cycle=created, route=[4])
+    p.eject_cycle = ejected
+    return p
+
+
+class TestLatencyStats:
+    def test_average(self):
+        stats = LatencyStats()
+        stats.record(done_packet(0, 10))
+        stats.record(done_packet(5, 25))
+        assert stats.average == 15.0
+        assert stats.count == 2
+
+    def test_min_max(self):
+        stats = LatencyStats()
+        for created, ejected in [(0, 10), (0, 30), (0, 20)]:
+            stats.record(done_packet(created, ejected))
+        assert stats.minimum == 10
+        assert stats.maximum == 30
+
+    def test_percentile(self):
+        stats = LatencyStats()
+        for lat in range(1, 101):
+            stats.record(done_packet(0, lat))
+        assert stats.percentile(50) == 50.0
+        assert stats.percentile(99) == 99.0
+        assert stats.percentile(100) == 100.0
+
+    def test_empty_stats_raise(self):
+        with pytest.raises(ValueError):
+            LatencyStats().average
+        with pytest.raises(ValueError):
+            LatencyStats().percentile(50)
+
+    def test_percentile_range_checked(self):
+        stats = LatencyStats()
+        stats.record(done_packet(0, 10))
+        with pytest.raises(ValueError):
+            stats.percentile(150)
+
+
+class TestSaturation:
+    def test_criterion_is_twice_zero_load(self):
+        """The paper: saturation is when latency exceeds twice the
+        zero-load latency."""
+        assert not is_saturated(19.9, 10.0)
+        assert not is_saturated(20.0, 10.0)
+        assert is_saturated(20.1, 10.0)
+
+    def test_rejects_bad_zero_load(self):
+        with pytest.raises(ValueError):
+            is_saturated(10.0, 0.0)
+
+    def test_saturation_rate_finds_first_crossing(self):
+        rates = [0.05, 0.10, 0.15, 0.20]
+        lats = [10.0, 12.0, 25.0, 80.0]
+        assert saturation_rate(rates, lats, 10.0) == 0.15
+
+    def test_saturation_rate_none_when_stable(self):
+        assert saturation_rate([0.05, 0.1], [10.0, 11.0], 10.0) is None
+
+    def test_saturation_rate_handles_unsorted_input(self):
+        rates = [0.20, 0.05, 0.15, 0.10]
+        lats = [80.0, 10.0, 25.0, 12.0]
+        assert saturation_rate(rates, lats, 10.0) == 0.15
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            saturation_rate([0.1], [1.0, 2.0], 10.0)
+
+
+class TestZeroLoadEstimate:
+    def test_wormhole_formula(self):
+        """2-stage pipeline, 1-cycle links, 2 hops, 5 flits:
+        head = 2*(2+1) + 2 = 8, +4 serialization = 12."""
+        assert zero_load_latency_estimate(2, 2, 5) == 12.0
+
+    def test_vc_formula(self):
+        """3-stage pipeline: head = 2*4 + 3 = 11, +4 = 15."""
+        assert zero_load_latency_estimate(2, 3, 5) == 15.0
+
+    def test_single_flit_packet_has_no_serialization(self):
+        assert zero_load_latency_estimate(2, 2, 1) == 8.0

@@ -1,0 +1,150 @@
+"""Unit tests for torus/mesh topologies."""
+
+import pytest
+
+from repro.sim.topology import (
+    EAST,
+    LOCAL,
+    NORTH,
+    OPPOSITE,
+    SOUTH,
+    WEST,
+    Mesh,
+    Torus,
+)
+
+
+class TestCoordinates:
+    def test_round_trip(self):
+        topo = Torus(4)
+        for node in range(topo.num_nodes):
+            x, y = topo.coords(node)
+            assert topo.node_at(x, y) == node
+
+    def test_paper_labelling(self):
+        # Figure 6 labels nodes as (x, y) tuples; node at (1, 2) exists.
+        topo = Torus(4)
+        node = topo.node_at(1, 2)
+        assert topo.coords(node) == (1, 2)
+
+    def test_rectangular(self):
+        topo = Mesh(4, 2)
+        assert topo.num_nodes == 8
+        assert topo.coords(7) == (3, 1)
+
+    def test_bounds_checked(self):
+        topo = Torus(4)
+        with pytest.raises(ValueError):
+            topo.coords(16)
+        with pytest.raises(ValueError):
+            topo.node_at(4, 0)
+
+    def test_minimum_size(self):
+        with pytest.raises(ValueError):
+            Torus(1)
+
+
+class TestTorusNeighbors:
+    def test_interior_moves(self):
+        topo = Torus(4)
+        n = topo.node_at(1, 1)
+        assert topo.coords(topo.neighbor(n, NORTH)) == (1, 2)
+        assert topo.coords(topo.neighbor(n, SOUTH)) == (1, 0)
+        assert topo.coords(topo.neighbor(n, EAST)) == (2, 1)
+        assert topo.coords(topo.neighbor(n, WEST)) == (0, 1)
+
+    def test_wraparound(self):
+        topo = Torus(4)
+        top = topo.node_at(2, 3)
+        assert topo.coords(topo.neighbor(top, NORTH)) == (2, 0)
+        left = topo.node_at(0, 1)
+        assert topo.coords(topo.neighbor(left, WEST)) == (3, 1)
+
+    def test_local_port_has_no_neighbor(self):
+        topo = Torus(4)
+        assert topo.neighbor(5, LOCAL) is None
+
+    def test_every_node_has_four_links(self):
+        topo = Torus(4)
+        channels = list(topo.channels())
+        assert len(channels) == 16 * 4
+        out_degree = {}
+        for src, port, dst in channels:
+            out_degree[src] = out_degree.get(src, 0) + 1
+        assert all(d == 4 for d in out_degree.values())
+
+    def test_channels_are_symmetric(self):
+        topo = Torus(4)
+        pairs = {(src, dst) for src, _, dst in topo.channels()}
+        assert all((dst, src) in pairs for src, dst in pairs)
+
+    def test_opposite_ports(self):
+        topo = Torus(4)
+        for src, port, dst in topo.channels():
+            assert topo.neighbor(dst, OPPOSITE[port]) == src
+
+
+class TestMeshNeighbors:
+    def test_edges_have_no_neighbor(self):
+        topo = Mesh(4)
+        corner = topo.node_at(0, 0)
+        assert topo.neighbor(corner, SOUTH) is None
+        assert topo.neighbor(corner, WEST) is None
+        assert topo.neighbor(corner, NORTH) is not None
+
+    def test_fewer_channels_than_torus(self):
+        assert len(list(Mesh(4).channels())) < len(list(Torus(4).channels()))
+
+    def test_mesh_never_crosses_wrap(self):
+        topo = Mesh(4)
+        for node in range(topo.num_nodes):
+            for port in (NORTH, SOUTH, EAST, WEST):
+                assert not topo.crosses_wrap_edge(node, port)
+
+
+class TestWrapEdges:
+    def test_wrap_edge_detection(self):
+        topo = Torus(4)
+        assert topo.crosses_wrap_edge(topo.node_at(0, 3), NORTH)
+        assert topo.crosses_wrap_edge(topo.node_at(0, 0), SOUTH)
+        assert topo.crosses_wrap_edge(topo.node_at(3, 0), EAST)
+        assert topo.crosses_wrap_edge(topo.node_at(0, 0), WEST)
+        assert not topo.crosses_wrap_edge(topo.node_at(1, 1), NORTH)
+
+    def test_wrap_edges_count(self):
+        topo = Torus(4)
+        wraps = [1 for src, port, _ in topo.channels()
+                 if topo.crosses_wrap_edge(src, port)]
+        # One wrap edge per direction per row/column: 4 rows x 2 (E/W)
+        # + 4 columns x 2 (N/S).
+        assert sum(wraps) == 16
+
+
+class TestDistance:
+    def test_torus_uses_shorter_way_round(self):
+        topo = Torus(4)
+        a = topo.node_at(0, 0)
+        b = topo.node_at(3, 0)
+        assert topo.manhattan_distance(a, b) == 1
+
+    def test_mesh_distance(self):
+        topo = Mesh(4)
+        a = topo.node_at(0, 0)
+        b = topo.node_at(3, 3)
+        assert topo.manhattan_distance(a, b) == 6
+
+    def test_distance_symmetric(self):
+        topo = Torus(4)
+        for a in range(16):
+            for b in range(16):
+                assert topo.manhattan_distance(a, b) == \
+                    topo.manhattan_distance(b, a)
+
+    def test_torus_average_distance_is_two(self):
+        """4x4 torus uniform traffic averages 2 hops — the basis of the
+        section 4.2 load calculations."""
+        topo = Torus(4)
+        distances = [topo.manhattan_distance(a, b)
+                     for a in range(16) for b in range(16) if a != b]
+        assert sum(distances) / len(distances) == pytest.approx(
+            32 / 15, rel=1e-9)

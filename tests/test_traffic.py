@@ -1,0 +1,175 @@
+"""Unit tests for the traffic patterns."""
+
+import pytest
+
+from repro.sim.topology import Torus
+from repro.sim.traffic import (
+    BitComplementTraffic,
+    BroadcastTraffic,
+    HotspotTraffic,
+    NearestNeighborTraffic,
+    TraceTraffic,
+    TransposeTraffic,
+    UniformRandomTraffic,
+)
+
+
+def topo():
+    return Torus(4)
+
+
+def drain(pattern, cycles):
+    pairs = []
+    for c in range(cycles):
+        pairs.extend(pattern.packets_at(c))
+    return pairs
+
+
+class TestUniformRandom:
+    def test_rate_respected(self):
+        pattern = UniformRandomTraffic(topo(), rate=0.1, seed=3)
+        pairs = drain(pattern, 5000)
+        per_node_per_cycle = len(pairs) / (16 * 5000)
+        assert per_node_per_cycle == pytest.approx(0.1, rel=0.1)
+
+    def test_never_self_addressed(self):
+        pattern = UniformRandomTraffic(topo(), rate=0.5, seed=3)
+        assert all(src != dst for src, dst in drain(pattern, 500))
+
+    def test_destinations_cover_network(self):
+        pattern = UniformRandomTraffic(topo(), rate=0.5, seed=3)
+        dsts = {dst for _, dst in drain(pattern, 2000)}
+        assert dsts == set(range(16))
+
+    def test_deterministic_for_seed(self):
+        a = drain(UniformRandomTraffic(topo(), 0.2, seed=9), 200)
+        b = drain(UniformRandomTraffic(topo(), 0.2, seed=9), 200)
+        assert a == b
+
+    def test_reset_restarts_stream(self):
+        pattern = UniformRandomTraffic(topo(), 0.2, seed=9)
+        first = drain(pattern, 100)
+        pattern.reset(seed=9)
+        assert drain(pattern, 100) == first
+
+    def test_rejects_bad_rate(self):
+        with pytest.raises(ValueError):
+            UniformRandomTraffic(topo(), rate=1.5)
+        with pytest.raises(ValueError):
+            UniformRandomTraffic(topo(), rate=-0.1)
+
+
+class TestBroadcast:
+    def test_single_source(self):
+        t = topo()
+        source = t.node_at(1, 2)
+        pattern = BroadcastTraffic(t, source, rate=0.2, seed=3)
+        pairs = drain(pattern, 3000)
+        assert all(src == source for src, _ in pairs)
+
+    def test_destinations_swept_evenly(self):
+        """Round-robin destinations: every other node gets an equal
+        share (within one packet)."""
+        t = topo()
+        source = t.node_at(1, 2)
+        pattern = BroadcastTraffic(t, source, rate=1.0, seed=3)
+        pairs = drain(pattern, 15 * 10)
+        counts = {}
+        for _, dst in pairs:
+            counts[dst] = counts.get(dst, 0) + 1
+        assert source not in counts
+        assert len(counts) == 15
+        assert max(counts.values()) - min(counts.values()) <= 1
+
+    def test_total_rate_matches_uniform_workload(self):
+        """Section 4.3 keeps total network injection equal: one node at
+        0.2 versus 16 nodes at 0.2/16."""
+        t = topo()
+        broadcast = BroadcastTraffic(t, 0, rate=0.2, seed=3)
+        uniform = UniformRandomTraffic(t, rate=0.2 / 16, seed=3)
+        nb = len(drain(broadcast, 20000))
+        nu = len(drain(uniform, 20000))
+        assert nb == pytest.approx(nu, rel=0.1)
+
+    def test_rejects_bad_source(self):
+        with pytest.raises(ValueError):
+            BroadcastTraffic(topo(), 99, rate=0.2)
+
+
+class TestTranspose:
+    def test_destination_is_transposed(self):
+        t = topo()
+        pattern = TransposeTraffic(t, rate=1.0, seed=3)
+        for src, dst in drain(pattern, 10):
+            sx, sy = t.coords(src)
+            assert t.coords(dst) == (sy, sx)
+
+    def test_diagonal_nodes_silent(self):
+        t = topo()
+        pattern = TransposeTraffic(t, rate=1.0, seed=3)
+        srcs = {src for src, _ in drain(pattern, 50)}
+        diagonal = {t.node_at(i, i) for i in range(4)}
+        assert srcs.isdisjoint(diagonal)
+
+    def test_requires_square(self):
+        with pytest.raises(ValueError):
+            TransposeTraffic(Torus(4, 2), rate=0.5)
+
+
+class TestBitComplement:
+    def test_destination_is_complement(self):
+        t = topo()
+        pattern = BitComplementTraffic(t, rate=1.0, seed=3)
+        for src, dst in drain(pattern, 10):
+            sx, sy = t.coords(src)
+            assert t.coords(dst) == (3 - sx, 3 - sy)
+
+
+class TestHotspot:
+    def test_hotspot_receives_extra_share(self):
+        t = topo()
+        pattern = HotspotTraffic(t, rate=0.5, hotspot=5, hot_fraction=0.5,
+                                 seed=3)
+        pairs = drain(pattern, 3000)
+        to_hot = sum(1 for _, dst in pairs if dst == 5)
+        assert to_hot / len(pairs) > 0.3
+
+    def test_hotspot_never_sends_to_itself(self):
+        pattern = HotspotTraffic(topo(), rate=0.9, hotspot=5,
+                                 hot_fraction=1.0, seed=3)
+        assert all(src != dst for src, dst in drain(pattern, 300))
+
+    def test_rejects_bad_fraction(self):
+        with pytest.raises(ValueError):
+            HotspotTraffic(topo(), rate=0.5, hotspot=5, hot_fraction=1.5)
+
+
+class TestNearestNeighbor:
+    def test_distance_one_only(self):
+        t = topo()
+        pattern = NearestNeighborTraffic(t, rate=0.8, seed=3)
+        for src, dst in drain(pattern, 100):
+            assert t.manhattan_distance(src, dst) == 1
+
+
+class TestTrace:
+    def test_replays_exactly(self):
+        trace = [(0, 1, 2), (0, 3, 4), (5, 2, 9)]
+        pattern = TraceTraffic(topo(), trace)
+        assert pattern.packets_at(0) == [(1, 2), (3, 4)]
+        assert pattern.packets_at(1) == []
+        assert pattern.packets_at(5) == [(2, 9)]
+        assert pattern.last_cycle == 5
+
+    def test_empty_trace(self):
+        pattern = TraceTraffic(topo(), [])
+        assert pattern.packets_at(0) == []
+        assert pattern.last_cycle == 0
+
+    def test_validates_records(self):
+        with pytest.raises(ValueError):
+            TraceTraffic(topo(), [(-1, 0, 1)])
+        with pytest.raises(ValueError):
+            TraceTraffic(topo(), [(0, 3, 3)])
+        with pytest.raises(ValueError):
+            TraceTraffic(topo(), [(0, 0, 99)])

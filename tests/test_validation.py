@@ -1,0 +1,74 @@
+"""Ballpark-validation tests (paper section 3.2).
+
+The paper reports its estimates for two commercial routers were "within
+ballpark" of designers' guesstimates; precise numbers were proprietary.
+These tests pin our models inside the same publicly quoted envelopes:
+the estimate must land within a small factor of the published figures
+(the models cover the dynamic datapath only — no clock tree or control
+logic — so sitting below the full published budget is expected).
+"""
+
+import pytest
+
+from repro.validation import (
+    Alpha21364Router,
+    InfiniBand12XSwitch,
+    validation_report,
+)
+
+
+class TestAlpha21364:
+    def test_total_power_within_published_envelope(self):
+        """Published: router + links = 25 W.  Datapath-only estimate
+        must land within [25/5, 25*2] W."""
+        estimate = Alpha21364Router().estimate()
+        assert 5.0 <= estimate.total_power_w <= 50.0
+
+    def test_router_dominated_by_buffers_and_crossbar(self):
+        model = Alpha21364Router()
+        arb = model.arbiter.arbitration_energy(2)
+        assert arb < 0.01 * model.flit_energy()
+
+    def test_power_scales_with_utilization(self):
+        low = Alpha21364Router(utilization=0.1).estimate()
+        high = Alpha21364Router(utilization=0.9).estimate()
+        assert high.router_power_w > 5 * low.router_power_w
+        # Links are budgeted constant.
+        assert high.link_power_w == low.link_power_w
+
+    def test_utilization_validated(self):
+        with pytest.raises(ValueError):
+            Alpha21364Router(utilization=0.0)
+        with pytest.raises(ValueError):
+            Alpha21364Router(utilization=1.5)
+
+
+class TestInfiniBand:
+    def test_link_power_matches_datasheet(self):
+        """Eight 12X links at the paper's 3 W figure."""
+        estimate = InfiniBand12XSwitch().estimate()
+        assert estimate.link_power_w == 24.0
+
+    def test_total_power_within_published_envelope(self):
+        """Links alone are 24 W; the switch was quoted at ~15 W in a
+        blade budget (excluding link PHYs).  Total must land in
+        [25, 60] W."""
+        estimate = InfiniBand12XSwitch().estimate()
+        assert 25.0 <= estimate.total_power_w <= 60.0
+
+    def test_central_buffer_dominates_core(self):
+        model = InfiniBand12XSwitch()
+        cb = model.central.write_energy() + model.central.read_energy()
+        assert cb > 0.5 * model.chunk_energy()
+
+    def test_utilization_validated(self):
+        with pytest.raises(ValueError):
+            InfiniBand12XSwitch(utilization=-0.1)
+
+
+class TestReport:
+    def test_report_names_both_routers(self):
+        report = validation_report()
+        assert "Alpha 21364" in report
+        assert "InfiniBand" in report
+        assert "25 W" in report
