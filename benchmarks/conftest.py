@@ -13,6 +13,10 @@ paper-scale runs.
 
 Expensive sweeps are cached per pytest session, so the latency, power
 and breakdown panels of one figure share a single set of simulations.
+Sweeps run through the ``repro.exp`` orchestrator: set
+``REPRO_BENCH_PROCS=N`` to fan rate points out over N worker processes
+and ``REPRO_BENCH_CACHE=<dir>`` to persist results on disk across
+sessions (paper-scale reruns then cost nothing).
 """
 
 import os
@@ -20,11 +24,17 @@ from typing import Dict, Sequence, Tuple
 
 import pytest
 
-from repro import Orion, preset
+from repro import Orion, RunProtocol, preset
 from repro.core.report import SweepResult
+from repro.exp import ResultCache
 
 SAMPLE = int(os.environ.get("REPRO_BENCH_SAMPLE", "600"))
 WARMUP = int(os.environ.get("REPRO_BENCH_WARMUP", "500"))
+PROCS = int(os.environ.get("REPRO_BENCH_PROCS", "1"))
+PROTOCOL = RunProtocol(warmup_cycles=WARMUP, sample_packets=SAMPLE)
+
+_cache_dir = os.environ.get("REPRO_BENCH_CACHE")
+DISK_CACHE = ResultCache(_cache_dir) if _cache_dir else None
 
 FIG5_RATES = (0.02, 0.06, 0.10, 0.13, 0.15, 0.17, 0.20)
 FIG5_CONFIGS = ("WH64", "VC16", "VC64", "VC128")
@@ -41,9 +51,9 @@ def uniform_sweep(name: str, rates: Sequence[float]) -> SweepResult:
     """Cached uniform-random sweep of a named preset."""
     key = ("uniform", name, tuple(rates), SAMPLE)
     if key not in _sweep_cache:
-        _sweep_cache[key] = Orion(preset(name)).sweep_uniform(
-            rates, label=name, warmup_cycles=WARMUP,
-            sample_packets=SAMPLE)
+        _sweep_cache[key] = Orion(preset(name)).sweep_traffic(
+            "uniform", rates, PROTOCOL, label=name,
+            processes=PROCS, cache=DISK_CACHE)
     return _sweep_cache[key]
 
 
@@ -51,9 +61,9 @@ def broadcast_sweep(name: str, rates: Sequence[float]) -> SweepResult:
     """Cached broadcast sweep of a named preset."""
     key = ("broadcast", name, tuple(rates), SAMPLE)
     if key not in _sweep_cache:
-        _sweep_cache[key] = Orion(preset(name)).sweep_broadcast(
-            BROADCAST_SOURCE, rates, label=name, warmup_cycles=WARMUP,
-            sample_packets=SAMPLE)
+        _sweep_cache[key] = Orion(preset(name)).sweep_traffic(
+            "broadcast", rates, PROTOCOL, label=name,
+            source=BROADCAST_SOURCE, processes=PROCS, cache=DISK_CACHE)
     return _sweep_cache[key]
 
 
@@ -64,8 +74,7 @@ def uniform_run(name: str, rate: float, **config_overrides):
         cfg = preset(name)
         if config_overrides:
             cfg = cfg.with_(**config_overrides)
-        _run_cache[key] = Orion(cfg).run_uniform(
-            rate, warmup_cycles=WARMUP, sample_packets=SAMPLE)
+        _run_cache[key] = Orion(cfg).run_uniform(rate, PROTOCOL)
     return _run_cache[key]
 
 

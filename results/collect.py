@@ -1,13 +1,34 @@
-"""Collect the measured numbers recorded in EXPERIMENTS.md."""
-import json, time
-from repro import Orion, preset
-from repro.core import events as ev
+"""Collect the measured numbers recorded in EXPERIMENTS.md.
+
+Runs through the ``repro.exp`` orchestrator: the full figure grid fans
+out over ``REPRO_COLLECT_PROCS`` worker processes and every point is
+cached under ``results/.cache/`` — re-running after a crash (or after
+editing only the plotting side) resumes instead of recomputing.
+"""
+import json
+import os
+import time
+from dataclasses import replace
+
+from repro import Orion, RunProtocol, preset
+from repro.exp import ExperimentSpec, ResultCache, RunPoint, TrafficSpec, \
+    run_experiment
 from repro.power import area
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+CACHE = ResultCache(os.path.join(HERE, ".cache"))
+PROCS = int(os.environ.get("REPRO_COLLECT_PROCS", str(os.cpu_count() or 1)))
 
 t0 = time.time()
 out = {}
-SAMPLE = 2000
-WARM = 800
+PROTO = RunProtocol(warmup_cycles=800, sample_packets=2000)
+
+
+def progress(p):
+    tag = "cache" if p.outcome.from_cache else f"{p.outcome.wall_seconds:.1f}s"
+    print(f"  [{p.done}/{p.total}] {p.outcome.point.describe()} ({tag})",
+          flush=True)
+
 
 # Walkthrough
 out["walkthrough"] = {k: v for k, v in
@@ -15,10 +36,14 @@ out["walkthrough"] = {k: v for k, v in
 
 # Fig 5
 fig5_rates = [0.02, 0.06, 0.10, 0.13, 0.15, 0.17]
+fig5_names = ("WH64", "VC16", "VC64", "VC128")
+fig5 = run_experiment(
+    ExperimentSpec.of({name: preset(name) for name in fig5_names},
+                      "uniform", fig5_rates, protocol=PROTO),
+    processes=PROCS, cache=CACHE, progress=progress)
 out["fig5"] = {}
-for name in ("WH64", "VC16", "VC64", "VC128"):
-    s = Orion(preset(name)).sweep_uniform(fig5_rates, warmup_cycles=WARM,
-                                          sample_packets=SAMPLE, label=name)
+for name in fig5_names:
+    s = fig5.sweep(label=name, sweep_label=name)
     out["fig5"][name] = {
         "rates": s.rates, "latency": s.latencies, "power": s.powers,
         "saturation": s.saturation_rate(),
@@ -26,22 +51,35 @@ for name in ("WH64", "VC16", "VC64", "VC128"):
     }
     print(name, "done", f"{time.time()-t0:.0f}s", flush=True)
 
-# Fig 6
+# Fig 6 (spatial maps need the full results: keep_results=True)
 cfg6 = preset("VC16").with_(tie_break="even")
-r = Orion(cfg6).run_uniform(0.2/16, warmup_cycles=WARM, sample_packets=SAMPLE, seed=7)
-out["fig6a"] = r.node_power_w()
-r = Orion(cfg6).run_broadcast(9, 0.2, warmup_cycles=WARM, sample_packets=SAMPLE, seed=7)
-out["fig6b"] = r.node_power_w()
+proto6 = replace(PROTO, seed=7)
+fig6 = run_experiment(
+    [RunPoint(cfg6, TrafficSpec.of("uniform"), 0.2 / 16, proto6,
+              label="fig6a"),
+     RunPoint(cfg6, TrafficSpec.of("broadcast", source=9), 0.2, proto6,
+              label="fig6b")],
+    processes=PROCS, cache=CACHE, keep_results=True, progress=progress)
+out["fig6a"] = fig6.outcomes[0].result.node_power_w()
+out["fig6b"] = fig6.outcomes[1].result.node_power_w()
 print("fig6 done", f"{time.time()-t0:.0f}s", flush=True)
 
 # Fig 7
 u_rates = [0.02, 0.05, 0.08, 0.11]
 b_rates = [0.05, 0.10, 0.15, 0.19]
+fig7_configs = {name: preset(name) for name in ("XB", "CB")}
+proto7 = replace(PROTO, sample_packets=1200)
+fig7u = run_experiment(
+    ExperimentSpec.of(fig7_configs, "uniform", u_rates, protocol=proto7),
+    processes=PROCS, cache=CACHE, progress=progress)
+fig7b = run_experiment(
+    ExperimentSpec.of(fig7_configs, TrafficSpec.of("broadcast", source=9),
+                      b_rates, protocol=proto7),
+    processes=PROCS, cache=CACHE, progress=progress)
 out["fig7"] = {}
 for name in ("XB", "CB"):
-    o = Orion(preset(name))
-    su = o.sweep_uniform(u_rates, warmup_cycles=WARM, sample_packets=1200, label=name)
-    sb = o.sweep_broadcast(9, b_rates, warmup_cycles=WARM, sample_packets=1200, label=name)
+    su = fig7u.sweep(label=name, sweep_label=name)
+    sb = fig7b.sweep(label=name, sweep_label=name)
     out["fig7"][name] = {
         "uniform": {"rates": su.rates, "latency": su.latencies,
                     "power": su.powers,
@@ -59,6 +97,6 @@ out["area_mm2"] = {
     "CB": area.cb_router_area_um2(cb.central_model, cb.buffer_model, 5)/1e6,
 }
 
-with open("/root/repo/results/measured.json", "w") as f:
+with open(os.path.join(HERE, "measured.json"), "w") as f:
     json.dump(out, f, indent=1)
 print("ALL DONE", f"{time.time()-t0:.0f}s")

@@ -25,24 +25,41 @@ from repro.core import (
     Orion,
     PowerBinding,
     RouterConfig,
+    RunProtocol,
     SweepResult,
     TechConfig,
     preset,
 )
 from repro.tech import Technology
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
+
+from repro.exp import (
+    ExperimentResult,
+    ExperimentSpec,
+    ResultCache,
+    RunPoint,
+    TrafficSpec,
+    run_experiment,
+)
 
 __all__ = [
     "EnergyAccountant",
+    "ExperimentResult",
+    "ExperimentSpec",
     "LinkConfig",
     "NetworkConfig",
     "Orion",
     "PowerBinding",
+    "ResultCache",
     "RouterConfig",
+    "RunPoint",
+    "RunProtocol",
     "SweepResult",
     "TechConfig",
     "Technology",
+    "TrafficSpec",
     "preset",
+    "run_experiment",
     "__version__",
 ]

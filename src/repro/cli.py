@@ -2,12 +2,15 @@
 
 Commands mirror the library's main entry points:
 
-* ``presets``  — list the paper's named configurations;
-* ``run``      — one simulation: latency, power, breakdown, spatial map;
-* ``sweep``    — latency/power versus injection rate;
-* ``power``    — standalone power analysis (section 3.3 walkthrough);
-* ``delay``    — pipeline/frequency analysis (Peh-Dally delay model);
-* ``validate`` — section 3.2 ballpark checks against commercial routers.
+* ``presets``    — list the paper's named configurations;
+* ``run``        — one simulation: latency, power, breakdown, spatial map;
+* ``sweep``      — latency/power versus injection rate (any traffic kind);
+* ``experiment`` — orchestrated grid of (preset × traffic × rate × seed)
+  points with multiprocessing, on-disk result caching and per-point
+  failure isolation;
+* ``power``      — standalone power analysis (section 3.3 walkthrough);
+* ``delay``      — pipeline/frequency analysis (Peh-Dally delay model);
+* ``validate``   — section 3.2 ballpark checks against commercial routers.
 """
 
 from __future__ import annotations
@@ -16,55 +19,52 @@ import argparse
 import sys
 from typing import List, Optional
 
+from repro.core.config import RunProtocol
 from repro.core.orion import Orion
 from repro.core.presets import PRESETS, preset
-from repro.core.export import result_to_json, spatial_to_csv, sweep_to_csv
+from repro.core.export import (
+    experiment_to_csv,
+    result_to_json,
+    spatial_to_csv,
+    sweep_to_csv,
+)
 from repro.core.report import breakdown_table, format_power, spatial_table
 from repro.delay import RouterDelayModel
-from repro.sim.topology import Torus
-from repro.sim.traffic import (
-    BitComplementTraffic,
-    BroadcastTraffic,
-    BurstyTraffic,
-    HotspotTraffic,
-    NearestNeighborTraffic,
-    ShuffleTraffic,
-    TornadoTraffic,
-    TransposeTraffic,
-    UniformRandomTraffic,
-)
+from repro.sim.topology import topology_for
+from repro.sim.traffic import TRAFFIC_REGISTRY, make_traffic, traffic_names
 
-TRAFFIC_KINDS = ("uniform", "broadcast", "transpose", "bitcomp",
-                 "hotspot", "neighbor", "tornado", "shuffle", "bursty")
+TRAFFIC_KINDS = traffic_names()
+
+
+def _traffic_extras(traffic: str, args) -> dict:
+    """Map CLI flags onto the registry-declared parameters of one
+    traffic kind (``--source`` feeds broadcast's ``source`` and
+    hotspot's ``hotspot``; declared defaults cover the rest)."""
+    if traffic not in TRAFFIC_REGISTRY:
+        raise SystemExit(
+            f"error: unknown traffic {traffic!r}; "
+            f"options: {', '.join(traffic_names())}")
+    extras = {}
+    for param in TRAFFIC_REGISTRY[traffic].params:
+        if param.name in ("source", "hotspot"):
+            extras[param.name] = args.source
+    return extras
 
 
 def _make_traffic(args, config):
-    topo = Torus(config.width, config.height)
-    if args.traffic == "uniform":
-        return UniformRandomTraffic(topo, args.rate, seed=args.seed)
-    if args.traffic == "broadcast":
-        return BroadcastTraffic(topo, args.source, args.rate,
-                                seed=args.seed)
-    if args.traffic == "transpose":
-        return TransposeTraffic(topo, args.rate, seed=args.seed)
-    if args.traffic == "bitcomp":
-        return BitComplementTraffic(topo, args.rate, seed=args.seed)
-    if args.traffic == "hotspot":
-        return HotspotTraffic(topo, args.rate, hotspot=args.source,
-                              seed=args.seed)
-    if args.traffic == "neighbor":
-        return NearestNeighborTraffic(topo, args.rate, seed=args.seed)
-    if args.traffic == "tornado":
-        return TornadoTraffic(topo, args.rate, seed=args.seed)
-    if args.traffic == "shuffle":
-        return ShuffleTraffic(topo, args.rate, seed=args.seed)
-    if args.traffic == "bursty":
-        return BurstyTraffic(topo, args.rate, seed=args.seed)
-    raise ValueError(f"unknown traffic {args.traffic!r}")
+    return make_traffic(args.traffic, topology_for(config), args.rate,
+                        seed=args.seed, **_traffic_extras(args.traffic, args))
 
 
-def _config(args):
-    cfg = preset(args.preset)
+def _protocol(args, **overrides) -> RunProtocol:
+    fields = dict(warmup_cycles=args.warmup, sample_packets=args.sample,
+                  seed=getattr(args, "seed", 1))
+    fields.update(overrides)
+    return RunProtocol(**fields)
+
+
+def _config(args, name: Optional[str] = None):
+    cfg = preset(name or args.preset)
     overrides = {}
     if getattr(args, "leakage", False):
         overrides["include_leakage"] = True
@@ -98,11 +98,11 @@ def cmd_run(args) -> int:
     cfg = _config(args)
     orion = Orion(cfg)
     result = orion.run(_make_traffic(args, cfg),
-                       warmup_cycles=args.warmup,
-                       sample_packets=args.sample)
+                       _protocol(args, monitor=args.monitor))
+    per_node = TRAFFIC_REGISTRY[args.traffic].per_node
     print(f"config:        {args.preset} ({cfg.router.kind})")
     print(f"traffic:       {args.traffic} at {args.rate} pkt/cycle"
-          f"{'/node' if args.traffic in ('uniform', 'transpose', 'bitcomp', 'hotspot', 'neighbor') else ''}")
+          f"{'/node' if per_node else ''}")
     print(f"sample:        {result.sample_packets} packets over "
           f"{result.measured_cycles} measured cycles")
     print(f"avg latency:   {result.avg_latency:.2f} cycles")
@@ -112,6 +112,9 @@ def cmd_run(args) -> int:
     print(f"total power:   {format_power(result.total_power_w)}")
     print()
     print(breakdown_table(result))
+    if args.monitor:
+        print("\noccupancy/utilization:")
+        print(result.monitor.report())
     if args.spatial:
         print("\nper-node power:")
         print(spatial_table(result))
@@ -128,22 +131,61 @@ def cmd_sweep(args) -> int:
     cfg = _config(args)
     orion = Orion(cfg)
     rates = [float(r) for r in args.rates.split(",")]
-    if args.traffic == "broadcast":
-        sweep = orion.sweep_broadcast(args.source, rates,
-                                      label=args.preset,
-                                      warmup_cycles=args.warmup,
-                                      sample_packets=args.sample,
-                                      seed=args.seed)
-    else:
-        sweep = orion.sweep_uniform(rates, label=args.preset,
-                                    warmup_cycles=args.warmup,
-                                    sample_packets=args.sample,
-                                    seed=args.seed)
+    sweep = orion.sweep_traffic(args.traffic, rates, _protocol(args),
+                                label=args.preset,
+                                processes=args.processes,
+                                **_traffic_extras(args.traffic, args))
     print(sweep.table())
     if args.csv:
         sweep_to_csv(sweep, args.csv)
         print(f"wrote {args.csv}")
     return 0
+
+
+def cmd_experiment(args) -> int:
+    from repro.exp import ExperimentSpec, ResultCache, TrafficSpec, \
+        run_experiment
+
+    names = [n.strip() for n in args.presets.split(",")]
+    configs = {name: _config(args, name) for name in names}
+    traffics = [TrafficSpec.of(t.strip(),
+                               **_traffic_extras(t.strip(), args))
+                for t in args.traffic.split(",")]
+    rates = [float(r) for r in args.rates.split(",")]
+    seeds = [int(s) for s in args.seeds.split(",")]
+    spec = ExperimentSpec.of(configs, traffics, rates, seeds,
+                             protocol=RunProtocol(
+                                 warmup_cycles=args.warmup,
+                                 sample_packets=args.sample,
+                                 monitor=False))
+    cache = None if args.no_cache else ResultCache(args.cache_dir)
+
+    def show(progress) -> None:
+        outcome = progress.outcome
+        status = "cached" if outcome.from_cache else \
+            f"{outcome.wall_seconds:6.2f}s"
+        if outcome.ok:
+            body = (f"lat={outcome.avg_latency:8.2f}  "
+                    f"pw={format_power(outcome.total_power_w):>10}")
+        else:
+            body = f"FAILED: {outcome.error}"
+        print(f"[{progress.done:>{len(str(progress.total))}}/"
+              f"{progress.total}] {outcome.point.describe():<40} "
+              f"{body}  {status}", flush=True)
+
+    result = run_experiment(spec, processes=args.processes, cache=cache,
+                            progress=None if args.quiet else show)
+    print()
+    for sweep in result.sweeps().values():
+        print(sweep.table())
+        print()
+    print(result.summary())
+    if cache is not None:
+        print(f"cache: {args.cache_dir} ({len(cache)} entries)")
+    if args.csv:
+        experiment_to_csv(result.outcomes, args.csv)
+        print(f"wrote {args.csv}")
+    return 0 if any(o.ok for o in result.outcomes) else 1
 
 
 def cmd_power(args) -> int:
@@ -207,6 +249,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("run", help="run one simulation")
     add_common(p)
+    p.add_argument("--monitor", action="store_true",
+                   help="sample per-cycle occupancy/utilization")
     p.add_argument("--spatial", action="store_true",
                    help="print the per-node power map")
     p.add_argument("--json", metavar="PATH",
@@ -219,9 +263,46 @@ def build_parser() -> argparse.ArgumentParser:
     add_common(p, with_rate=False)
     p.add_argument("--rates", default="0.02,0.06,0.10,0.14",
                    help="comma-separated injection rates")
+    p.add_argument("--processes", type=int, default=1,
+                   help="worker processes for the rate points")
     p.add_argument("--csv", metavar="PATH",
                    help="write the sweep as CSV")
     p.set_defaults(handler=cmd_sweep)
+
+    p = sub.add_parser(
+        "experiment",
+        help="run a (preset x traffic x rate x seed) grid with "
+             "multiprocessing and result caching")
+    p.add_argument("--presets", default="VC16",
+                   help="comma-separated configuration names")
+    p.add_argument("--traffic", default="uniform",
+                   help=f"comma-separated traffic kinds "
+                        f"(options: {', '.join(TRAFFIC_KINDS)})")
+    p.add_argument("--rates", default="0.02,0.06,0.10,0.14",
+                   help="comma-separated injection rates")
+    p.add_argument("--seeds", default="1",
+                   help="comma-separated traffic seeds")
+    p.add_argument("--source", type=int, default=9,
+                   help="broadcast/hotspot node id")
+    p.add_argument("--sample", type=int, default=1000,
+                   help="measured packets per point")
+    p.add_argument("--warmup", type=int, default=1000,
+                   help="warm-up cycles per point")
+    p.add_argument("--processes", type=int, default=1,
+                   help="worker processes")
+    p.add_argument("--cache-dir", default="results/.cache",
+                   help="result cache directory")
+    p.add_argument("--no-cache", action="store_true",
+                   help="disable the result cache")
+    p.add_argument("--leakage", action="store_true",
+                   help="add static power (extension)")
+    p.add_argument("--activity", choices=("average", "data"),
+                   help="switching-activity mode")
+    p.add_argument("--quiet", action="store_true",
+                   help="suppress per-point progress lines")
+    p.add_argument("--csv", metavar="PATH",
+                   help="write all points as CSV")
+    p.set_defaults(handler=cmd_experiment)
 
     p = sub.add_parser("power", help="standalone power analysis")
     p.add_argument("--preset", default="VC16")

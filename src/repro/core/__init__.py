@@ -4,7 +4,9 @@ from repro.core.config import (
     LinkConfig,
     NetworkConfig,
     RouterConfig,
+    RunProtocol,
     TechConfig,
+    resolve_protocol,
 )
 from repro.core.events import EnergyAccountant
 from repro.core.orion import Orion
@@ -23,7 +25,9 @@ __all__ = [
     "LinkConfig",
     "NetworkConfig",
     "RouterConfig",
+    "RunProtocol",
     "TechConfig",
+    "resolve_protocol",
     "EnergyAccountant",
     "Orion",
     "NullBinding",

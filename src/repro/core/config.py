@@ -8,7 +8,9 @@ configurations (WH64, VC16, VC64, VC128, CB, XB).
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field, replace
+from typing import Optional
 
 from repro.tech.technology import Technology
 
@@ -110,6 +112,74 @@ class RouterConfig:
     def cb_capacity_flits(self) -> int:
         """Central buffer total capacity (central routers only)."""
         return self.cb_rows * self.cb_banks
+
+
+@dataclass(frozen=True)
+class RunProtocol:
+    """The measurement protocol of one simulation run (section 4.1).
+
+    One frozen object holds every per-run knob — warm-up length, sample
+    size, completion/watchdog limits, the traffic RNG seed and the
+    observability switches — so runs, sweeps and experiment grids all
+    share a single definition instead of duplicated keyword lists.
+    """
+
+    #: Cycles excluded from latency and energy measurement (paper: 1000).
+    warmup_cycles: int = 1000
+    #: Packets tagged after warm-up whose delivery ends the run
+    #: (paper: 10000).
+    sample_packets: int = 10000
+    #: Hard cycle limit before :class:`SimulationTimeout`.
+    max_cycles: int = 2_000_000
+    #: Idle-cycle window before :class:`DeadlockError`.
+    watchdog_cycles: int = 20_000
+    #: Seed for the traffic pattern's random stream.
+    seed: int = 1
+    #: Attach power models and account energy per event.
+    collect_power: bool = True
+    #: Attach the occupancy/utilization monitor (Figure-6-style spatial
+    #: studies).
+    monitor: bool = False
+
+    def __post_init__(self) -> None:
+        if self.warmup_cycles < 0:
+            raise ValueError(
+                f"warmup_cycles must be >= 0, got {self.warmup_cycles}"
+            )
+        if self.sample_packets < 1:
+            raise ValueError(
+                f"sample_packets must be >= 1, got {self.sample_packets}"
+            )
+        if self.max_cycles < 1:
+            raise ValueError(f"max_cycles must be >= 1, got {self.max_cycles}")
+        if self.watchdog_cycles < 1:
+            raise ValueError(
+                f"watchdog_cycles must be >= 1, got {self.watchdog_cycles}"
+            )
+
+    def with_(self, **changes) -> "RunProtocol":
+        """A copy with fields replaced."""
+        return replace(self, **changes)
+
+
+def resolve_protocol(protocol: Optional[RunProtocol] = None,
+                     **overrides) -> RunProtocol:
+    """Merge a :class:`RunProtocol` with legacy per-run keyword arguments.
+
+    ``None``-valued overrides mean "not given".  Passing non-``None``
+    legacy keywords is deprecated: new code should build one
+    :class:`RunProtocol` and thread it through.
+    """
+    overrides = {name: value for name, value in overrides.items()
+                 if value is not None}
+    if overrides:
+        warnings.warn(
+            f"per-run keyword arguments {sorted(overrides)} are deprecated; "
+            f"pass a RunProtocol instead",
+            DeprecationWarning, stacklevel=3)
+    if protocol is None:
+        return RunProtocol(**overrides)
+    return replace(protocol, **overrides) if overrides else protocol
 
 
 @dataclass(frozen=True)

@@ -76,6 +76,48 @@ def sweep_to_csv(sweep: SweepResult, path: str) -> None:
         writer.writerows(rows)
 
 
+def experiment_rows(outcomes) -> List[Dict]:
+    """One flat dict per experiment point outcome (CSV-ready)."""
+    rows = []
+    for outcome in outcomes:
+        point = outcome.point
+        row = {
+            "label": point.label,
+            "traffic": point.traffic.describe(),
+            "rate": point.rate,
+            "seed": point.protocol.seed,
+            "ok": outcome.ok,
+            "error": outcome.error or "",
+            "avg_latency_cycles": outcome.avg_latency,
+            "total_power_w": outcome.total_power_w,
+            "throughput_flits_per_cycle":
+                outcome.throughput_flits_per_cycle,
+            "total_cycles": outcome.total_cycles,
+            "wall_seconds": outcome.wall_seconds,
+            "from_cache": outcome.from_cache,
+        }
+        for component, watts in sorted(outcome.breakdown_w.items()):
+            row[f"power_{component}_w"] = watts
+        rows.append(row)
+    return rows
+
+
+def experiment_to_csv(outcomes, path: str) -> None:
+    """Write experiment outcomes as CSV, one row per run point."""
+    rows = experiment_rows(outcomes)
+    if not rows:
+        raise ValueError("experiment produced no outcomes")
+    fieldnames: List[str] = []
+    for row in rows:
+        for name in row:
+            if name not in fieldnames:
+                fieldnames.append(name)
+    with open(path, "w", newline="") as f:
+        writer = csv.DictWriter(f, fieldnames=fieldnames, restval="")
+        writer.writeheader()
+        writer.writerows(rows)
+
+
 def spatial_to_csv(result: SimulationResult, path: str) -> None:
     """Write the per-node power map as CSV (node, x, y, power_w)."""
     powers = result.node_power_w()

@@ -10,39 +10,25 @@ categories (Figure 3):
    config;
 3. evaluate new microarchitectures — define a new ``RouterConfig`` kind
    plus power models and reuse the same driver.
+
+Per-run measurement knobs live in one :class:`RunProtocol` object; the
+per-knob keyword arguments (``warmup_cycles=...`` etc.) remain as a
+deprecated compatibility layer.  Sweeps execute through the
+:mod:`repro.exp` orchestrator, so any registered traffic kind can be
+swept, fanned out over ``processes`` worker processes, and optionally
+served from an on-disk result cache.
 """
 
 from __future__ import annotations
 
 from typing import Callable, Dict, Optional, Sequence
 
-from repro.core.config import NetworkConfig
+from repro.core.config import NetworkConfig, RunProtocol, resolve_protocol
 from repro.core.power_binding import PowerBinding
 from repro.core.events import EnergyAccountant
 from repro.core.report import SweepPoint, SweepResult
 from repro.sim.engine import Simulation, SimulationResult
-from repro.sim.traffic import (
-    BroadcastTraffic,
-    TrafficPattern,
-    UniformRandomTraffic,
-)
-
-
-def _parallel_point(payload):
-    """Module-level worker for multiprocessing sweeps (must be
-    picklable).  Builds the traffic pattern in the worker process and
-    runs one rate point."""
-    (config, traffic_kind, rate, source, seed, warmup_cycles,
-     sample_packets, max_cycles) = payload
-    orion = Orion(config)
-    if traffic_kind == "uniform":
-        traffic = UniformRandomTraffic(orion._topo(), rate, seed=seed)
-    elif traffic_kind == "broadcast":
-        traffic = BroadcastTraffic(orion._topo(), source, rate, seed=seed)
-    else:
-        raise ValueError(f"unknown parallel traffic {traffic_kind!r}")
-    return orion.run(traffic, warmup_cycles=warmup_cycles,
-                     sample_packets=sample_packets, max_cycles=max_cycles)
+from repro.sim.traffic import TrafficPattern, make_traffic
 
 
 class Orion:
@@ -53,147 +39,182 @@ class Orion:
 
     # --- single runs --------------------------------------------------------
 
-    def run_uniform(self, rate: float, *,
-                    warmup_cycles: int = 1000,
-                    sample_packets: int = 10000,
-                    seed: int = 1,
-                    max_cycles: int = 2_000_000,
-                    collect_power: bool = True) -> SimulationResult:
+    def run_uniform(self, rate: float,
+                    protocol: Optional[RunProtocol] = None, *,
+                    warmup_cycles: Optional[int] = None,
+                    sample_packets: Optional[int] = None,
+                    seed: Optional[int] = None,
+                    max_cycles: Optional[int] = None,
+                    collect_power: Optional[bool] = None,
+                    monitor: Optional[bool] = None) -> SimulationResult:
         """Run uniform random traffic at ``rate`` packets/cycle/node."""
-        traffic = UniformRandomTraffic(self._topo(), rate, seed=seed)
-        return self.run(traffic, warmup_cycles=warmup_cycles,
-                        sample_packets=sample_packets,
-                        max_cycles=max_cycles,
-                        collect_power=collect_power)
+        return self.run_traffic("uniform", rate, protocol,
+                                warmup_cycles=warmup_cycles,
+                                sample_packets=sample_packets, seed=seed,
+                                max_cycles=max_cycles,
+                                collect_power=collect_power,
+                                monitor=monitor)
 
-    def run_broadcast(self, source: int, rate: float, *,
-                      warmup_cycles: int = 1000,
-                      sample_packets: int = 10000,
-                      seed: int = 1,
-                      max_cycles: int = 2_000_000,
-                      collect_power: bool = True) -> SimulationResult:
+    def run_broadcast(self, source: int, rate: float,
+                      protocol: Optional[RunProtocol] = None, *,
+                      warmup_cycles: Optional[int] = None,
+                      sample_packets: Optional[int] = None,
+                      seed: Optional[int] = None,
+                      max_cycles: Optional[int] = None,
+                      collect_power: Optional[bool] = None,
+                      monitor: Optional[bool] = None) -> SimulationResult:
         """Run single-source broadcast traffic (section 4.3)."""
-        traffic = BroadcastTraffic(self._topo(), source, rate, seed=seed)
-        return self.run(traffic, warmup_cycles=warmup_cycles,
-                        sample_packets=sample_packets,
-                        max_cycles=max_cycles,
-                        collect_power=collect_power)
+        return self.run_traffic("broadcast", rate, protocol, source=source,
+                                warmup_cycles=warmup_cycles,
+                                sample_packets=sample_packets, seed=seed,
+                                max_cycles=max_cycles,
+                                collect_power=collect_power,
+                                monitor=monitor)
 
-    def run(self, traffic: TrafficPattern, *,
-            warmup_cycles: int = 1000,
-            sample_packets: int = 10000,
-            max_cycles: int = 2_000_000,
-            collect_power: bool = True) -> SimulationResult:
+    def run_traffic(self, traffic: str, rate: float,
+                    protocol: Optional[RunProtocol] = None, *,
+                    warmup_cycles: Optional[int] = None,
+                    sample_packets: Optional[int] = None,
+                    seed: Optional[int] = None,
+                    max_cycles: Optional[int] = None,
+                    collect_power: Optional[bool] = None,
+                    monitor: Optional[bool] = None,
+                    **traffic_params) -> SimulationResult:
+        """Run any registered traffic kind (see ``TRAFFIC_REGISTRY``)."""
+        protocol = resolve_protocol(protocol,
+                                    warmup_cycles=warmup_cycles,
+                                    sample_packets=sample_packets, seed=seed,
+                                    max_cycles=max_cycles,
+                                    collect_power=collect_power,
+                                    monitor=monitor)
+        pattern = make_traffic(traffic, self._topo(), rate,
+                               seed=protocol.seed, **traffic_params)
+        return self.run(pattern, protocol)
+
+    def run(self, traffic: TrafficPattern,
+            protocol: Optional[RunProtocol] = None, *,
+            warmup_cycles: Optional[int] = None,
+            sample_packets: Optional[int] = None,
+            max_cycles: Optional[int] = None,
+            collect_power: Optional[bool] = None,
+            monitor: Optional[bool] = None) -> SimulationResult:
         """Run an arbitrary traffic pattern to the paper's protocol."""
-        sim = Simulation(
-            self.config, traffic,
-            warmup_cycles=warmup_cycles,
-            sample_packets=sample_packets,
-            max_cycles=max_cycles,
-            collect_power=collect_power,
-        )
-        return sim.run()
+        protocol = resolve_protocol(protocol,
+                                    warmup_cycles=warmup_cycles,
+                                    sample_packets=sample_packets,
+                                    max_cycles=max_cycles,
+                                    collect_power=collect_power,
+                                    monitor=monitor)
+        return Simulation(self.config, traffic, protocol).run()
 
     # --- sweeps ----------------------------------------------------------------
 
-    def sweep_uniform(self, rates: Sequence[float], *,
+    def sweep_uniform(self, rates: Sequence[float],
+                      protocol: Optional[RunProtocol] = None, *,
                       label: Optional[str] = None,
-                      warmup_cycles: int = 1000,
-                      sample_packets: int = 10000,
-                      seed: int = 1,
-                      max_cycles: int = 2_000_000,
+                      warmup_cycles: Optional[int] = None,
+                      sample_packets: Optional[int] = None,
+                      seed: Optional[int] = None,
+                      max_cycles: Optional[int] = None,
                       keep_results: bool = False,
-                      processes: int = 1) -> SweepResult:
+                      processes: int = 1,
+                      cache=None) -> SweepResult:
         """Latency/power curve over injection rates, uniform traffic —
         the x-axes of Figures 5 and 7.
 
         ``processes > 1`` runs the rate points concurrently in a
-        multiprocessing pool.
+        multiprocessing pool; ``cache`` (a ``ResultCache`` or directory
+        path) serves repeated points from disk.
         """
-        if processes > 1:
-            return self._sweep_parallel(
-                rates, "uniform", 0, label=label,
-                warmup_cycles=warmup_cycles,
-                sample_packets=sample_packets, seed=seed,
-                max_cycles=max_cycles, keep_results=keep_results,
-                processes=processes)
-        traffic_factory = lambda rate: UniformRandomTraffic(
-            self._topo(), rate, seed=seed)
-        return self.sweep(rates, traffic_factory, label=label,
-                          warmup_cycles=warmup_cycles,
-                          sample_packets=sample_packets,
-                          max_cycles=max_cycles,
-                          keep_results=keep_results)
+        protocol = resolve_protocol(protocol,
+                                    warmup_cycles=warmup_cycles,
+                                    sample_packets=sample_packets, seed=seed,
+                                    max_cycles=max_cycles)
+        return self.sweep_traffic("uniform", rates, protocol, label=label,
+                                  keep_results=keep_results,
+                                  processes=processes, cache=cache)
 
-    def sweep_broadcast(self, source: int, rates: Sequence[float], *,
+    def sweep_broadcast(self, source: int, rates: Sequence[float],
+                        protocol: Optional[RunProtocol] = None, *,
                         label: Optional[str] = None,
-                        warmup_cycles: int = 1000,
-                        sample_packets: int = 10000,
-                        seed: int = 1,
-                        max_cycles: int = 2_000_000,
+                        warmup_cycles: Optional[int] = None,
+                        sample_packets: Optional[int] = None,
+                        seed: Optional[int] = None,
+                        max_cycles: Optional[int] = None,
                         keep_results: bool = False,
-                        processes: int = 1) -> SweepResult:
+                        processes: int = 1,
+                        cache=None) -> SweepResult:
         """Latency/power curve over injection rates, broadcast traffic."""
-        if processes > 1:
-            return self._sweep_parallel(
-                rates, "broadcast", source, label=label,
-                warmup_cycles=warmup_cycles,
-                sample_packets=sample_packets, seed=seed,
-                max_cycles=max_cycles, keep_results=keep_results,
-                processes=processes)
-        traffic_factory = lambda rate: BroadcastTraffic(
-            self._topo(), source, rate, seed=seed)
-        return self.sweep(rates, traffic_factory, label=label,
-                          warmup_cycles=warmup_cycles,
-                          sample_packets=sample_packets,
-                          max_cycles=max_cycles,
-                          keep_results=keep_results)
+        protocol = resolve_protocol(protocol,
+                                    warmup_cycles=warmup_cycles,
+                                    sample_packets=sample_packets, seed=seed,
+                                    max_cycles=max_cycles)
+        return self.sweep_traffic("broadcast", rates, protocol,
+                                  source=source, label=label,
+                                  keep_results=keep_results,
+                                  processes=processes, cache=cache)
 
-    def _sweep_parallel(self, rates: Sequence[float], traffic_kind: str,
-                        source: int, *, label, warmup_cycles,
-                        sample_packets, seed, max_cycles, keep_results,
-                        processes: int) -> SweepResult:
-        """Fan rate points out over a process pool."""
-        import multiprocessing
+    def sweep_traffic(self, traffic: str, rates: Sequence[float],
+                      protocol: Optional[RunProtocol] = None, *,
+                      label: Optional[str] = None,
+                      keep_results: bool = False,
+                      processes: int = 1,
+                      cache=None,
+                      progress=None,
+                      **traffic_params) -> SweepResult:
+        """Sweep any registered traffic kind over injection rates.
+
+        Executes through the :mod:`repro.exp` orchestrator — serial and
+        parallel runs produce bit-identical points, and failures at one
+        rate propagate (matching the facade's historical behaviour; use
+        the orchestrator directly for failure isolation).
+        """
+        from repro.exp import (
+            ResultCache,
+            RunPoint,
+            TrafficSpec,
+            outcomes_to_sweep,
+            run_points,
+        )
 
         if not rates:
             raise ValueError("sweep needs at least one rate")
-        payloads = [
-            (self.config, traffic_kind, rate, source, seed,
-             warmup_cycles, sample_packets, max_cycles)
-            for rate in rates
-        ]
-        with multiprocessing.Pool(min(processes, len(rates))) as pool:
-            results = pool.map(_parallel_point, payloads)
-        sweep = SweepResult(label=label or self.config.router.kind)
-        for rate, result in zip(rates, results):
-            sweep.points.append(SweepPoint(
-                rate=rate,
-                avg_latency=result.avg_latency,
-                total_power_w=result.total_power_w,
-                throughput_flits_per_cycle=(
-                    result.throughput_flits_per_cycle),
-                breakdown_w=result.power_breakdown_w(),
-                result=result if keep_results else None,
-            ))
-        return sweep
+        protocol = protocol or RunProtocol()
+        label = label or self.config.router.kind
+        spec = TrafficSpec.of(traffic, **traffic_params)
+        points = [RunPoint(config=self.config, traffic=spec, rate=rate,
+                           protocol=protocol, label=label)
+                  for rate in rates]
+        if isinstance(cache, str):
+            cache = ResultCache(cache)
+        outcomes = run_points(points, processes=processes, cache=cache,
+                              keep_results=keep_results, progress=progress,
+                              on_error="raise")
+        return outcomes_to_sweep(outcomes, label=label)
 
     def sweep(self, rates: Sequence[float],
-              traffic_factory: Callable[[float], TrafficPattern], *,
+              traffic_factory: Callable[[float], TrafficPattern],
+              protocol: Optional[RunProtocol] = None, *,
               label: Optional[str] = None,
-              warmup_cycles: int = 1000,
-              sample_packets: int = 10000,
-              max_cycles: int = 2_000_000,
+              warmup_cycles: Optional[int] = None,
+              sample_packets: Optional[int] = None,
+              max_cycles: Optional[int] = None,
               keep_results: bool = False) -> SweepResult:
-        """Run one simulation per rate and collect the curve."""
+        """Run one simulation per rate and collect the curve.
+
+        The factory form supports unregistered/trace patterns; it is
+        inherently serial (factories need not be picklable).  Prefer
+        :meth:`sweep_traffic` for registered kinds.
+        """
+        protocol = resolve_protocol(protocol,
+                                    warmup_cycles=warmup_cycles,
+                                    sample_packets=sample_packets,
+                                    max_cycles=max_cycles)
         if not rates:
             raise ValueError("sweep needs at least one rate")
         sweep = SweepResult(label=label or self.config.router.kind)
         for rate in rates:
-            result = self.run(traffic_factory(rate),
-                              warmup_cycles=warmup_cycles,
-                              sample_packets=sample_packets,
-                              max_cycles=max_cycles)
+            result = self.run(traffic_factory(rate), protocol)
             sweep.points.append(SweepPoint(
                 rate=rate,
                 avg_latency=result.avg_latency,
@@ -234,8 +255,5 @@ class Orion:
     # --- helpers ------------------------------------------------------------------
 
     def _topo(self):
-        from repro.sim.network import Network
-        from repro.sim.topology import Mesh, Torus
-        if self.config.topology == "torus":
-            return Torus(self.config.width, self.config.height)
-        return Mesh(self.config.width, self.config.height)
+        from repro.sim.topology import topology_for
+        return topology_for(self.config)

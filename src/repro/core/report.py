@@ -72,6 +72,9 @@ class SweepPoint:
     throughput_flits_per_cycle: float
     breakdown_w: Dict[str, float]
     result: Optional[SimulationResult] = None
+    #: Recorded failure ("DeadlockError: ..."), when the orchestrator ran
+    #: with failure isolation; ``None`` for a successful point.
+    error: Optional[str] = None
 
 
 @dataclass
@@ -95,15 +98,31 @@ class SweepResult:
         return [p.total_power_w for p in self.points]
 
     @property
+    def ok_points(self) -> List[SweepPoint]:
+        """Points that completed (no recorded failure)."""
+        return [p for p in self.points if p.error is None]
+
+    @property
+    def failed_points(self) -> List[SweepPoint]:
+        """Points whose simulation deadlocked or timed out."""
+        return [p for p in self.points if p.error is not None]
+
+    @property
     def zero_load_latency(self) -> float:
-        """Latency of the lowest-rate point (the zero-load proxy)."""
-        if not self.points:
+        """Latency of the lowest-rate completed point (the zero-load
+        proxy)."""
+        ok = self.ok_points
+        if not ok:
             raise ValueError("empty sweep")
-        return min(self.points, key=lambda p: p.rate).avg_latency
+        return min(ok, key=lambda p: p.rate).avg_latency
 
     def saturation_rate(self) -> Optional[float]:
         """Paper criterion: first rate with latency > 2x zero-load."""
-        return saturation_rate(self.rates, self.latencies,
+        ok = self.ok_points
+        if not ok:
+            return None
+        return saturation_rate([p.rate for p in ok],
+                               [p.avg_latency for p in ok],
                                self.zero_load_latency)
 
     def table(self) -> str:
@@ -111,6 +130,9 @@ class SweepResult:
         lines = [f"== {self.label} ==",
                  f"{'rate':>8} {'latency':>10} {'power':>12} {'thruput':>9}"]
         for p in sorted(self.points, key=lambda p: p.rate):
+            if p.error is not None:
+                lines.append(f"{p.rate:>8.3f}  FAILED: {p.error}")
+                continue
             lines.append(
                 f"{p.rate:>8.3f} {p.avg_latency:>10.2f} "
                 f"{format_power(p.total_power_w):>12} "

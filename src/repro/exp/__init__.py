@@ -1,0 +1,44 @@
+"""Experiment orchestration: declarative grids of simulation points run
+across a process pool, with on-disk result caching, per-point failure
+isolation and progress hooks.
+
+Quick start::
+
+    from repro import preset
+    from repro.exp import ExperimentSpec, run_experiment
+
+    spec = ExperimentSpec.of(
+        configs={"VC16": preset("VC16"), "WH64": preset("WH64")},
+        traffics=["uniform", "transpose"],
+        rates=[0.02, 0.06, 0.10],
+    )
+    result = run_experiment(spec, processes=4, cache="results/.cache")
+    for key, sweep in result.sweeps().items():
+        print(sweep.table())
+"""
+
+from repro.exp.cache import DEFAULT_CACHE_DIR, ResultCache
+from repro.exp.orchestrator import (
+    ExperimentResult,
+    PointOutcome,
+    Progress,
+    outcomes_to_sweep,
+    run_experiment,
+    run_points,
+)
+from repro.exp.spec import CACHE_SCHEMA, ExperimentSpec, RunPoint, TrafficSpec
+
+__all__ = [
+    "CACHE_SCHEMA",
+    "DEFAULT_CACHE_DIR",
+    "ExperimentResult",
+    "ExperimentSpec",
+    "PointOutcome",
+    "Progress",
+    "ResultCache",
+    "RunPoint",
+    "TrafficSpec",
+    "outcomes_to_sweep",
+    "run_experiment",
+    "run_points",
+]

@@ -1,0 +1,81 @@
+"""On-disk result cache for experiment points.
+
+Outcomes are stored content-addressed under a root directory (by
+convention ``results/.cache/``), keyed by :meth:`RunPoint.cache_key` —
+a stable hash of (config, traffic spec, rate, protocol, code version).
+Re-running a collection script or resuming a crashed sweep then skips
+every already-simulated point.
+
+Entries are pickles written atomically (tmp file + ``os.replace``) so a
+killed run never leaves a truncated entry; unreadable or stale-schema
+entries are treated as misses.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from pathlib import Path
+from typing import Optional
+
+from repro.exp.spec import CACHE_SCHEMA
+
+#: Default cache location, relative to the current working directory.
+DEFAULT_CACHE_DIR = os.path.join("results", ".cache")
+
+
+class ResultCache:
+    """Content-addressed pickle store with hit/miss counters."""
+
+    def __init__(self, root=DEFAULT_CACHE_DIR) -> None:
+        self.root = Path(root)
+        self.hits = 0
+        self.misses = 0
+
+    def _path(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.pkl"
+
+    def load(self, key: str):
+        """The cached outcome for ``key``, or ``None`` on any miss
+        (absent, unreadable, or written by an older schema)."""
+        try:
+            with open(self._path(key), "rb") as f:
+                payload = pickle.load(f)
+        except (OSError, pickle.PickleError, EOFError,
+                AttributeError, ImportError, ValueError):
+            self.misses += 1
+            return None
+        if not isinstance(payload, dict) or \
+                payload.get("schema") != CACHE_SCHEMA:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return payload.get("outcome")
+
+    def store(self, key: str, outcome) -> None:
+        """Atomically persist one outcome."""
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_name(f"{path.name}.tmp{os.getpid()}")
+        with open(tmp, "wb") as f:
+            pickle.dump({"schema": CACHE_SCHEMA, "outcome": outcome}, f)
+        os.replace(tmp, path)
+
+    def clear(self) -> int:
+        """Delete every entry; returns the number removed."""
+        removed = 0
+        if not self.root.exists():
+            return removed
+        for entry in self.root.glob("*/*.pkl"):
+            entry.unlink()
+            removed += 1
+        return removed
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.root.glob("*/*.pkl")) \
+            if self.root.exists() else 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0

@@ -1,0 +1,325 @@
+"""Parallel experiment execution with caching and progress reporting.
+
+The orchestrator takes a list of :class:`RunPoint` (usually expanded
+from an :class:`ExperimentSpec`), serves whatever it can from a
+:class:`ResultCache`, fans the remaining points out over a
+``multiprocessing`` pool, and reports per-point progress (points
+done/total, cycles simulated, wall-clock per point, cache hit rate)
+through a caller-supplied hook.
+
+Each point is failure-isolated: a :class:`DeadlockError` or
+:class:`SimulationTimeout` at one (config, traffic, rate) point is
+recorded in its :class:`PointOutcome` and does not kill the rest of the
+sweep (``on_error="record"``; the Orion facade uses ``"raise"`` to keep
+its historical behaviour).
+
+Workers receive only picklable data — the traffic pattern is rebuilt in
+the worker from its :class:`TrafficSpec` — so *any* registered traffic
+kind parallelises, not just uniform/broadcast.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Union
+
+from repro.core.report import SweepPoint, SweepResult
+from repro.sim.engine import (
+    DeadlockError,
+    Simulation,
+    SimulationResult,
+    SimulationTimeout,
+)
+from repro.sim.topology import topology_for
+from repro.exp.cache import ResultCache
+from repro.exp.spec import ExperimentSpec, RunPoint
+
+_ERROR_TYPES = {
+    "DeadlockError": DeadlockError,
+    "SimulationTimeout": SimulationTimeout,
+}
+
+
+@dataclass
+class PointOutcome:
+    """What one run point produced: a summary, or a recorded failure."""
+
+    point: RunPoint
+    ok: bool
+    error: Optional[str] = None
+    avg_latency: float = 0.0
+    total_power_w: float = 0.0
+    throughput_flits_per_cycle: float = 0.0
+    breakdown_w: Dict[str, float] = field(default_factory=dict)
+    total_cycles: int = 0
+    wall_seconds: float = 0.0
+    from_cache: bool = False
+    #: Full simulation result; carried only when the orchestrator ran
+    #: with ``keep_results=True`` or the protocol enabled the monitor.
+    result: Optional[SimulationResult] = None
+
+    def raise_error(self) -> None:
+        """Re-raise a recorded failure as its original exception type."""
+        if self.ok:
+            return
+        name, _, message = (self.error or "").partition(": ")
+        raise _ERROR_TYPES.get(name, RuntimeError)(message or self.error)
+
+    def to_sweep_point(self) -> SweepPoint:
+        return SweepPoint(
+            rate=self.point.rate,
+            avg_latency=self.avg_latency if self.ok else math.nan,
+            total_power_w=self.total_power_w,
+            throughput_flits_per_cycle=self.throughput_flits_per_cycle,
+            breakdown_w=dict(self.breakdown_w),
+            result=self.result,
+            error=self.error,
+        )
+
+
+@dataclass
+class Progress:
+    """Snapshot handed to the progress hook after every finished point."""
+
+    done: int
+    total: int
+    outcome: PointOutcome
+    cache_hits: int
+    failures: int
+    #: Cycles simulated so far (fresh runs only — cache hits cost none).
+    cycles_simulated: int
+    elapsed_seconds: float
+
+    @property
+    def cache_hit_rate(self) -> float:
+        return self.cache_hits / self.done if self.done else 0.0
+
+
+ProgressHook = Callable[[Progress], None]
+
+
+def _needs_result(point: RunPoint, keep_results: bool) -> bool:
+    return keep_results or point.protocol.monitor
+
+
+def _execute_point(point: RunPoint, keep_result: bool) -> PointOutcome:
+    """Run one point to completion, capturing failures as outcomes."""
+    start = time.perf_counter()
+    topo = topology_for(point.config)
+    traffic = point.traffic.build(topo, point.rate, point.protocol.seed)
+    sim = Simulation(point.config, traffic, point.protocol)
+    try:
+        result = sim.run()
+    except (DeadlockError, SimulationTimeout) as exc:
+        return PointOutcome(
+            point=point, ok=False,
+            error=f"{type(exc).__name__}: {exc}",
+            total_cycles=sim.network.cycle,
+            wall_seconds=time.perf_counter() - start,
+        )
+    collect = point.protocol.collect_power
+    return PointOutcome(
+        point=point, ok=True,
+        avg_latency=result.avg_latency,
+        total_power_w=result.total_power_w if collect else 0.0,
+        throughput_flits_per_cycle=result.throughput_flits_per_cycle,
+        breakdown_w=result.power_breakdown_w() if collect else {},
+        total_cycles=result.total_cycles,
+        wall_seconds=time.perf_counter() - start,
+        result=result if keep_result else None,
+    )
+
+
+def _pool_point(payload) -> PointOutcome:
+    """Module-level pool worker (must be picklable)."""
+    point, keep_result = payload
+    return _execute_point(point, keep_result)
+
+
+def run_points(points: Sequence[RunPoint], *,
+               processes: int = 1,
+               cache: Optional[ResultCache] = None,
+               keep_results: bool = False,
+               progress: Optional[ProgressHook] = None,
+               on_error: str = "record") -> List[PointOutcome]:
+    """Execute run points, in order, with caching and parallelism.
+
+    ``on_error="record"`` isolates per-point failures; ``"raise"``
+    re-raises the first one (after caching it, so a resumed sweep does
+    not recompute the doomed point).
+    """
+    if on_error not in ("record", "raise"):
+        raise ValueError(f"on_error must be 'record' or 'raise', "
+                         f"got {on_error!r}")
+    if processes < 1:
+        raise ValueError(f"processes must be >= 1, got {processes}")
+    points = list(points)
+    if not points:
+        raise ValueError("experiment needs at least one run point")
+
+    start = time.perf_counter()
+    done = cache_hits = failures = cycles = 0
+    outcomes: List[Optional[PointOutcome]] = [None] * len(points)
+
+    def finish(index: int, outcome: PointOutcome) -> None:
+        nonlocal done, cache_hits, failures, cycles
+        outcomes[index] = outcome
+        done += 1
+        if outcome.from_cache:
+            cache_hits += 1
+        else:
+            cycles += outcome.total_cycles
+            if cache is not None:
+                cache.store(points[index].cache_key(), outcome)
+        if not outcome.ok:
+            failures += 1
+        if progress is not None:
+            progress(Progress(done=done, total=len(points), outcome=outcome,
+                              cache_hits=cache_hits, failures=failures,
+                              cycles_simulated=cycles,
+                              elapsed_seconds=time.perf_counter() - start))
+        if not outcome.ok and on_error == "raise":
+            outcome.raise_error()
+
+    pending: List[int] = []
+    for index, point in enumerate(points):
+        hit = cache.load(point.cache_key()) if cache is not None else None
+        needs_result = _needs_result(point, keep_results)
+        if hit is not None and (not needs_result or hit.result is not None):
+            hit.from_cache = True
+            if not needs_result:
+                hit.result = None
+            finish(index, hit)
+        else:
+            pending.append(index)
+
+    payloads = [(points[i], _needs_result(points[i], keep_results))
+                for i in pending]
+    if processes > 1 and len(pending) > 1:
+        import multiprocessing
+
+        with multiprocessing.Pool(min(processes, len(pending))) as pool:
+            for index, outcome in zip(pending,
+                                      pool.imap(_pool_point, payloads)):
+                finish(index, outcome)
+    else:
+        for index, payload in zip(pending, payloads):
+            finish(index, _execute_point(*payload))
+    return outcomes
+
+
+@dataclass
+class ExperimentResult:
+    """All outcomes of one orchestrated experiment, in grid order."""
+
+    outcomes: List[PointOutcome]
+    wall_seconds: float = 0.0
+
+    @property
+    def num_points(self) -> int:
+        return len(self.outcomes)
+
+    @property
+    def failures(self) -> List[PointOutcome]:
+        return [o for o in self.outcomes if not o.ok]
+
+    @property
+    def cache_hits(self) -> int:
+        return sum(1 for o in self.outcomes if o.from_cache)
+
+    @property
+    def simulated(self) -> int:
+        return self.num_points - self.cache_hits
+
+    @property
+    def cycles_simulated(self) -> int:
+        return sum(o.total_cycles for o in self.outcomes if not o.from_cache)
+
+    @property
+    def cache_hit_rate(self) -> float:
+        return self.cache_hits / self.num_points if self.num_points else 0.0
+
+    def select(self, label: Optional[str] = None,
+               traffic: Optional[str] = None,
+               seed: Optional[int] = None) -> List[PointOutcome]:
+        """Outcomes filtered by group label, traffic name and/or seed."""
+        return [o for o in self.outcomes
+                if (label is None or o.point.label == label)
+                and (traffic is None or o.point.traffic.name == traffic)
+                and (seed is None or o.point.protocol.seed == seed)]
+
+    def sweep(self, label: Optional[str] = None,
+              traffic: Optional[str] = None,
+              seed: Optional[int] = None,
+              sweep_label: Optional[str] = None) -> SweepResult:
+        """One latency/power curve assembled from matching outcomes."""
+        selected = self.select(label, traffic, seed)
+        if not selected:
+            raise ValueError(
+                f"no outcomes match label={label!r} traffic={traffic!r} "
+                f"seed={seed!r}"
+            )
+        return outcomes_to_sweep(selected, label=sweep_label)
+
+    def sweeps(self) -> Dict[tuple, SweepResult]:
+        """Every (label, traffic, seed) group as its own sweep, in grid
+        order."""
+        groups: Dict[tuple, List[PointOutcome]] = {}
+        for outcome in self.outcomes:
+            key = (outcome.point.label, outcome.point.traffic.describe(),
+                   outcome.point.protocol.seed)
+            groups.setdefault(key, []).append(outcome)
+        many_seeds = len({seed for _, _, seed in groups}) > 1
+        out = {}
+        for key, group in groups.items():
+            label, traffic, seed = key
+            parts = [label or group[0].point.config.router.kind, traffic]
+            if many_seeds:
+                parts.append(f"seed={seed}")
+            out[key] = outcomes_to_sweep(group, label=" ".join(parts))
+        return out
+
+    def summary(self) -> str:
+        """One-line accounting of the run, for logs and the CLI."""
+        return (f"{self.num_points} points: {self.simulated} simulated, "
+                f"{self.cache_hits} cached "
+                f"({self.cache_hit_rate:.0%} hit rate), "
+                f"{len(self.failures)} failed; "
+                f"{self.cycles_simulated} cycles in "
+                f"{self.wall_seconds:.1f}s")
+
+
+def outcomes_to_sweep(outcomes: Iterable[PointOutcome],
+                      label: Optional[str] = None) -> SweepResult:
+    """Assemble outcomes (one traffic curve) into a :class:`SweepResult`."""
+    outcomes = list(outcomes)
+    if not outcomes:
+        raise ValueError("no outcomes to assemble")
+    first = outcomes[0].point
+    label = label or first.label or first.config.router.kind
+    return SweepResult(label=label,
+                       points=[o.to_sweep_point() for o in outcomes])
+
+
+def run_experiment(spec: Union[ExperimentSpec, Sequence[RunPoint]], *,
+                   processes: int = 1,
+                   cache: Union[ResultCache, str, None] = None,
+                   keep_results: bool = False,
+                   progress: Optional[ProgressHook] = None,
+                   on_error: str = "record") -> ExperimentResult:
+    """Run a whole experiment grid (or explicit point list).
+
+    ``cache`` may be a :class:`ResultCache`, a directory path, or
+    ``None`` to disable caching.
+    """
+    points = spec.points() if isinstance(spec, ExperimentSpec) else list(spec)
+    if isinstance(cache, str):
+        cache = ResultCache(cache)
+    start = time.perf_counter()
+    outcomes = run_points(points, processes=processes, cache=cache,
+                          keep_results=keep_results, progress=progress,
+                          on_error=on_error)
+    return ExperimentResult(outcomes=outcomes,
+                            wall_seconds=time.perf_counter() - start)

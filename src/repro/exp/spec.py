@@ -1,0 +1,171 @@
+"""Declarative experiment descriptions.
+
+An experiment is a grid of independent simulation points — (config ×
+traffic × rate × seed) — each fully described by picklable data so it
+can be dispatched to a worker process or hashed into a cache key:
+
+* :class:`TrafficSpec` — a traffic pattern by registry name plus its
+  declared parameters (workers rebuild the actual pattern object);
+* :class:`RunPoint` — one simulation: config + traffic + rate +
+  :class:`RunProtocol`;
+* :class:`ExperimentSpec` — the full cartesian grid, expanded with
+  :meth:`ExperimentSpec.points`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import asdict, dataclass, field, replace
+from typing import Any, Dict, Iterable, List, Mapping, Sequence, Tuple, Union
+
+from repro.core.config import NetworkConfig, RunProtocol
+from repro.sim.topology import Topology
+from repro.sim.traffic import (
+    TrafficPattern,
+    make_traffic,
+    validate_traffic_params,
+)
+
+#: Bump when cached payload semantics change: invalidates every entry.
+CACHE_SCHEMA = 1
+
+
+@dataclass(frozen=True)
+class TrafficSpec:
+    """A picklable, hashable description of one traffic pattern.
+
+    ``params`` is a sorted tuple of ``(name, value)`` pairs; use
+    :meth:`of` rather than the raw constructor.  Names and parameters
+    are validated eagerly against the traffic registry.
+    """
+
+    name: str
+    params: Tuple[Tuple[str, Any], ...] = ()
+
+    def __post_init__(self) -> None:
+        validate_traffic_params(self.name, dict(self.params))
+
+    @classmethod
+    def of(cls, name: str, **params) -> "TrafficSpec":
+        """Build a spec from keyword parameters."""
+        return cls(name, tuple(sorted(params.items())))
+
+    def build(self, topo: Topology, rate: float, seed: int) -> TrafficPattern:
+        """Instantiate the pattern for one topology/rate/seed."""
+        return make_traffic(self.name, topo, rate, seed=seed,
+                            **dict(self.params))
+
+    def describe(self) -> str:
+        """Short human-readable label, e.g. ``broadcast(source=9)``."""
+        if not self.params:
+            return self.name
+        inner = ",".join(f"{k}={v}" for k, v in self.params)
+        return f"{self.name}({inner})"
+
+
+@dataclass(frozen=True)
+class RunPoint:
+    """One simulation of the experiment grid, fully described by data."""
+
+    config: NetworkConfig
+    traffic: TrafficSpec
+    rate: float
+    protocol: RunProtocol = field(default_factory=RunProtocol)
+    #: Cosmetic grouping label (e.g. the preset name); not part of the
+    #: cache key.
+    label: str = ""
+
+    def cache_key(self) -> str:
+        """Stable content hash of everything that determines the result:
+        configuration, traffic spec, rate, protocol and code version."""
+        import repro
+
+        payload = {
+            "config": asdict(self.config),
+            "traffic": {"name": self.traffic.name,
+                        "params": [list(kv) for kv in self.traffic.params]},
+            "rate": self.rate,
+            "protocol": asdict(self.protocol),
+            "code": repro.__version__,
+            "schema": CACHE_SCHEMA,
+        }
+        blob = json.dumps(payload, sort_keys=True, default=repr)
+        return hashlib.sha256(blob.encode()).hexdigest()
+
+    def describe(self) -> str:
+        tag = self.label or self.config.router.kind
+        return (f"{tag} {self.traffic.describe()} rate={self.rate:g} "
+                f"seed={self.protocol.seed}")
+
+
+ConfigsLike = Union[NetworkConfig,
+                    Mapping[str, NetworkConfig],
+                    Sequence[Tuple[str, NetworkConfig]]]
+TrafficsLike = Union[str, TrafficSpec,
+                     Sequence[Union[str, TrafficSpec]]]
+
+
+def _normalize_configs(configs: ConfigsLike) -> Tuple[Tuple[str, NetworkConfig], ...]:
+    if isinstance(configs, NetworkConfig):
+        return ((configs.router.kind, configs),)
+    if isinstance(configs, Mapping):
+        return tuple(configs.items())
+    return tuple(configs)
+
+
+def _normalize_traffics(traffics: TrafficsLike) -> Tuple[TrafficSpec, ...]:
+    if isinstance(traffics, (str, TrafficSpec)):
+        traffics = [traffics]
+    return tuple(t if isinstance(t, TrafficSpec) else TrafficSpec.of(t)
+                 for t in traffics)
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """A cartesian grid of run points: configs × traffics × seeds × rates."""
+
+    configs: Tuple[Tuple[str, NetworkConfig], ...]
+    traffics: Tuple[TrafficSpec, ...]
+    rates: Tuple[float, ...]
+    seeds: Tuple[int, ...] = (1,)
+    protocol: RunProtocol = field(default_factory=RunProtocol)
+
+    def __post_init__(self) -> None:
+        for name, values in (("configs", self.configs),
+                             ("traffics", self.traffics),
+                             ("rates", self.rates),
+                             ("seeds", self.seeds)):
+            if not values:
+                raise ValueError(f"experiment needs at least one of {name}")
+
+    @classmethod
+    def of(cls, configs: ConfigsLike, traffics: TrafficsLike,
+           rates: Iterable[float], seeds: Iterable[int] = (1,),
+           protocol: RunProtocol = RunProtocol()) -> "ExperimentSpec":
+        """Build a spec from friendlier argument shapes: a single config,
+        a ``{label: config}`` mapping, traffic names or specs, any
+        iterables of rates and seeds."""
+        return cls(configs=_normalize_configs(configs),
+                   traffics=_normalize_traffics(traffics),
+                   rates=tuple(rates), seeds=tuple(seeds),
+                   protocol=protocol)
+
+    @property
+    def num_points(self) -> int:
+        return (len(self.configs) * len(self.traffics)
+                * len(self.seeds) * len(self.rates))
+
+    def points(self) -> List[RunPoint]:
+        """Expand the grid; rates vary innermost so each (config,
+        traffic, seed) group forms one latency/power curve."""
+        out = []
+        for label, config in self.configs:
+            for traffic in self.traffics:
+                for seed in self.seeds:
+                    protocol = replace(self.protocol, seed=seed)
+                    for rate in self.rates:
+                        out.append(RunPoint(config=config, traffic=traffic,
+                                            rate=rate, protocol=protocol,
+                                            label=label))
+        return out

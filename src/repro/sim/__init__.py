@@ -20,8 +20,18 @@ from repro.sim.stats import (
     saturation_rate,
     zero_load_latency_estimate,
 )
-from repro.sim.topology import EAST, LOCAL, NORTH, SOUTH, WEST, Mesh, Torus
+from repro.sim.topology import (
+    EAST,
+    LOCAL,
+    NORTH,
+    SOUTH,
+    WEST,
+    Mesh,
+    Torus,
+    topology_for,
+)
 from repro.sim.traffic import (
+    TRAFFIC_REGISTRY,
     BitComplementTraffic,
     BroadcastTraffic,
     BurstyTraffic,
@@ -30,9 +40,14 @@ from repro.sim.traffic import (
     ShuffleTraffic,
     TornadoTraffic,
     TraceTraffic,
+    TrafficKind,
+    TrafficParam,
     TrafficPattern,
     TransposeTraffic,
     UniformRandomTraffic,
+    make_traffic,
+    traffic_names,
+    validate_traffic_params,
 )
 
 __all__ = [
@@ -54,6 +69,13 @@ __all__ = [
     "NORTH", "SOUTH", "EAST", "WEST", "LOCAL",
     "Mesh",
     "Torus",
+    "topology_for",
+    "TRAFFIC_REGISTRY",
+    "TrafficKind",
+    "TrafficParam",
+    "make_traffic",
+    "traffic_names",
+    "validate_traffic_params",
     "TrafficPattern",
     "UniformRandomTraffic",
     "BroadcastTraffic",

@@ -15,7 +15,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
-from repro.core.config import NetworkConfig
+from repro.core.config import NetworkConfig, RunProtocol, resolve_protocol
 from repro.core.events import EnergyAccountant
 from repro.core.power_binding import NullBinding, PowerBinding
 from repro.sim.network import Network
@@ -97,24 +97,29 @@ class Simulation:
     """One network + one workload, run to the paper's completion rule."""
 
     def __init__(self, config: NetworkConfig, traffic: TrafficPattern,
-                 warmup_cycles: int = 1000,
-                 sample_packets: int = 10000,
-                 max_cycles: int = 2_000_000,
-                 watchdog_cycles: int = 20_000,
-                 collect_power: bool = True,
-                 monitor: bool = False) -> None:
-        if warmup_cycles < 0:
-            raise ValueError(f"warmup_cycles must be >= 0, got {warmup_cycles}")
-        if sample_packets < 1:
-            raise ValueError(
-                f"sample_packets must be >= 1, got {sample_packets}"
-            )
+                 protocol: Optional[RunProtocol] = None, *,
+                 warmup_cycles: Optional[int] = None,
+                 sample_packets: Optional[int] = None,
+                 max_cycles: Optional[int] = None,
+                 watchdog_cycles: Optional[int] = None,
+                 collect_power: Optional[bool] = None,
+                 monitor: Optional[bool] = None) -> None:
+        protocol = resolve_protocol(
+            protocol,
+            warmup_cycles=warmup_cycles,
+            sample_packets=sample_packets,
+            max_cycles=max_cycles,
+            watchdog_cycles=watchdog_cycles,
+            collect_power=collect_power,
+            monitor=monitor,
+        )
+        self.protocol = protocol
         self.traffic = traffic
-        self.warmup_cycles = warmup_cycles
-        self.sample_packets = sample_packets
-        self.max_cycles = max_cycles
-        self.watchdog_cycles = watchdog_cycles
-        if collect_power:
+        self.warmup_cycles = protocol.warmup_cycles
+        self.sample_packets = protocol.sample_packets
+        self.max_cycles = protocol.max_cycles
+        self.watchdog_cycles = protocol.watchdog_cycles
+        if protocol.collect_power:
             self.accountant = EnergyAccountant(config.num_nodes)
             self.binding = PowerBinding(config, self.accountant)
         else:
@@ -122,7 +127,7 @@ class Simulation:
             self.binding = NullBinding()
         self.network = Network(config, self.binding)
         self.config = config
-        if monitor:
+        if protocol.monitor:
             from repro.sim.monitor import NetworkMonitor
             self.monitor = NetworkMonitor(self.network)
         else:
@@ -179,6 +184,9 @@ class Simulation:
                     f"{sample_done}/{self.sample_packets} sample packets "
                     f"delivered"
                 )
+        # Drop the delivery closure so results (and the monitor's network
+        # reference) stay picklable across process pools.
+        network.on_packet_delivered = None
         total_cycles = network.cycle
         measured = total_cycles - self.warmup_cycles
         if self.accountant is not None:

@@ -21,6 +21,34 @@ from repro.sim.routing import dimension_ordered_route
 from repro.sim.topology import LOCAL, OPPOSITE, Mesh, Torus
 
 
+class _Ejector:
+    """Per-node ejection sink.
+
+    A module-level class rather than a closure so networks (and
+    therefore monitor-bearing simulation results) pickle across process
+    pools.
+    """
+
+    def __init__(self, network: "Network", node: int) -> None:
+        self.network = network
+        self.node = node
+
+    def __call__(self, flit: Flit) -> None:
+        network = self.network
+        network.flits_ejected += 1
+        if flit.packet.dst != self.node:
+            raise RuntimeError(
+                f"flit of packet {flit.packet.packet_id} ejected at "
+                f"node {self.node}, destination is {flit.packet.dst}"
+            )
+        if flit.is_tail:
+            packet = flit.packet
+            packet.eject_cycle = network.cycle
+            network.packets_delivered += 1
+            if network.on_packet_delivered is not None:
+                network.on_packet_delivered(packet)
+
+
 class Network:
     """A simulatable interconnection network instance."""
 
@@ -65,26 +93,10 @@ class Network:
             self.routers[src].set_downstream_depth(
                 out_port, rc.buffer_depth, rc.num_vcs)
         for router in self.routers:
-            router.eject = self._make_eject(router.node)
+            router.eject = _Ejector(self, router.node)
             # VC routers need the topology for dateline tracking.
             if hasattr(router, "topo"):
                 router.topo = self.topo
-
-    def _make_eject(self, node: int) -> Callable[[Flit], None]:
-        def eject(flit: Flit) -> None:
-            self.flits_ejected += 1
-            if flit.packet.dst != node:
-                raise RuntimeError(
-                    f"flit of packet {flit.packet.packet_id} ejected at "
-                    f"node {node}, destination is {flit.packet.dst}"
-                )
-            if flit.is_tail:
-                packet = flit.packet
-                packet.eject_cycle = self.cycle
-                self.packets_delivered += 1
-                if self.on_packet_delivered is not None:
-                    self.on_packet_delivered(packet)
-        return eject
 
     # --- packet creation -----------------------------------------------------------
 

@@ -138,3 +138,16 @@ class Mesh(Topology):
 
     def __init__(self, width: int, height: Optional[int] = None) -> None:
         super().__init__(width, height if height is not None else width, False)
+
+
+def topology_for(config) -> Topology:
+    """Build the :class:`Topology` a ``NetworkConfig`` describes.
+
+    Duck-typed on ``.topology``/``.width``/``.height`` so the core
+    configuration layer need not import the simulator.
+    """
+    if config.topology == "torus":
+        return Torus(config.width, config.height)
+    if config.topology == "mesh":
+        return Mesh(config.width, config.height)
+    raise ValueError(f"unknown topology {config.topology!r}")

@@ -23,7 +23,8 @@ Patterns provided:
 from __future__ import annotations
 
 import random
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.sim.topology import Topology
 
@@ -335,3 +336,143 @@ class TraceTraffic(TrafficPattern):
     def last_cycle(self) -> int:
         """Cycle of the final trace record (0 for an empty trace)."""
         return max(self._by_cycle) if self._by_cycle else 0
+
+
+# --- traffic registry ---------------------------------------------------------
+
+#: Sentinel default marking a registry parameter the caller must supply.
+REQUIRED = object()
+
+
+@dataclass(frozen=True)
+class TrafficParam:
+    """One extra constructor parameter a traffic kind accepts beyond
+    ``(topo, rate, seed)``."""
+
+    name: str
+    kind: type = int
+    default: Any = REQUIRED
+    help: str = ""
+
+    @property
+    def required(self) -> bool:
+        return self.default is REQUIRED
+
+
+@dataclass(frozen=True)
+class TrafficKind:
+    """Registry entry: a named, declaratively-parameterised traffic
+    pattern that the CLI and the experiment orchestrator can build and
+    validate without pattern-specific code."""
+
+    name: str
+    factory: Any
+    params: Tuple[TrafficParam, ...] = ()
+    #: Whether ``rate`` is per node (vs whole-network, e.g. broadcast).
+    per_node: bool = True
+    description: str = ""
+
+    def resolve_params(self, params: Dict[str, Any]) -> Dict[str, Any]:
+        """Validate caller params against the declaration and fill in
+        defaults; raises :class:`ValueError` on unknown or missing ones."""
+        known = {p.name for p in self.params}
+        unknown = sorted(set(params) - known)
+        if unknown:
+            raise ValueError(
+                f"traffic {self.name!r} got unknown parameter(s) {unknown}; "
+                f"accepts: {sorted(known) or 'none'}"
+            )
+        resolved = {}
+        for param in self.params:
+            if param.name in params:
+                resolved[param.name] = params[param.name]
+            elif param.required:
+                raise ValueError(
+                    f"traffic {self.name!r} requires parameter "
+                    f"{param.name!r} ({param.help or param.kind.__name__})"
+                )
+            else:
+                resolved[param.name] = param.default
+        return resolved
+
+
+#: All registered rate-driven traffic kinds, by name.
+TRAFFIC_REGISTRY: Dict[str, TrafficKind] = {}
+
+
+def register_traffic(name: str, factory, params: Sequence[TrafficParam] = (),
+                     per_node: bool = True,
+                     description: str = "") -> TrafficKind:
+    """Register a traffic pattern class under ``name``."""
+    kind = TrafficKind(name, factory, tuple(params), per_node, description)
+    TRAFFIC_REGISTRY[name] = kind
+    return kind
+
+
+def traffic_names() -> Tuple[str, ...]:
+    """Registered traffic kind names, sorted."""
+    return tuple(sorted(TRAFFIC_REGISTRY))
+
+
+def validate_traffic_params(name: str, params: Dict[str, Any]) -> Dict[str, Any]:
+    """Check ``name`` is registered and ``params`` match its declaration.
+
+    Returns the resolved parameter dict (defaults filled in).
+    """
+    try:
+        kind = TRAFFIC_REGISTRY[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown traffic {name!r}; options: {traffic_names()}"
+        ) from None
+    return kind.resolve_params(params)
+
+
+def make_traffic(name: str, topo: Topology, rate: float, seed: int = 1,
+                 **params) -> TrafficPattern:
+    """Build a registered traffic pattern by name.
+
+    Extra keyword arguments are validated against the kind's declared
+    :class:`TrafficParam` list (e.g. ``source`` for broadcast,
+    ``hotspot``/``hot_fraction`` for hotspot traffic).
+    """
+    resolved = validate_traffic_params(name, params)
+    kind = TRAFFIC_REGISTRY[name]
+    return kind.factory(topo, rate=rate, seed=seed, **resolved)
+
+
+register_traffic(
+    "uniform", UniformRandomTraffic,
+    description="uniformly random destinations (the paper's default)")
+register_traffic(
+    "broadcast", BroadcastTraffic, per_node=False,
+    params=(TrafficParam("source", int, help="broadcasting node id"),),
+    description="one source sends to all other nodes (section 4.3)")
+register_traffic(
+    "transpose", TransposeTraffic,
+    description="node (x, y) sends to (y, x)")
+register_traffic(
+    "bitcomp", BitComplementTraffic,
+    description="node (x, y) sends to (W-1-x, H-1-y)")
+register_traffic(
+    "hotspot", HotspotTraffic,
+    params=(TrafficParam("hotspot", int, help="hot node id"),
+            TrafficParam("hot_fraction", float, 0.2,
+                         "share of packets sent to the hot node")),
+    description="uniform random with a fraction aimed at one hot node")
+register_traffic(
+    "neighbor", NearestNeighborTraffic,
+    description="random adjacent-node (distance-1) traffic")
+register_traffic(
+    "tornado", TornadoTraffic,
+    description="half-way-around-the-ring worst case for tori")
+register_traffic(
+    "shuffle", ShuffleTraffic,
+    description="perfect-shuffle permutation (power-of-two node counts)")
+register_traffic(
+    "bursty", BurstyTraffic,
+    params=(TrafficParam("burst_length", float, 10.0,
+                         "mean ON-burst length in cycles"),
+            TrafficParam("duty_cycle", float, 0.25,
+                         "steady-state fraction of time spent ON")),
+    description="two-state Markov-modulated uniform random traffic")

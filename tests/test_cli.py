@@ -41,6 +41,12 @@ class TestRun:
                      "--sample", "60", "--warmup", "100", "--leakage"])
         assert code == 0
 
+    def test_run_monitor(self, capsys):
+        code = main(["run", "--preset", "VC16", "--rate", "0.03",
+                     "--sample", "60", "--warmup", "100", "--monitor"])
+        assert code == 0
+        assert "occupancy/utilization" in capsys.readouterr().out
+
     def test_run_data_activity(self, capsys):
         code = main(["run", "--preset", "VC16", "--rate", "0.03",
                      "--sample", "40", "--warmup", "80",
@@ -65,6 +71,66 @@ class TestSweep:
         out = capsys.readouterr().out
         assert "0.020" in out and "0.050" in out
         assert "saturation" in out
+
+    def test_sweep_any_traffic_kind(self, capsys):
+        code = main(["sweep", "--preset", "VC16", "--traffic", "hotspot",
+                     "--source", "5", "--rates", "0.02,0.04",
+                     "--sample", "50", "--warmup", "80"])
+        assert code == 0
+        assert "0.040" in capsys.readouterr().out
+
+    def test_sweep_parallel(self, capsys):
+        code = main(["sweep", "--preset", "VC16",
+                     "--rates", "0.02,0.05", "--sample", "60",
+                     "--warmup", "100", "--processes", "2"])
+        assert code == 0
+        assert "saturation" in capsys.readouterr().out
+
+
+class TestExperiment:
+    ARGS = ["experiment", "--presets", "WH64,VC16",
+            "--traffic", "uniform", "--rates", "0.02,0.05",
+            "--sample", "50", "--warmup", "80"]
+
+    def test_grid_runs_and_reports(self, tmp_path, capsys):
+        code = main(self.ARGS + ["--cache-dir", str(tmp_path / "c")])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "WH64" in out and "VC16" in out
+        assert "4 points" in out
+        assert "4 simulated" in out
+        assert "cache:" in out
+
+    def test_second_run_served_from_cache(self, tmp_path, capsys):
+        cache = str(tmp_path / "c")
+        main(self.ARGS + ["--cache-dir", cache])
+        capsys.readouterr()
+        assert main(self.ARGS + ["--cache-dir", cache]) == 0
+        out = capsys.readouterr().out
+        assert "0 simulated" in out and "4 cached" in out
+        assert out.count("cached") >= 4  # every progress line
+
+    def test_no_cache_flag(self, capsys):
+        code = main(self.ARGS + ["--no-cache"])
+        assert code == 0
+        assert "cache:" not in capsys.readouterr().out
+
+    def test_csv_export(self, tmp_path, capsys):
+        csv_path = tmp_path / "exp.csv"
+        code = main(self.ARGS + ["--no-cache", "--csv", str(csv_path)])
+        assert code == 0
+        lines = csv_path.read_text().splitlines()
+        assert len(lines) == 5  # header + 2 presets x 2 rates
+
+    def test_multi_traffic_and_seeds(self, tmp_path, capsys):
+        code = main(["experiment", "--presets", "VC16",
+                     "--traffic", "uniform,transpose",
+                     "--rates", "0.02", "--seeds", "1,2",
+                     "--sample", "40", "--warmup", "80",
+                     "--cache-dir", str(tmp_path / "c")])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "transpose" in out and "seed=2" in out
 
 
 class TestPower:

@@ -1,0 +1,86 @@
+"""Tests for the declarative traffic registry."""
+
+import pytest
+
+from repro.sim.topology import Torus, topology_for
+from repro.sim.traffic import (
+    TRAFFIC_REGISTRY,
+    BroadcastTraffic,
+    HotspotTraffic,
+    UniformRandomTraffic,
+    make_traffic,
+    traffic_names,
+    validate_traffic_params,
+)
+
+from tests.conftest import small_config
+
+TOPO = Torus(4, 4)
+
+
+class TestRegistryContents:
+    def test_all_paper_patterns_registered(self):
+        assert {"uniform", "broadcast", "transpose", "bitcomp", "hotspot",
+                "neighbor", "tornado", "shuffle",
+                "bursty"} <= set(traffic_names())
+
+    def test_names_sorted(self):
+        assert list(traffic_names()) == sorted(traffic_names())
+
+    def test_per_node_flags(self):
+        assert TRAFFIC_REGISTRY["uniform"].per_node
+        assert not TRAFFIC_REGISTRY["broadcast"].per_node
+
+    def test_every_kind_buildable(self):
+        extras = {"broadcast": {"source": 0}, "hotspot": {"hotspot": 5}}
+        for name in traffic_names():
+            traffic = make_traffic(name, TOPO, 0.05, **extras.get(name, {}))
+            # A built pattern must answer the engine's only question.
+            packets = traffic.packets_at(0)
+            assert isinstance(packets, list)
+
+    def test_factory_types(self):
+        assert isinstance(make_traffic("uniform", TOPO, 0.05),
+                          UniformRandomTraffic)
+        assert isinstance(make_traffic("broadcast", TOPO, 0.1, source=3),
+                          BroadcastTraffic)
+
+
+class TestValidation:
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError, match="unknown traffic"):
+            make_traffic("teleport", TOPO, 0.05)
+
+    def test_missing_required_param(self):
+        with pytest.raises(ValueError, match="requires parameter 'source'"):
+            make_traffic("broadcast", TOPO, 0.1)
+
+    def test_unknown_param_rejected(self):
+        with pytest.raises(ValueError, match="unknown parameter"):
+            make_traffic("uniform", TOPO, 0.05, hotness=3)
+
+    def test_defaults_filled(self):
+        resolved = validate_traffic_params("hotspot", {"hotspot": 5})
+        assert resolved == {"hotspot": 5, "hot_fraction": 0.2}
+        traffic = make_traffic("hotspot", TOPO, 0.05, hotspot=5)
+        assert isinstance(traffic, HotspotTraffic)
+
+    def test_default_overridable(self):
+        resolved = validate_traffic_params(
+            "hotspot", {"hotspot": 5, "hot_fraction": 0.5})
+        assert resolved["hot_fraction"] == 0.5
+
+
+class TestDeterminism:
+    def test_seed_controls_stream(self):
+        a = make_traffic("uniform", TOPO, 0.05, seed=3)
+        b = make_traffic("uniform", TOPO, 0.05, seed=3)
+        c = make_traffic("uniform", TOPO, 0.05, seed=4)
+        stream = lambda t: [t.packets_at(cyc) for cyc in range(60)]
+        assert stream(a) == stream(b)
+        assert stream(a) != stream(c)
+
+    def test_topology_for_matches_config(self):
+        cfg = small_config("wormhole")
+        topo = topology_for(cfg)
+        assert (topo.width, topo.height) == (cfg.width, cfg.height)
