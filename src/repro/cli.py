@@ -151,13 +151,16 @@ def cmd_experiment(args) -> int:
     traffics = [TrafficSpec.of(t.strip(),
                                **_traffic_extras(t.strip(), args))
                 for t in args.traffic.split(",")]
-    rates = [float(r) for r in args.rates.split(",")]
     seeds = [int(s) for s in args.seeds.split(",")]
-    spec = ExperimentSpec.of(configs, traffics, rates, seeds,
-                             protocol=RunProtocol(
-                                 warmup_cycles=args.warmup,
-                                 sample_packets=args.sample,
-                                 monitor=False))
+    protocol = RunProtocol(warmup_cycles=args.warmup,
+                           sample_packets=args.sample, monitor=False)
+    if args.rates.strip() == "auto":
+        spec = _guided_points(configs, traffics, seeds, protocol,
+                              args.grid_points, quiet=args.quiet)
+    else:
+        rates = [float(r) for r in args.rates.split(",")]
+        spec = ExperimentSpec.of(configs, traffics, rates, seeds,
+                                 protocol=protocol)
     cache = None if args.no_cache else ResultCache(args.cache_dir)
 
     def show(progress) -> None:
@@ -181,11 +184,67 @@ def cmd_experiment(args) -> int:
         print()
     print(result.summary())
     if cache is not None:
-        print(f"cache: {args.cache_dir} ({len(cache)} entries)")
+        print(f"cache: {args.cache_dir} ({len(cache)} entries; "
+              f"{cache.hits} hits / {cache.misses} misses this run)")
     if args.csv:
         experiment_to_csv(result.outcomes, args.csv)
         print(f"wrote {args.csv}")
     return 0 if any(o.ok for o in result.outcomes) else 1
+
+
+def _guided_points(configs, traffics, seeds, protocol, grid_points,
+                   quiet=False):
+    """Expand an analytic-guided run-point list: one guided rate grid
+    per (preset, traffic), rates dense around predicted saturation."""
+    from dataclasses import replace
+    from repro.exp import RunPoint, guided_rate_grid
+
+    points = []
+    for name, cfg in configs.items():
+        for tspec in traffics:
+            grid = guided_rate_grid(cfg, tspec.name, points=grid_points,
+                                    **dict(tspec.params))
+            if not quiet:
+                rates = ",".join(f"{r:g}" for r in grid.rates)
+                print(f"guided grid {name}/{tspec.describe()}: predicted "
+                      f"saturation {grid.prediction.rate:.4f}, "
+                      f"rates [{rates}]")
+            for seed in seeds:
+                proto = replace(protocol, seed=seed)
+                points.extend(
+                    RunPoint(config=cfg, traffic=tspec, rate=rate,
+                             protocol=proto, label=name)
+                    for rate in grid.rates)
+    return points
+
+
+def cmd_estimate(args) -> int:
+    cfg = _config(args)
+    overrides = {}
+    if args.topology:
+        overrides["topology"] = args.topology
+    if args.width:
+        overrides["width"] = args.width
+    if args.height:
+        overrides["height"] = args.height
+    if overrides:
+        cfg = cfg.with_(**overrides)
+    orion = Orion(cfg)
+    est = orion.estimate_traffic(args.traffic, args.rate,
+                                 **_traffic_extras(args.traffic, args))
+    print(f"config:   {args.preset} ({cfg.router.kind}, {cfg.topology} "
+          f"{cfg.width}x{cfg.height}) — analytic estimate, no simulation")
+    print(est.describe())
+    print("\npower breakdown:")
+    total = sum(est.power_breakdown_w.values())
+    for component, watts in sorted(est.power_breakdown_w.items(),
+                                   key=lambda kv: -kv[1]):
+        share = watts / total if total > 0 else 0.0
+        print(f"  {component:<16} {format_power(watts):>12} {share:>7.1%}")
+    if est.is_saturated:
+        print("\nwarning: this rate is at or past the predicted "
+              "saturation; estimates assume offered load is delivered")
+    return 0
 
 
 def cmd_power(args) -> int:
@@ -279,7 +338,11 @@ def build_parser() -> argparse.ArgumentParser:
                    help=f"comma-separated traffic kinds "
                         f"(options: {', '.join(TRAFFIC_KINDS)})")
     p.add_argument("--rates", default="0.02,0.06,0.10,0.14",
-                   help="comma-separated injection rates")
+                   help="comma-separated injection rates, or 'auto' to "
+                        "place the grid analytically around predicted "
+                        "saturation")
+    p.add_argument("--grid-points", type=int, default=8,
+                   help="points per guided grid (with --rates auto)")
     p.add_argument("--seeds", default="1",
                    help="comma-separated traffic seeds")
     p.add_argument("--source", type=int, default=9,
@@ -303,6 +366,17 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--csv", metavar="PATH",
                    help="write all points as CSV")
     p.set_defaults(handler=cmd_experiment)
+
+    p = sub.add_parser(
+        "estimate",
+        help="closed-form latency/power/saturation estimate (no "
+             "simulation, milliseconds)")
+    add_common(p)
+    p.add_argument("--topology", choices=("mesh", "torus"),
+                   help="override the preset's topology")
+    p.add_argument("--width", type=int, help="override grid width")
+    p.add_argument("--height", type=int, help="override grid height")
+    p.set_defaults(handler=cmd_estimate)
 
     p = sub.add_parser("power", help="standalone power analysis")
     p.add_argument("--preset", default="VC16")

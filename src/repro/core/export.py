@@ -9,6 +9,7 @@ from __future__ import annotations
 
 import csv
 import json
+import math
 from typing import Dict, List
 
 from repro.core.report import SweepResult
@@ -25,7 +26,10 @@ def result_to_dict(result: SimulationResult) -> Dict:
         "avg_latency_cycles": result.avg_latency,
         "min_latency_cycles": result.latency.minimum,
         "max_latency_cycles": result.latency.maximum,
-        "p99_latency_cycles": result.latency.percentile(99),
+        # minimum/maximum degrade to NaN on an empty sample; percentile
+        # still raises, so guard it the same way.
+        "p99_latency_cycles": (result.latency.percentile(99)
+                               if result.latency.count else math.nan),
         "sample_packets": result.sample_packets,
         "warmup_cycles": result.warmup_cycles,
         "measured_cycles": result.measured_cycles,

@@ -226,6 +226,33 @@ class Orion:
             ))
         return sweep
 
+    # --- analytic estimation ------------------------------------------------------
+
+    def estimate_uniform(self, rate: float, *,
+                         with_saturation: bool = True):
+        """Closed-form estimate for uniform traffic at ``rate``
+        packets/cycle/node — milliseconds instead of a simulation."""
+        return self.estimate_traffic("uniform", rate,
+                                     with_saturation=with_saturation)
+
+    def estimate_traffic(self, traffic: str, rate: float, *,
+                         with_saturation: bool = True,
+                         **traffic_params):
+        """Closed-form latency/power/saturation estimate of one
+        operating point (see :mod:`repro.analytic`).  Mirrors
+        :meth:`run_traffic`: same traffic kinds, same rate units, no
+        protocol — nothing is simulated."""
+        from repro.analytic import estimate
+        return estimate(self.config, traffic, rate,
+                        with_saturation=with_saturation, **traffic_params)
+
+    def estimate_saturation(self, traffic: str = "uniform",
+                            **traffic_params):
+        """Predicted saturation rate of a traffic kind on this config
+        (the paper's twice-zero-load-latency criterion, closed form)."""
+        from repro.analytic import estimate_saturation
+        return estimate_saturation(self.config, traffic, **traffic_params)
+
     # --- standalone power analysis ----------------------------------------------
 
     def flit_energy_walkthrough(self) -> Dict[str, float]:

@@ -244,6 +244,52 @@ class PowerBinding:
             energy = self._e_cb_read
         self.accountant.add(node, ev.CENTRAL_BUFFER, ev.CB_READ, energy)
 
+    # --- analytic access ---------------------------------------------------------
+
+    def event_energies(self, requests: int = 1) -> Dict[str, float]:
+        """Average-mode energy per event (joules), keyed by event kind.
+
+        Arbitration energies are read at ``requests`` active requesters
+        (1 = the uncontended case analytic models assume at low load).
+        The analytic estimator multiplies these by predicted event rates
+        instead of depositing them through the accountant.
+        """
+        def arb(table: List[float]) -> float:
+            if not table:
+                return 0.0
+            return table[min(requests, len(table) - 1)]
+
+        return {
+            "buffer_write": self._e_buf_write,
+            "buffer_read": self._e_buf_read,
+            "xbar_traversal": self._e_xbar,
+            "link_traversal": self._e_link,
+            "switch_arb": arb(self._switch_arb),
+            "vc_arb": arb(self._vc_arb),
+            "local_arb": arb(self._local_arb),
+            "cb_arb": arb(self._cb_arb),
+            "cb_write": self._e_cb_write,
+            "cb_read": self._e_cb_read,
+        }
+
+    def constant_power_w(self, links_per_node: List[int]) -> Dict[str, float]:
+        """Traffic-insensitive power (watts) by component, network-wide —
+        the closed-form equivalent of :meth:`finalize`: idle link power
+        on every outgoing link, optional leakage, optional clock."""
+        freq = self.tech.frequency_hz
+        num_nodes = len(links_per_node)
+        constant: Dict[str, float] = {}
+        if self._e_link_idle > 0.0:
+            constant[ev.LINK] = (self._e_link_idle * freq *
+                                 sum(links_per_node))
+        for component, watts in self._static_w.items():
+            if watts > 0.0:
+                constant[component] = (constant.get(component, 0.0) +
+                                       watts * num_nodes)
+        if self._e_clock_cycle > 0.0:
+            constant[ev.CLOCK] = self._e_clock_cycle * freq * num_nodes
+        return constant
+
     # --- static power (optional extension) ---------------------------------------
 
     def _static_power_per_node(self) -> Dict[str, float]:

@@ -116,14 +116,18 @@ class SweepResult:
             raise ValueError("empty sweep")
         return min(ok, key=lambda p: p.rate).avg_latency
 
-    def saturation_rate(self) -> Optional[float]:
-        """Paper criterion: first rate with latency > 2x zero-load."""
+    def saturation_rate(self, interpolate: bool = False) -> Optional[float]:
+        """Paper criterion: first rate with latency > 2x zero-load.
+
+        ``interpolate=True`` linearly interpolates the crossing between
+        grid samples (see :func:`repro.sim.stats.saturation_rate`)."""
         ok = self.ok_points
         if not ok:
             return None
         return saturation_rate([p.rate for p in ok],
                                [p.avg_latency for p in ok],
-                               self.zero_load_latency)
+                               self.zero_load_latency,
+                               interpolate=interpolate)
 
     def table(self) -> str:
         """Render the curve as rows of rate / latency / power."""

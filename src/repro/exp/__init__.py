@@ -18,6 +18,12 @@ Quick start::
 """
 
 from repro.exp.cache import DEFAULT_CACHE_DIR, ResultCache
+from repro.exp.guided import (
+    GuidedGrid,
+    GuidedSweep,
+    guided_rate_grid,
+    run_guided_sweep,
+)
 from repro.exp.orchestrator import (
     ExperimentResult,
     PointOutcome,
@@ -33,12 +39,16 @@ __all__ = [
     "DEFAULT_CACHE_DIR",
     "ExperimentResult",
     "ExperimentSpec",
+    "GuidedGrid",
+    "GuidedSweep",
     "PointOutcome",
     "Progress",
     "ResultCache",
     "RunPoint",
     "TrafficSpec",
+    "guided_rate_grid",
     "outcomes_to_sweep",
     "run_experiment",
+    "run_guided_sweep",
     "run_points",
 ]

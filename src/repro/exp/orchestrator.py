@@ -91,6 +91,9 @@ class Progress:
     #: Cycles simulated so far (fresh runs only — cache hits cost none).
     cycles_simulated: int
     elapsed_seconds: float
+    #: Points not served from the cache so far (``done - cache_hits``),
+    #: mirroring :class:`ResultCache`'s miss counter for this run.
+    cache_misses: int = 0
 
     @property
     def cache_hit_rate(self) -> float:
@@ -179,7 +182,8 @@ def run_points(points: Sequence[RunPoint], *,
             progress(Progress(done=done, total=len(points), outcome=outcome,
                               cache_hits=cache_hits, failures=failures,
                               cycles_simulated=cycles,
-                              elapsed_seconds=time.perf_counter() - start))
+                              elapsed_seconds=time.perf_counter() - start,
+                              cache_misses=done - cache_hits))
         if not outcome.ok and on_error == "raise":
             outcome.raise_error()
 
@@ -240,6 +244,11 @@ class ExperimentResult:
     @property
     def cache_hit_rate(self) -> float:
         return self.cache_hits / self.num_points if self.num_points else 0.0
+
+    @property
+    def cache_misses(self) -> int:
+        """Points that had to be simulated because the cache missed."""
+        return self.simulated
 
     def select(self, label: Optional[str] = None,
                traffic: Optional[str] = None,

@@ -9,10 +9,17 @@ latency increases to more than twice zero-load latency".
 from __future__ import annotations
 
 import math
+import warnings
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence
 
 from repro.sim.message import Packet
+
+
+def _warn_empty(metric: str) -> None:
+    warnings.warn(
+        f"latency {metric} requested with no sample packets recorded; "
+        f"returning NaN", RuntimeWarning, stacklevel=3)
 
 
 @dataclass
@@ -31,21 +38,26 @@ class LatencyStats:
 
     @property
     def average(self) -> float:
-        """Mean packet latency in cycles."""
+        """Mean packet latency in cycles (NaN, with a warning, when no
+        sample packets completed — a saturated sweep point should record
+        a hole, not crash the sweep)."""
         if not self.latencies:
-            raise ValueError("no packets recorded")
+            _warn_empty("average")
+            return math.nan
         return sum(self.latencies) / len(self.latencies)
 
     @property
-    def maximum(self) -> int:
+    def maximum(self) -> float:
         if not self.latencies:
-            raise ValueError("no packets recorded")
+            _warn_empty("maximum")
+            return math.nan
         return max(self.latencies)
 
     @property
-    def minimum(self) -> int:
+    def minimum(self) -> float:
         if not self.latencies:
-            raise ValueError("no packets recorded")
+            _warn_empty("minimum")
+            return math.nan
         return min(self.latencies)
 
     def percentile(self, q: float) -> float:
@@ -69,14 +81,30 @@ def is_saturated(average_latency: float, zero_load_latency: float) -> bool:
 
 
 def saturation_rate(rates: Sequence[float], latencies: Sequence[float],
-                    zero_load_latency: float) -> Optional[float]:
+                    zero_load_latency: float,
+                    interpolate: bool = False) -> Optional[float]:
     """First injection rate in a sweep whose latency exceeds twice the
-    zero-load latency; ``None`` if the sweep never saturates."""
+    zero-load latency; ``None`` if the sweep never saturates.
+
+    With ``interpolate=True`` the crossing is linearly interpolated
+    between the last unsaturated sample and the first saturated one,
+    giving sub-grid-step resolution.  The first sample saturating
+    outright (no unsaturated point below it) returns its rate as-is.
+    """
     if len(rates) != len(latencies):
         raise ValueError("rates and latencies must have equal length")
+    threshold = 2.0 * zero_load_latency
+    previous: Optional[tuple] = None
     for rate, latency in sorted(zip(rates, latencies)):
         if is_saturated(latency, zero_load_latency):
-            return rate
+            if not interpolate or previous is None:
+                return rate
+            prev_rate, prev_latency = previous
+            if not latency > prev_latency:
+                return rate
+            frac = (threshold - prev_latency) / (latency - prev_latency)
+            return prev_rate + frac * (rate - prev_rate)
+        previous = (rate, latency)
     return None
 
 

@@ -1,0 +1,320 @@
+"""Cross-validation of the analytic estimator against the simulator.
+
+The analytic subsystem doubles as a standing correctness check: zero-load
+latency must match simulation *exactly* (same pipeline arithmetic), and
+power / saturation predictions must land within stated tolerances of
+simulated values on the paper's Figure 5 configuration.
+"""
+
+import math
+import time
+
+import pytest
+
+from repro.core.config import RunProtocol
+from repro.core.orion import Orion
+from repro.core.presets import preset
+from repro.analytic import (
+    AnalyticEstimate,
+    ZERO_LOAD_PIPELINE_DEPTH,
+    estimate,
+    estimate_saturation,
+    flow_matrix,
+    mean_hops,
+    pipeline_depth,
+    queueing_delay,
+    router_event_rates,
+    traffic_flows,
+    zero_load_latency,
+)
+from repro.sim.routing import dimension_ordered_route
+from repro.sim.topology import topology_for
+from repro.sim.traffic import TraceTraffic
+
+from tests.conftest import small_config
+
+#: One uncontended packet per (src, dst) pair: a trace with a single
+#: packet measures pure pipeline latency.
+SINGLE_PACKET = RunProtocol(warmup_cycles=0, sample_packets=1,
+                            collect_power=False)
+
+PAIRS = [(0, 5), (0, 15), (3, 12), (1, 2), (0, 3)]
+
+
+def simulated_single_packet_latency(config, src, dst):
+    topo = topology_for(config)
+    traffic = TraceTraffic(topo, [(0, src, dst)])
+    return Orion(config).run(traffic, SINGLE_PACKET).avg_latency
+
+
+class TestZeroLoadExactness:
+    """Acceptance: analytic zero-load latency equals simulated latency,
+    exactly in cycles, for mesh and torus presets."""
+
+    @pytest.mark.parametrize("name", ["WH64", "VC16", "CB", "XB"])
+    @pytest.mark.parametrize("topology", ["torus", "mesh"])
+    def test_presets_match_exactly(self, name, topology):
+        config = preset(name).with_(topology=topology)
+        topo = topology_for(config)
+        for src, dst in PAIRS:
+            hops = len(dimension_ordered_route(
+                topo, src, dst, tie_break=config.tie_break)) - 1
+            assert simulated_single_packet_latency(config, src, dst) == \
+                zero_load_latency(config, hops), \
+                f"{name}/{topology} {src}->{dst} ({hops} hops)"
+
+    def test_speculative_router_matches_exactly(self):
+        config = small_config("vc").with_router(kind="speculative_vc")
+        topo = topology_for(config)
+        for src, dst in PAIRS:
+            hops = len(dimension_ordered_route(
+                topo, src, dst, tie_break=config.tie_break)) - 1
+            assert simulated_single_packet_latency(config, src, dst) == \
+                zero_load_latency(config, hops)
+
+    def test_depth_map_covers_all_router_kinds(self):
+        from repro.sim.routers import ROUTER_CLASSES
+        assert set(ZERO_LOAD_PIPELINE_DEPTH) == set(ROUTER_CLASSES)
+
+    def test_known_kinds_have_positive_depth(self):
+        for kind, depth in ZERO_LOAD_PIPELINE_DEPTH.items():
+            assert depth >= 2, kind
+        config = small_config("wormhole")
+        assert pipeline_depth(config) == 2
+
+
+class TestPowerCrossValidation:
+    """Acceptance: analytic power within 15% of simulated, Figure 5
+    uniform-traffic configuration (VC16)."""
+
+    def test_vc16_uniform_total_power_within_15pct(self):
+        config = preset("VC16")
+        est = estimate(config, "uniform", 0.05, with_saturation=False)
+        sim = Orion(config).run_uniform(
+            0.05, RunProtocol(warmup_cycles=400, sample_packets=400))
+        rel = abs(est.total_power_w - sim.total_power_w) / sim.total_power_w
+        assert rel < 0.15, f"analytic {est.total_power_w:.3f} W vs " \
+                           f"simulated {sim.total_power_w:.3f} W"
+
+    def test_vc16_breakdown_components_track_simulation(self):
+        config = preset("VC16")
+        est = estimate(config, "uniform", 0.05, with_saturation=False)
+        sim = Orion(config).run_uniform(
+            0.05, RunProtocol(warmup_cycles=400, sample_packets=400))
+        sim_breakdown = sim.power_breakdown_w()
+        for component, sim_w in sim_breakdown.items():
+            if sim_w <= 0.0:
+                continue
+            assert est.power_breakdown_w[component] == \
+                pytest.approx(sim_w, rel=0.15), component
+
+    def test_event_rates_match_simulated_counts(self):
+        """Predicted events/cycle track the accountant's counts."""
+        config = preset("VC16")
+        flows = flow_matrix(config, "uniform", 0.04)
+        from repro.analytic.power import estimate_power
+        est = estimate_power(flows)
+        sim = Orion(config).run_uniform(
+            0.04, RunProtocol(warmup_cycles=400, sample_packets=400))
+        for event in ("buffer_write", "buffer_read", "xbar_traversal",
+                      "link_traversal"):
+            simulated = sim.accountant.event_count(event) / \
+                sim.measured_cycles
+            assert est.event_rates[event] == \
+                pytest.approx(simulated, rel=0.15), event
+
+    def test_constant_power_configs_include_idle_links(self):
+        """CB/XB presets burn chip-to-chip link power at zero traffic."""
+        config = preset("XB")
+        est = estimate(config, "uniform", 0.001, with_saturation=False)
+        # 16 nodes x 4 outgoing links x 3 W of constant link power.
+        assert est.power_breakdown_w["link"] > 100.0
+
+
+class TestSaturationCrossValidation:
+    """Acceptance: analytic saturation within 20% of simulated, Figure 5
+    uniform-traffic configuration (VC16)."""
+
+    def test_vc16_uniform_saturation_within_20pct(self):
+        config = preset("VC16")
+        predicted = estimate_saturation(config, "uniform").rate
+        protocol = RunProtocol(warmup_cycles=400, sample_packets=300)
+        sweep = Orion(config).sweep_uniform(
+            [0.02, 0.11, 0.13, 0.15, 0.17], protocol)
+        measured = sweep.saturation_rate(interpolate=True)
+        assert measured is not None
+        rel = abs(predicted - measured) / measured
+        assert rel < 0.20, f"analytic {predicted:.4f} vs " \
+                           f"measured {measured:.4f}"
+
+    def test_saturation_below_throughput_bound(self):
+        config = preset("VC16")
+        sat = estimate_saturation(config, "uniform")
+        assert 0.0 < sat.rate < sat.throughput_bound
+
+    def test_zero_flow_traffic_never_saturates(self):
+        """A hotspot kind with rate scaled to zero has no finite
+        saturation point."""
+        config = small_config("wormhole")
+        base = flow_matrix(config, "uniform", 0.0)
+        assert base.max_channel_load == 0.0
+
+
+class TestFlowMatrix:
+    def test_uniform_conservation(self):
+        config = small_config("wormhole")
+        flows = flow_matrix(config, "uniform", 0.1)
+        n = topology_for(config).num_nodes
+        assert flows.injection_packets == pytest.approx(0.1 * n)
+        assert sum(flows.source_load) == pytest.approx(flows.injection_flits)
+        # Flits crossing links = injected flits x average hops.
+        assert flows.link_flits == pytest.approx(
+            flows.injection_flits * flows.avg_hops)
+
+    def test_loads_linear_in_rate(self):
+        config = small_config("vc")
+        one = flow_matrix(config, "uniform", 0.02)
+        two = flow_matrix(config, "uniform", 0.04)
+        for channel, load in one.channel_load.items():
+            assert two.channel_load[channel] == pytest.approx(2 * load)
+        scaled = one.scaled(2.0)
+        assert scaled.channel_load == pytest.approx(two.channel_load)
+        assert scaled.avg_hops == one.avg_hops
+
+    def test_broadcast_rate_is_whole_network(self):
+        config = small_config("wormhole")
+        flows = flow_matrix(config, "broadcast", 0.12, source=9)
+        assert flows.injection_packets == pytest.approx(0.12)
+        assert flows.source_load[9] == pytest.approx(
+            0.12 * config.packet_length_flits)
+        assert sum(flows.source_load) == pytest.approx(flows.source_load[9])
+
+    def test_transpose_diagonal_is_silent(self):
+        topo = topology_for(small_config("wormhole"))
+        flows = traffic_flows("transpose", topo, 0.1)
+        diagonal = {topo.node_at(i, i) for i in range(4)}
+        assert all(src not in diagonal for src, _ in flows)
+
+    def test_hotspot_flows_sum_to_rate_per_sender(self):
+        topo = topology_for(small_config("wormhole"))
+        flows = traffic_flows("hotspot", topo, 0.1, hotspot=5)
+        per_src = {}
+        for (src, _dst), pkts in flows.items():
+            per_src[src] = per_src.get(src, 0.0) + pkts
+        for src, total in per_src.items():
+            assert total == pytest.approx(0.1), f"source {src}"
+
+    def test_bursty_average_flows_match_uniform(self):
+        topo = topology_for(small_config("wormhole"))
+        assert traffic_flows("bursty", topo, 0.1) == \
+            traffic_flows("uniform", topo, 0.1)
+
+    def test_unmodelled_traffic_rejected_with_hint(self):
+        from repro.analytic.flows import FLOW_BUILDERS
+        config = small_config("wormhole")
+        saved = FLOW_BUILDERS.pop("tornado")
+        try:
+            with pytest.raises(ValueError, match="register_flow_builder"):
+                flow_matrix(config, "tornado", 0.1)
+        finally:
+            FLOW_BUILDERS["tornado"] = saved
+
+    def test_negative_rate_rejected(self):
+        with pytest.raises(ValueError, match="rate"):
+            flow_matrix(small_config("wormhole"), "uniform", -0.1)
+
+    def test_mean_hops_uniform_torus(self):
+        """4x4 torus, uniform: mean minimal distance is 32/15."""
+        assert mean_hops(small_config("wormhole"), "uniform") == \
+            pytest.approx(32.0 / 15.0)
+
+
+class TestLatencyModel:
+    def test_queueing_grows_with_rate(self):
+        config = small_config("vc")
+        low = queueing_delay(flow_matrix(config, "uniform", 0.02))
+        high = queueing_delay(flow_matrix(config, "uniform", 0.08))
+        assert 0.0 < low < high
+
+    def test_overloaded_channel_gives_infinite_latency(self):
+        config = small_config("vc")
+        flows = flow_matrix(config, "uniform", 0.9)
+        assert math.isinf(queueing_delay(flows))
+
+    def test_event_rate_model_rejects_unknown_kind(self):
+        with pytest.raises(ValueError, match="event-rate"):
+            router_event_rates("quantum", 1.0, 0.2)
+
+
+class TestEstimateFacade:
+    def test_orion_estimate_mirrors_module_function(self):
+        config = preset("VC16")
+        via_facade = Orion(config).estimate_uniform(0.05)
+        direct = estimate(config, "uniform", 0.05)
+        assert isinstance(via_facade, AnalyticEstimate)
+        assert via_facade.avg_latency == direct.avg_latency
+        assert via_facade.total_power_w == direct.total_power_w
+        assert via_facade.saturation.rate == direct.saturation.rate
+
+    def test_orion_estimate_saturation(self):
+        config = preset("VC16")
+        sat = Orion(config).estimate_saturation("uniform")
+        assert 0.0 < sat.rate < sat.throughput_bound
+
+    def test_is_saturated_flag(self):
+        config = preset("VC16")
+        below = Orion(config).estimate_uniform(0.02)
+        assert not below.is_saturated
+        above = Orion(config).estimate_traffic(
+            "uniform", below.saturation.rate * 1.5)
+        assert above.is_saturated
+
+    def test_describe_is_printable(self):
+        text = Orion(preset("WH64")).estimate_uniform(0.03).describe()
+        assert "zero-load" in text and "saturation" in text
+
+    def test_16x16_mesh_estimate_is_fast(self):
+        """Acceptance: well under a second for a 16x16 mesh point."""
+        config = preset("VC16").with_(topology="mesh", width=16, height=16)
+        start = time.perf_counter()
+        est = estimate(config, "uniform", 0.02)
+        elapsed = time.perf_counter() - start
+        assert elapsed < 1.0, f"took {elapsed:.2f}s"
+        assert math.isfinite(est.avg_latency)
+        assert est.total_power_w > 0.0
+        assert math.isfinite(est.saturation.rate)
+
+
+class TestGuidedGrid:
+    def test_grid_brackets_prediction_and_skips_deep_past(self):
+        from repro.exp import guided_rate_grid
+        config = preset("VC16")
+        grid = guided_rate_grid(config, "uniform", points=8)
+        sat = grid.prediction.rate
+        assert min(grid.rates) < 0.5 * sat
+        assert max(grid.rates) >= sat
+        assert max(grid.rates) <= grid.skipped_above + 1e-12
+        assert len(grid.rates) == 8
+
+    def test_too_few_points_rejected(self):
+        from repro.exp import guided_rate_grid
+        with pytest.raises(ValueError, match=">= 4"):
+            guided_rate_grid(preset("VC16"), "uniform", points=3)
+
+    def test_guided_sweep_matches_dense_uniform_grid(self):
+        """Acceptance: guided mode's saturation estimate matches a
+        uniform dense-grid sweep within one grid step, on fewer
+        simulated points."""
+        from repro.exp import run_guided_sweep
+        config = preset("VC16")
+        protocol = RunProtocol(warmup_cycles=300, sample_packets=250)
+        dense_rates = [0.02, 0.04, 0.06, 0.08, 0.10, 0.12,
+                       0.14, 0.16, 0.18]
+        dense = Orion(config).sweep_uniform(dense_rates, protocol)
+        dense_sat = dense.saturation_rate()
+        guided = run_guided_sweep(config, "uniform", protocol, points=8)
+        guided_sat = guided.saturation_rate()
+        assert dense_sat is not None and guided_sat is not None
+        assert len(guided.grid.rates) < len(dense_rates)
+        step = max(0.02, guided.grid.dense_step)
+        assert abs(guided_sat - dense_sat) <= step + 1e-9

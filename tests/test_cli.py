@@ -122,6 +122,26 @@ class TestExperiment:
         lines = csv_path.read_text().splitlines()
         assert len(lines) == 5  # header + 2 presets x 2 rates
 
+    def test_cache_line_reports_hits_and_misses(self, tmp_path, capsys):
+        cache = str(tmp_path / "c")
+        assert main(self.ARGS + ["--cache-dir", cache]) == 0
+        out = capsys.readouterr().out
+        assert "0 hits / 4 misses this run" in out
+        assert main(self.ARGS + ["--cache-dir", cache]) == 0
+        out = capsys.readouterr().out
+        assert "4 hits / 0 misses this run" in out
+
+    def test_rates_auto_builds_guided_grid(self, tmp_path, capsys):
+        code = main(["experiment", "--presets", "VC16",
+                     "--traffic", "uniform", "--rates", "auto",
+                     "--grid-points", "4", "--sample", "40",
+                     "--warmup", "80", "--cache-dir", str(tmp_path / "c")])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "guided grid VC16/uniform" in out
+        assert "predicted saturation" in out
+        assert "4 points" in out and "0 failed" in out
+
     def test_multi_traffic_and_seeds(self, tmp_path, capsys):
         code = main(["experiment", "--presets", "VC16",
                      "--traffic", "uniform,transpose",
@@ -131,6 +151,36 @@ class TestExperiment:
         assert code == 0
         out = capsys.readouterr().out
         assert "transpose" in out and "seed=2" in out
+
+
+class TestEstimate:
+    def test_estimate_prints_analytic_point(self, capsys):
+        code = main(["estimate", "--preset", "VC16", "--rate", "0.05"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "analytic estimate, no simulation" in out
+        assert "zero-load" in out
+        assert "saturation" in out
+        assert "power breakdown" in out
+        assert "crossbar" in out
+
+    def test_estimate_topology_overrides(self, capsys):
+        code = main(["estimate", "--preset", "VC16", "--rate", "0.02",
+                     "--topology", "mesh", "--width", "8",
+                     "--height", "8"])
+        assert code == 0
+        assert "mesh 8x8" in capsys.readouterr().out
+
+    def test_estimate_warns_past_saturation(self, capsys):
+        code = main(["estimate", "--preset", "VC16", "--rate", "0.5"])
+        assert code == 0
+        assert "past the predicted" in capsys.readouterr().out
+
+    def test_estimate_other_traffic(self, capsys):
+        code = main(["estimate", "--preset", "WH64",
+                     "--traffic", "transpose", "--rate", "0.04"])
+        assert code == 0
+        assert "transpose" in capsys.readouterr().out
 
 
 class TestPower:

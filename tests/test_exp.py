@@ -148,6 +148,29 @@ class TestCaching:
             assert cached.avg_latency == fresh.avg_latency
             assert cached.total_power_w == fresh.total_power_w
 
+    def test_progress_reports_hit_and_miss_counts(self, tmp_path,
+                                                  wormhole_config):
+        """Progress events and the result expose cache hits AND misses,
+        so callers can report 'N hits / M misses' without bookkeeping."""
+        spec = ExperimentSpec.of(wormhole_config, "uniform", [0.02, 0.04],
+                                 protocol=FAST)
+        cache = ResultCache(tmp_path / "cache")
+        seen = []
+        first = run_experiment(spec, cache=cache,
+                               progress=lambda p: seen.append(p))
+        assert seen[-1].cache_hits == 0
+        assert seen[-1].cache_misses == 2
+        assert first.cache_misses == 2 == first.simulated
+
+        seen.clear()
+        second = run_experiment(spec, cache=cache,
+                                progress=lambda p: seen.append(p))
+        assert seen[-1].cache_hits == 2
+        assert seen[-1].cache_misses == 0
+        assert second.cache_misses == 0
+        # hits + misses always account for every finished point
+        assert all(p.cache_hits + p.cache_misses == p.done for p in seen)
+
     def test_cache_accepts_directory_path(self, tmp_path, wormhole_config):
         spec = ExperimentSpec.of(wormhole_config, "uniform", [0.02],
                                  protocol=FAST)

@@ -1,5 +1,7 @@
 """Unit tests for latency statistics and the saturation criterion."""
 
+import math
+
 import pytest
 
 from repro.sim.message import Packet
@@ -41,9 +43,15 @@ class TestLatencyStats:
         assert stats.percentile(99) == 99.0
         assert stats.percentile(100) == 100.0
 
-    def test_empty_stats_raise(self):
-        with pytest.raises(ValueError):
-            LatencyStats().average
+    def test_empty_stats_degrade_to_nan_with_warning(self):
+        """A zero-packet sample must not crash a sweep point: the
+        summary metrics record NaN (with a warning) instead."""
+        stats = LatencyStats()
+        for metric in ("average", "minimum", "maximum"):
+            with pytest.warns(RuntimeWarning, match="no sample packets"):
+                assert math.isnan(getattr(stats, metric))
+
+    def test_empty_percentile_still_raises(self):
         with pytest.raises(ValueError):
             LatencyStats().percentile(50)
 
@@ -82,6 +90,40 @@ class TestSaturation:
     def test_length_mismatch_rejected(self):
         with pytest.raises(ValueError):
             saturation_rate([0.1], [1.0, 2.0], 10.0)
+
+    def test_interpolation_between_samples(self):
+        """The crossing of the 2x threshold is linearly interpolated
+        between the bracketing samples."""
+        rates = [0.05, 0.10, 0.15, 0.20]
+        lats = [10.0, 12.0, 25.0, 80.0]
+        # threshold 20 crossed between (0.10, 12) and (0.15, 25)
+        expected = 0.10 + (20.0 - 12.0) / (25.0 - 12.0) * 0.05
+        assert saturation_rate(rates, lats, 10.0, interpolate=True) == \
+            pytest.approx(expected)
+
+    def test_interpolation_exact_hit_lands_on_sample(self):
+        """A sample exactly at the threshold (not saturated, by the
+        strict criterion) is where interpolation places the crossing."""
+        rates = [0.05, 0.10, 0.15]
+        lats = [10.0, 20.0, 30.0]
+        assert saturation_rate(rates, lats, 10.0, interpolate=True) == \
+            pytest.approx(0.10)
+
+    def test_interpolation_never_saturates_returns_none(self):
+        assert saturation_rate([0.05, 0.10], [10.0, 11.0], 10.0,
+                               interpolate=True) is None
+
+    def test_interpolation_single_point_edge_cases(self):
+        """One saturated sample with nothing below it returns its own
+        rate; one unsaturated sample returns None."""
+        assert saturation_rate([0.1], [25.0], 10.0, interpolate=True) == 0.1
+        assert saturation_rate([0.1], [15.0], 10.0,
+                               interpolate=True) is None
+
+    def test_interpolation_default_off_keeps_first_crossing(self):
+        rates = [0.05, 0.10, 0.15, 0.20]
+        lats = [10.0, 12.0, 25.0, 80.0]
+        assert saturation_rate(rates, lats, 10.0) == 0.15
 
 
 class TestZeroLoadEstimate:
