@@ -1,47 +1,131 @@
-"""Section 4.1 simulator-speed datum.
+"""Section 4.1 simulator-speed datum, dense vs. sparse kernel.
 
 The paper reports "a system simulation speed of about 1000 simulation
 cycles per second on a Pentium III 750 MHz" for the 59-module 4x4 torus
 VC network.  This benchmark measures this reproduction's cycles/second
-on the same configuration (VC routers, power accounting on), both in
-average-activity and payload-tracking modes.
+on that configuration and on a 16x16 low-rate variant where the
+event-sparse kernel's active-router scheduling pays off most (few
+routers hold work per cycle), for both kernels with power accounting on.
+
+Results land in ``BENCH_simspeed.json`` at the repo root, one
+cycles-per-second figure per (case, kernel) plus the sparse/dense
+speedup ratios — the artifact CI's benchmark-smoke job checks.
+
+Timing uses best-of-N ``time.process_time`` over fresh networks rather
+than pytest-benchmark, so the file runs under a bare pytest install
+(CI's) and is insensitive to scheduler noise in shared containers.
 """
 
+import json
+import time
+from pathlib import Path
+
+import pytest
+
+from repro import preset
 from repro.core.events import EnergyAccountant
-from repro.core.power_binding import PowerBinding
+from repro.core.power_binding import CounterBinding, PowerBinding
 from repro.sim.network import Network
 from repro.sim.traffic import UniformRandomTraffic
-from repro import preset
 
-CYCLES = 400
+REPO_ROOT = Path(__file__).resolve().parent.parent
+OUTPUT = REPO_ROOT / "BENCH_simspeed.json"
+ROUNDS = 3
+
+#: (width, height, injection rate, cycles to simulate per round).
+CASES = {
+    "vc_4x4_rate0.10": (4, 4, 0.10, 400),
+    "vc_16x16_rate0.02": (16, 16, 0.02, 120),
+}
+
+RESULTS = {}
 
 
-def _run_cycles(activity_mode):
-    cfg = preset("VC16").with_(activity_mode=activity_mode)
+def _make_network(kernel, activity_mode, width, height):
+    cfg = preset("VC16").with_(width=width, height=height,
+                               activity_mode=activity_mode)
     accountant = EnergyAccountant(cfg.num_nodes)
-    network = Network(cfg, PowerBinding(cfg, accountant))
-    traffic = UniformRandomTraffic(network.topo, 0.10, seed=3)
-
-    def body():
-        for _ in range(CYCLES):
-            for src, dst in traffic.packets_at(network.cycle):
-                network.create_packet(src, dst, network.cycle)
-            network.step()
-
-    return body
+    # The pairing the engine ships: the sparse kernel defers
+    # average-mode energy into event counters; data mode (and the dense
+    # kernel) deposits per event.
+    if kernel == "sparse" and activity_mode == "average":
+        binding = CounterBinding(cfg, accountant)
+    else:
+        binding = PowerBinding(cfg, accountant)
+    return Network(cfg, binding, kernel=kernel)
 
 
-def test_simspeed_average_mode(benchmark):
-    benchmark.pedantic(_run_cycles("average"), rounds=3, iterations=1)
-    cps = CYCLES / benchmark.stats["mean"]
-    print(f"\n== Simulation speed (average activity): "
+def _time_once(kernel, activity_mode, width, height, rate, cycles):
+    network = _make_network(kernel, activity_mode, width, height)
+    traffic = UniformRandomTraffic(network.topo, rate, seed=3)
+    start = time.process_time()
+    for _ in range(cycles):
+        for src, dst in traffic.packets_at(network.cycle):
+            network.create_packet(src, dst, network.cycle)
+        network.step()
+    return time.process_time() - start
+
+
+def _cycles_per_second(kernel, activity_mode, width, height, rate, cycles):
+    best = min(_time_once(kernel, activity_mode, width, height, rate,
+                          cycles)
+               for _ in range(ROUNDS))
+    return cycles / best
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _write_results():
+    yield
+    payload = {
+        "benchmark": "simspeed",
+        "unit": "cycles/s",
+        "rounds": ROUNDS,
+        "cases": RESULTS,
+    }
+    for case, kernels in RESULTS.items():
+        if "dense" in kernels and "sparse" in kernels:
+            payload.setdefault("speedup_sparse_over_dense", {})[case] = (
+                round(kernels["sparse"] / kernels["dense"], 3))
+    OUTPUT.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(f"\n== wrote {OUTPUT.name}: "
+          + ", ".join(f"{case} {k} {v:,.0f} c/s"
+                      for case, ks in RESULTS.items()
+                      for k, v in ks.items()) + " ==")
+
+
+@pytest.mark.parametrize("kernel", ["dense", "sparse"])
+@pytest.mark.parametrize("case", sorted(CASES))
+def test_simspeed_average_mode(case, kernel):
+    width, height, rate, cycles = CASES[case]
+    cps = _cycles_per_second(kernel, "average", width, height, rate, cycles)
+    RESULTS.setdefault(case, {})[kernel] = cps
+    print(f"\n== {case} {kernel} kernel (average activity): "
           f"{cps:,.0f} cycles/s ==")
-    assert cps > 100  # sanity: must beat the paper's 1983-era budget
+    assert cps > 50  # sanity: must beat the paper's 1983-era budget
 
 
-def test_simspeed_data_mode(benchmark):
-    benchmark.pedantic(_run_cycles("data"), rounds=3, iterations=1)
-    cps = CYCLES / benchmark.stats["mean"]
-    print(f"\n== Simulation speed (payload tracking): "
+@pytest.mark.parametrize("kernel", ["dense", "sparse"])
+def test_simspeed_data_mode(kernel):
+    # Payload tracking forfeits the counter fast path (per-flit Hamming
+    # distances feed the switching models) but keeps active-router
+    # scheduling; measured separately so the JSON shows both regimes.
+    cps = _cycles_per_second(kernel, "data", 4, 4, 0.10, 300)
+    RESULTS.setdefault("vc_4x4_rate0.10_data", {})[kernel] = cps
+    print(f"\n== 4x4 {kernel} kernel (payload tracking): "
           f"{cps:,.0f} cycles/s ==")
-    assert cps > 50
+    assert cps > 25
+
+
+def test_sparse_not_slower_than_dense():
+    """The CI gate: interleaved best-of-N pairs on the paper's 4x4
+    operating point, so both kernels see the same machine conditions."""
+    dense_best = float("inf")
+    sparse_best = float("inf")
+    for _ in range(4):
+        dense_best = min(dense_best,
+                         _time_once("dense", "average", 4, 4, 0.10, 300))
+        sparse_best = min(sparse_best,
+                          _time_once("sparse", "average", 4, 4, 0.10, 300))
+    ratio = dense_best / sparse_best
+    print(f"\n== sparse/dense speedup at 4x4 rate 0.10: {ratio:.2f}x ==")
+    assert ratio >= 1.0

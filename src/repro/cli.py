@@ -58,7 +58,8 @@ def _make_traffic(args, config):
 
 def _protocol(args, **overrides) -> RunProtocol:
     fields = dict(warmup_cycles=args.warmup, sample_packets=args.sample,
-                  seed=getattr(args, "seed", 1))
+                  seed=getattr(args, "seed", 1),
+                  kernel=getattr(args, "kernel", "sparse"))
     fields.update(overrides)
     return RunProtocol(**fields)
 
@@ -153,7 +154,8 @@ def cmd_experiment(args) -> int:
                 for t in args.traffic.split(",")]
     seeds = [int(s) for s in args.seeds.split(",")]
     protocol = RunProtocol(warmup_cycles=args.warmup,
-                           sample_packets=args.sample, monitor=False)
+                           sample_packets=args.sample, monitor=False,
+                           kernel=args.kernel)
     if args.rates.strip() == "auto":
         spec = _guided_points(configs, traffics, seeds, protocol,
                               args.grid_points, quiet=args.quiet)
@@ -301,6 +303,10 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--warmup", type=int, default=1000,
                        help="warm-up cycles")
         p.add_argument("--seed", type=int, default=1)
+        p.add_argument("--kernel", choices=("dense", "sparse"),
+                       default="sparse",
+                       help="simulation kernel: 'sparse' (event-sparse "
+                            "fast path, default) or 'dense' (reference)")
         p.add_argument("--leakage", action="store_true",
                        help="add static power (extension)")
         p.add_argument("--activity", choices=("average", "data"),
@@ -357,6 +363,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="result cache directory")
     p.add_argument("--no-cache", action="store_true",
                    help="disable the result cache")
+    p.add_argument("--kernel", choices=("dense", "sparse"),
+                   default="sparse",
+                   help="simulation kernel: 'sparse' (event-sparse fast "
+                        "path, default) or 'dense' (reference)")
     p.add_argument("--leakage", action="store_true",
                    help="add static power (extension)")
     p.add_argument("--activity", choices=("average", "data"),

@@ -49,6 +49,20 @@ CLOCK = "clock"
 COMPONENTS = (INPUT_BUFFER, CENTRAL_BUFFER, CROSSBAR, ARBITER, LINK,
               CLOCK)
 
+#: The component each event type is charged to — the routing used by
+#: counter-based accounting when deferred event counts are converted to
+#: joules at finalization (see
+#: :class:`repro.core.power_binding.CounterBinding`).
+EVENT_COMPONENT = {
+    BUFFER_WRITE: INPUT_BUFFER,
+    BUFFER_READ: INPUT_BUFFER,
+    ARBITRATION: ARBITER,
+    XBAR_TRAVERSAL: CROSSBAR,
+    LINK_TRAVERSAL: LINK,
+    CB_WRITE: CENTRAL_BUFFER,
+    CB_READ: CENTRAL_BUFFER,
+}
+
 
 class EnergyAccountant:
     """Per-node, per-component energy and event-count accumulator.

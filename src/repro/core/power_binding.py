@@ -12,6 +12,10 @@ payload seen at each buffer port, crossbar output and link, so switching
 activity is the exact Hamming distance between consecutive values — the
 paper's "switching activity factors delta_x are monitored and calculated
 through simulation".
+
+:class:`CounterBinding` is the fast-path variant for average mode: it
+counts events per node on the hot path and converts counts to joules
+once at finalization (the sparse kernel's accounting mode).
 """
 
 from __future__ import annotations
@@ -151,6 +155,17 @@ class PowerBinding:
         else:
             self.clock_model = None
             self._e_clock_cycle = 0.0
+
+    # --- measurement control -----------------------------------------------------
+
+    def reset(self) -> None:
+        """Zero the measurement state (called at the end of warm-up).
+
+        Payload-tracking history (``data`` mode) survives on purpose:
+        switching activity depends on the previous value on each wire,
+        which the warm-up established.
+        """
+        self.accountant.reset()
 
     # --- event sinks -----------------------------------------------------------
     # Each takes the node id plus enough context for activity tracking.
@@ -379,10 +394,169 @@ class PowerBinding:
                                     energy, count=0)
 
 
+class CounterBinding(PowerBinding):
+    """Counter-based energy accounting for ``activity_mode="average"``.
+
+    In average mode every event of one kind at one node costs the same
+    precomputed energy (arbitrations vary only with the number of active
+    requesters), so depositing a float per event through the accountant
+    is pure overhead.  This binding instead bumps per-node integer
+    counters on the hot path — arbitrations bucketed by request count
+    against the precomputed per-kind tables — and converts counts to
+    joules in one pass at :meth:`finalize`.
+
+    Totals match the per-event path to within float reassociation
+    (``count * e`` versus ``e`` added ``count`` times — the counter form
+    is the more accurate of the two), and the accountant's event counts
+    are preserved exactly.  ``data`` mode must keep the per-event path:
+    its energies depend on consecutive payload Hamming distances, which
+    cannot be counted ahead of time.
+    """
+
+    def __init__(self, config: NetworkConfig,
+                 accountant: EnergyAccountant) -> None:
+        if config.activity_mode == "data":
+            raise ValueError(
+                "counter-based accounting requires activity_mode="
+                "'average'; data mode needs per-event payload tracking"
+            )
+        super().__init__(config, accountant)
+        self._zero_counters()
+
+    def _zero_counters(self) -> None:
+        n = self.config.num_nodes
+        if not hasattr(self, "n_buf_write"):
+            # First call: allocate.  The lists are public and zeroed in
+            # place afterwards so routers' sparse hot loops may cache
+            # references and bump them directly, bypassing the sink
+            # method calls (see VCRouter.__init__).
+            self.n_buf_write = [0] * n
+            self.n_buf_read = [0] * n
+            self.n_xbar = [0] * n
+            self.n_link = [0] * n
+            self.n_cb_write = [0] * n
+            self.n_cb_read = [0] * n
+            #: kind -> per-node buckets indexed by active-request count.
+            self.n_arb = {
+                kind: [[0] * len(table) for _ in range(n)]
+                for kind, table in (("switch", self._switch_arb),
+                                    ("vc", self._vc_arb),
+                                    ("local", self._local_arb),
+                                    ("cb", self._cb_arb))
+                if table
+            }
+        else:
+            zero = [0] * n
+            self.n_buf_write[:] = zero
+            self.n_buf_read[:] = zero
+            self.n_xbar[:] = zero
+            self.n_link[:] = zero
+            self.n_cb_write[:] = zero
+            self.n_cb_read[:] = zero
+            for per_node in self.n_arb.values():
+                for buckets in per_node:
+                    for i in range(len(buckets)):
+                        buckets[i] = 0
+        #: Energy/count of ungranted arbitration rounds (not constant
+        #: per request count in every arbiter model, so accumulated as
+        #: floats — rare enough that exactness costs nothing).
+        self._e_arb_other = [0.0] * n
+        self._n_arb_other = [0] * n
+
+    def reset(self) -> None:
+        self._zero_counters()
+        self.accountant.reset()
+
+    # --- event sinks: one integer bump each ------------------------------------
+
+    def buffer_write(self, node: int, port: int,
+                     payload: Optional[int]) -> None:
+        self.n_buf_write[node] += 1
+
+    def buffer_read(self, node: int) -> None:
+        self.n_buf_read[node] += 1
+
+    def xbar_traversal(self, node: int, out_port: int,
+                       payload: Optional[int]) -> None:
+        self.n_xbar[node] += 1
+
+    def link_traversal(self, node: int, out_port: int,
+                       payload: Optional[int]) -> None:
+        self.n_link[node] += 1
+
+    def cb_write(self, node: int, payload: Optional[int]) -> None:
+        self.n_cb_write[node] += 1
+
+    def cb_read(self, node: int, payload: Optional[int]) -> None:
+        self.n_cb_read[node] += 1
+
+    def arbitration(self, node: int, kind: str, num_requests: int,
+                    granted: bool = True) -> None:
+        if granted:
+            self.n_arb[kind][node][num_requests] += 1
+            return
+        if kind == "switch":
+            model = self.switch_arbiter_model
+        elif kind == "vc":
+            model = self.vc_arbiter_model
+        elif kind == "local":
+            model = self.local_arbiter_model
+        elif kind == "cb":
+            model = self.cb_arbiter_model
+        else:
+            raise ValueError(f"unknown arbitration kind {kind!r}")
+        self._e_arb_other[node] += model.arbitration_energy(
+            num_requests, granted=False)
+        self._n_arb_other[node] += 1
+
+    # --- finalization -----------------------------------------------------------
+
+    def _flush(self) -> None:
+        """Convert the accumulated counters into accountant deposits."""
+        add = self.accountant.add
+        per_event = (
+            (self.n_buf_write, ev.BUFFER_WRITE, self._e_buf_write),
+            (self.n_buf_read, ev.BUFFER_READ, self._e_buf_read),
+            (self.n_xbar, ev.XBAR_TRAVERSAL, self._e_xbar),
+            (self.n_link, ev.LINK_TRAVERSAL, self._e_link),
+            (self.n_cb_write, ev.CB_WRITE, self._e_cb_write),
+            (self.n_cb_read, ev.CB_READ, self._e_cb_read),
+        )
+        for counts, event, energy in per_event:
+            component = ev.EVENT_COMPONENT[event]
+            for node, count in enumerate(counts):
+                if count:
+                    add(node, component, event, count * energy, count=count)
+        tables = {"switch": self._switch_arb, "vc": self._vc_arb,
+                  "local": self._local_arb, "cb": self._cb_arb}
+        for kind, per_node in self.n_arb.items():
+            table = tables[kind]
+            for node, buckets in enumerate(per_node):
+                count = sum(buckets)
+                if not count:
+                    continue
+                energy = sum(c * table[i]
+                             for i, c in enumerate(buckets) if c)
+                add(node, ev.ARBITER, ev.ARBITRATION, energy, count=count)
+        for node, count in enumerate(self._n_arb_other):
+            if count:
+                add(node, ev.ARBITER, ev.ARBITRATION,
+                    self._e_arb_other[node], count=count)
+        self._zero_counters()
+
+    def finalize(self, measured_cycles: int,
+                 links_per_node: List[int]) -> None:
+        self._flush()
+        super().finalize(measured_cycles, links_per_node)
+
+
 class NullBinding:
     """No-op binding for pure-performance simulation."""
 
     data_mode = False
+
+    def reset(self) -> None:
+        pass
 
     def buffer_write(self, node: int, port: int, payload) -> None:
         pass

@@ -22,6 +22,14 @@ class Arbiter:
         if size < 1:
             raise ValueError(f"arbiter size must be >= 1, got {size}")
         self.size = size
+        #: The stamp list when this arbiter is a :class:`FastMatrixArbiter`
+        #: (whose ``grant_single`` is one list store plus a counter bump),
+        #: else ``None``.  Hot sparse-kernel call sites test this to
+        #: inline the uncontended grant instead of paying a method call:
+        #: ``st[v] = arb._next; arb._next += 1`` is exactly
+        #: ``grant_single(v)`` minus the bounds check (indices at those
+        #: sites are structurally in range).
+        self._fstamp: Optional[list] = None
 
     def grant(self, requests: Sequence[int]) -> Optional[int]:
         """Pick a winner among ``requests`` (requester indices).
@@ -29,6 +37,13 @@ class Arbiter:
         Returns ``None`` when there are no requests.  Updates internal
         priority state when a grant is issued.
         """
+        raise NotImplementedError
+
+    def grant_single(self, request: int) -> int:
+        """Fast path for the uncontended case: exactly equivalent to
+        ``grant([request])`` — same winner, same priority-state update —
+        without building the candidate machinery.  The sparse kernel's
+        hot loops call this when only one requester is active."""
         raise NotImplementedError
 
     def _check(self, requests: Sequence[int]) -> None:
@@ -72,6 +87,63 @@ class MatrixArbiter(Arbiter):
                 self._pri[j][winner] = True
         return winner
 
+    def grant_single(self, request: int) -> int:
+        if not 0 <= request < self.size:
+            raise ValueError(
+                f"requester {request} outside 0..{self.size - 1}"
+            )
+        pri = self._pri
+        row = pri[request]
+        for j in range(self.size):
+            if j != request:
+                row[j] = False
+                pri[j][request] = True
+        return request
+
+
+class FastMatrixArbiter(Arbiter):
+    """Drop-in replacement for :class:`MatrixArbiter` with O(1) grants.
+
+    The priority matrix is a total order at reset (``i`` beats ``j`` iff
+    ``i < j``) and every grant moves only the winner — to the bottom,
+    against everyone.  The relation therefore stays a total order whose
+    rank is "least recently granted first, never-granted by index", so
+    it can be carried as one integer per requester: never-granted slot
+    ``i`` holds ``i``, and each grant restamps the winner with the next
+    value of a monotonic counter.  The winner among any request set is
+    the minimum stamp — identical, grant for grant, to the matrix scan
+    (the equivalence is pinned by tests/test_kernel_equivalence.py).
+
+    Used by the sparse kernel, where matrix updates would otherwise be
+    the hottest arbiter cost; the explicit-matrix class remains the
+    reference (and the hardware the power model describes).
+    """
+
+    def __init__(self, size: int) -> None:
+        super().__init__(size)
+        self._stamp = list(range(size))
+        self._next = size
+        self._fstamp = self._stamp
+
+    def grant(self, requests: Sequence[int]) -> Optional[int]:
+        self._check(requests)
+        if not requests:
+            return None
+        stamp = self._stamp
+        winner = min(requests, key=stamp.__getitem__)
+        stamp[winner] = self._next
+        self._next += 1
+        return winner
+
+    def grant_single(self, request: int) -> int:
+        if not 0 <= request < self.size:
+            raise ValueError(
+                f"requester {request} outside 0..{self.size - 1}"
+            )
+        self._stamp[request] = self._next
+        self._next += 1
+        return request
+
 
 class RoundRobinArbiter(Arbiter):
     """Rotating-priority arbiter: the pointer moves past each winner."""
@@ -91,6 +163,14 @@ class RoundRobinArbiter(Arbiter):
                 self._pointer = (candidate + 1) % self.size
                 return candidate
         return None  # pragma: no cover - active is non-empty
+
+    def grant_single(self, request: int) -> int:
+        if not 0 <= request < self.size:
+            raise ValueError(
+                f"requester {request} outside 0..{self.size - 1}"
+            )
+        self._pointer = (request + 1) % self.size
+        return request
 
 
 class QueuingArbiter(Arbiter):
@@ -122,6 +202,24 @@ class QueuingArbiter(Arbiter):
         self._queued.discard(winner)
         return winner
 
+    def grant_single(self, request: int) -> int:
+        if not 0 <= request < self.size:
+            raise ValueError(
+                f"requester {request} outside 0..{self.size - 1}"
+            )
+        if request not in self._queued:
+            self._queue.append(request)
+            self._queued.add(request)
+        # Queued requesters ahead of this one have withdrawn (they are
+        # not requesting this round) — drop them, exactly as grant()
+        # does with a one-element active set.
+        while self._queue[0] != request:
+            stale = self._queue.popleft()
+            self._queued.discard(stale)
+        self._queue.popleft()
+        self._queued.discard(request)
+        return request
+
 
 ARBITER_KINDS = {
     "matrix": MatrixArbiter,
@@ -129,11 +227,23 @@ ARBITER_KINDS = {
     "queuing": QueuingArbiter,
 }
 
+#: Behaviourally-identical fast implementations picked by the sparse
+#: kernel (only the matrix arbiter has a cheaper equivalent form).
+FAST_ARBITER_KINDS = {
+    "matrix": FastMatrixArbiter,
+    "round_robin": RoundRobinArbiter,
+    "queuing": QueuingArbiter,
+}
 
-def make_arbiter(kind: str, size: int) -> Arbiter:
-    """Instantiate an arbiter by policy name."""
+
+def make_arbiter(kind: str, size: int, fast: bool = False) -> Arbiter:
+    """Instantiate an arbiter by policy name.
+
+    ``fast=True`` (the sparse kernel) selects the grant-for-grant
+    equivalent implementation optimised for per-grant cost."""
+    kinds = FAST_ARBITER_KINDS if fast else ARBITER_KINDS
     try:
-        cls = ARBITER_KINDS[kind]
+        cls = kinds[kind]
     except KeyError:
         raise ValueError(
             f"unknown arbiter kind {kind!r}; options: {sorted(ARBITER_KINDS)}"

@@ -17,7 +17,7 @@ from typing import Dict, List, Optional
 
 from repro.core.config import NetworkConfig, RunProtocol, resolve_protocol
 from repro.core.events import EnergyAccountant
-from repro.core.power_binding import NullBinding, PowerBinding
+from repro.core.power_binding import CounterBinding, NullBinding, PowerBinding
 from repro.sim.network import Network
 from repro.sim.stats import LatencyStats
 from repro.sim.traffic import TrafficPattern
@@ -119,13 +119,23 @@ class Simulation:
         self.sample_packets = protocol.sample_packets
         self.max_cycles = protocol.max_cycles
         self.watchdog_cycles = protocol.watchdog_cycles
+        self.audit_every = protocol.audit_every
         if protocol.collect_power:
             self.accountant = EnergyAccountant(config.num_nodes)
-            self.binding = PowerBinding(config, self.accountant)
+            # The sparse kernel defers average-mode energy into integer
+            # event counters converted to joules at finalization; data
+            # mode needs per-payload Hamming distances, so it keeps the
+            # per-event deposit path.
+            if protocol.kernel == "sparse" and \
+                    config.activity_mode == "average":
+                self.binding = CounterBinding(config, self.accountant)
+            else:
+                self.binding = PowerBinding(config, self.accountant)
         else:
             self.accountant = None
             self.binding = NullBinding()
-        self.network = Network(config, self.binding)
+        self.network = Network(config, self.binding,
+                               kernel=protocol.kernel)
         self.config = config
         if protocol.monitor:
             from repro.sim.monitor import NetworkMonitor
@@ -154,7 +164,7 @@ class Simulation:
             if cycle == self.warmup_cycles:
                 ejected_at_warmup = network.flits_ejected
                 if self.accountant is not None:
-                    self.accountant.reset()
+                    self.binding.reset()
             for src, dst in self.traffic.packets_at(cycle):
                 in_sample = (cycle >= self.warmup_cycles
                              and sample_tagged < self.sample_packets)
@@ -162,6 +172,8 @@ class Simulation:
                     sample_tagged += 1
                 network.create_packet(src, dst, cycle, in_sample)
             moved = network.step()
+            if self.audit_every and network.cycle % self.audit_every == 0:
+                network.audit()
             if self.monitor is not None and cycle >= self.warmup_cycles:
                 self.monitor.sample()
             if sample_tagged >= self.sample_packets and \

@@ -31,7 +31,7 @@ class FlitType(enum.IntEnum):
         return self in (FlitType.TAIL, FlitType.HEAD_TAIL)
 
 
-@dataclass
+@dataclass(slots=True)
 class Packet:
     """One network packet.
 
@@ -86,7 +86,7 @@ class Packet:
         return flits
 
 
-@dataclass
+@dataclass(slots=True)
 class Flit:
     """One flow-control unit.
 
@@ -115,14 +115,18 @@ class Flit:
     #: ("y"/"x"/None).
     crossed_dateline: bool = False
     travel_dim: Optional[str] = None
+    #: Derived flags, filled by ``__post_init__`` (fields so the class
+    #: can carry ``__slots__``).
+    is_head: bool = field(init=False)
+    is_tail: bool = field(init=False)
 
-    @property
-    def is_head(self) -> bool:
-        return self.ftype.is_head
-
-    @property
-    def is_tail(self) -> bool:
-        return self.ftype.is_tail
+    def __post_init__(self) -> None:
+        # Plain attributes, not properties: these are read on every hop
+        # of every flit, and a dataclass-field/property pair would cost
+        # two attribute lookups plus a call in the simulator's hottest
+        # loops.
+        self.is_head = self.ftype in (FlitType.HEAD, FlitType.HEAD_TAIL)
+        self.is_tail = self.ftype in (FlitType.TAIL, FlitType.HEAD_TAIL)
 
     def next_output_port(self) -> int:
         """The output port this head flit takes at the current router."""

@@ -13,7 +13,7 @@ import random
 from collections import deque
 from typing import Callable, Deque, List, Optional
 
-from repro.core.config import NetworkConfig
+from repro.core.config import KERNELS, NetworkConfig
 from repro.core.power_binding import NullBinding
 from repro.sim.message import Flit, Packet
 from repro.sim.routers import ROUTER_CLASSES, Channel
@@ -53,8 +53,13 @@ class Network:
     """A simulatable interconnection network instance."""
 
     def __init__(self, config: NetworkConfig, binding=None,
-                 payload_seed: int = 7) -> None:
+                 payload_seed: int = 7, kernel: str = "dense") -> None:
+        if kernel not in KERNELS:
+            raise ValueError(
+                f"unknown kernel {kernel!r}; options: {KERNELS}"
+            )
         self.config = config
+        self.kernel = kernel
         self.binding = binding if binding is not None else NullBinding()
         if config.topology == "torus":
             self.topo = Torus(config.width, config.height)
@@ -62,9 +67,18 @@ class Network:
             self.topo = Mesh(config.width, config.height)
         router_cls = ROUTER_CLASSES[config.router.kind]
         self.routers = [
-            router_cls(node, config, self.binding)
+            router_cls(node, config, self.binding,
+                       sparse=(kernel == "sparse"))
             for node in range(self.topo.num_nodes)
         ]
+        #: Sparse kernel: routers that may do work next cycle.  Routers
+        #: enrol via channel notifiers / injection and retire once their
+        #: buffers and pending channel work drain.
+        self._active: set = set()
+        #: Nodes whose source queue may be non-empty (superset).
+        self._pending_src: set = set()
+        #: Flits sitting in source queues, maintained O(1).
+        self._awaiting = 0
         self._wire()
         self.source_queues: List[Deque[Flit]] = [
             deque() for _ in range(self.topo.num_nodes)
@@ -85,6 +99,7 @@ class Network:
     def _wire(self) -> None:
         """Create data+credit channels and initialise credit counters."""
         rc = self.config.router
+        sparse = self.kernel == "sparse"
         for src, out_port, dst in self.topo.channels():
             in_port = OPPOSITE[out_port]
             channel = Channel(src, out_port, dst, in_port)
@@ -92,6 +107,12 @@ class Network:
             self.routers[dst].connect_in(in_port, channel)
             self.routers[src].set_downstream_depth(
                 out_port, rc.buffer_depth, rc.num_vcs)
+            if sparse:
+                channel.active_set = self._active
+                channel.flit_router = self.routers[dst]
+                channel.flit_bit = 1 << in_port
+                channel.credit_router = self.routers[src]
+                channel.credit_bit = 1 << out_port
         for router in self.routers:
             router.eject = _Ejector(self, router.node)
             # VC routers need the topology for dateline tracking.
@@ -122,6 +143,8 @@ class Network:
             payloads = [self._payload_rng.getrandbits(bits)
                         for _ in range(packet.length_flits)]
         self.source_queues[src].extend(packet.make_flits(payloads))
+        self._awaiting += packet.length_flits
+        self._pending_src.add(src)
         return packet
 
     # --- simulation step ---------------------------------------------------------------
@@ -129,6 +152,8 @@ class Network:
     def step(self) -> int:
         """Advance one cycle; returns the number of flits that moved
         (traversals plus injections — the deadlock watchdog's signal)."""
+        if self.kernel == "sparse":
+            return self._step_sparse()
         cycle = self.cycle
         for router in self.routers:
             router.moved_flits = 0
@@ -138,21 +163,80 @@ class Network:
             router.traversal_phase(cycle)
         for router in self.routers:
             router.allocation_phase(cycle)
-        moved = self._injection_phase()
+        moved = self._injection_phase(cycle)
         moved += sum(r.moved_flits for r in self.routers)
         self.cycle = cycle + 1
         return moved
 
-    def _injection_phase(self) -> int:
+    def _step_sparse(self) -> int:
+        """Event-sparse cycle: run the three phases only over the active
+        set, in ascending node order (matching the dense scan — inactive
+        routers have no work, so the event sequence is identical).
+
+        Routers enrol through channel notifiers (a neighbour sent a flit
+        or returned a credit) and through injection; they retire once
+        their buffers and pending channel work are drained.  A retired
+        router is skipped entirely until something arrives for it again.
+        """
+        cycle = self.cycle
+        routers = self.routers
+        active = sorted(self._active)
+        for node in active:
+            router = routers[node]
+            router.moved_flits = 0
+            router.arrival_phase(cycle)
+        # Traversal and allocation share one pass: neither phase reads
+        # any state another router's other phase writes within a cycle
+        # (traversal output lands on channels drained at next cycle's
+        # arrival; allocation reads only router-local state; energy
+        # deposits are keyed by the depositing node), so per-router
+        # traverse-then-allocate observes exactly what the dense
+        # all-traversals-then-all-allocations order does.  Routers that
+        # merely drained credits this cycle skip both stages.
+        for node in active:
+            router = routers[node]
+            if router._buffered:
+                router.work_phase(cycle)
+        moved = self._injection_phase(cycle)
+        for node in active:
+            router = routers[node]
+            moved += router.moved_flits
+            if not (router._buffered or router._pending_in
+                    or router._pending_credit):
+                self._active.discard(node)
+        self.cycle = cycle + 1
+        return moved
+
+    def _injection_phase(self, cycle: int) -> int:
         """Move at most one flit per node from its source queue into the
         router's injection port (one-flit-per-cycle injection channel)."""
         injected = 0
+        if self.kernel == "sparse":
+            for node in sorted(self._pending_src):
+                queue = self.source_queues[node]
+                if not queue:
+                    self._pending_src.discard(node)
+                    continue
+                router = self.routers[node]
+                # Sleeping routers never ran arrival this cycle, so
+                # refresh the clock before the flit is timestamped.
+                router.now = cycle
+                if router.inject_flit(queue[0]):
+                    queue.popleft()
+                    self.flits_injected += 1
+                    self._awaiting -= 1
+                    injected += 1
+                    self._active.add(node)
+                    if not queue:
+                        self._pending_src.discard(node)
+            return injected
         for node, queue in enumerate(self.source_queues):
             if not queue:
                 continue
             if self.routers[node].inject_flit(queue[0]):
                 queue.popleft()
                 self.flits_injected += 1
+                self._awaiting -= 1
                 injected += 1
         return injected
 
@@ -165,7 +249,9 @@ class Network:
 
     @property
     def flits_awaiting_injection(self) -> int:
-        return sum(len(q) for q in self.source_queues)
+        """Flits sitting in source queues — an O(1) maintained counter
+        (cross-checked against the queues by :meth:`audit`)."""
+        return self._awaiting
 
     def links_per_node(self) -> List[int]:
         """Outgoing inter-router link count per node (for constant-power
@@ -174,7 +260,9 @@ class Network:
 
     def audit(self) -> None:
         """Flit-conservation check: every injected flit is buffered, in
-        flight on a channel, or ejected.  Raises on violation."""
+        flight on a channel, or ejected; the maintained counters match
+        the structures they shadow; and (sparse kernel) no router holding
+        work has retired from the active set.  Raises on violation."""
         buffered = sum(r.buffered_flits() for r in self.routers)
         on_wire = sum(
             1 for r in self.routers for c in r.out_channels
@@ -188,3 +276,36 @@ class Network:
                 f"({buffered} buffered, {on_wire} on wire, "
                 f"{self.flits_ejected} ejected)"
             )
+        queued = sum(len(q) for q in self.source_queues)
+        if queued != self._awaiting:
+            raise RuntimeError(
+                f"flit conservation violated: awaiting-injection counter "
+                f"says {self._awaiting} but source queues hold {queued}"
+            )
+        for router in self.routers:
+            actual = router.buffered_flits()
+            if router._buffered != actual:
+                raise RuntimeError(
+                    f"flit conservation violated: node {router.node} "
+                    f"occupancy counter says {router._buffered} but "
+                    f"buffers hold {actual}"
+                )
+            router.check_invariants()
+        if self.kernel == "sparse":
+            for node, queue in enumerate(self.source_queues):
+                if queue and node not in self._pending_src:
+                    raise RuntimeError(
+                        f"sparse kernel invariant violated: node {node} "
+                        f"has queued source flits but is not pending "
+                        f"injection"
+                    )
+            for router in self.routers:
+                if router.node in self._active:
+                    continue
+                if (router._buffered or router._pending_in
+                        or router._pending_credit):
+                    raise RuntimeError(
+                        f"sparse kernel invariant violated: node "
+                        f"{router.node} holds work but retired from the "
+                        f"active set"
+                    )

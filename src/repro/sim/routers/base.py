@@ -37,6 +37,17 @@ class Channel:
         self.dst_port = dst_port
         self._flit: Optional[Flit] = None
         self._credits: List[int] = []
+        #: Sparse-kernel wiring (installed by the network): placing a
+        #: flit / credit on the wire marks the endpoint router's pending
+        #: bitmask and enrols it in the network's active set for the next
+        #: cycle.  Inline fields rather than a callback hook — the
+        #: notification fires once per flit and once per credit, so the
+        #: per-event cost is kept to a few attribute operations.
+        self.flit_router = None
+        self.flit_bit = 0
+        self.credit_router = None
+        self.credit_bit = 0
+        self.active_set: Optional[set] = None
 
     def send_flit(self, flit: Flit) -> None:
         """Place a flit on the wire (at most one per cycle)."""
@@ -46,6 +57,10 @@ class Channel:
                 f"{self.dst_node}:{self.dst_port} already carries a flit"
             )
         self._flit = flit
+        router = self.flit_router
+        if router is not None:
+            router._pending_in |= self.flit_bit
+            self.active_set.add(router.node)
 
     def take_flit(self) -> Optional[Flit]:
         """Remove and return the in-flight flit (receiver side)."""
@@ -55,6 +70,10 @@ class Channel:
     def send_credit(self, vc: int) -> None:
         """Return one credit upstream for the given VC."""
         self._credits.append(vc)
+        router = self.credit_router
+        if router is not None:
+            router._pending_credit |= self.credit_bit
+            self.active_set.add(router.node)
 
     def take_credits(self) -> List[int]:
         """Drain pending credits (sender side)."""
@@ -72,7 +91,8 @@ class BaseRouter:
 
     PORTS = 5
 
-    def __init__(self, node: int, config: NetworkConfig, binding) -> None:
+    def __init__(self, node: int, config: NetworkConfig, binding,
+                 sparse: bool = False) -> None:
         self.node = node
         self.config = config
         self.binding = binding
@@ -88,6 +108,25 @@ class BaseRouter:
         #: Current cycle, updated at the start of each arrival phase and
         #: stamped onto arriving flits for stage-eligibility checks.
         self.now = 0
+        #: Event-sparse scheduling (chosen by the network's kernel): the
+        #: router is stepped only while it can do work, arrivals are
+        #: driven by the pending bitmasks below, and hot loops may take
+        #: semantically-equivalent fast paths.
+        self.sparse = sparse
+        #: Bitmask of input ports whose channel carries an undrained flit.
+        self._pending_in = 0
+        #: Bitmask of output ports whose channel holds undrained credits.
+        self._pending_credit = 0
+        #: Flits currently buffered in this router, maintained O(1) —
+        #: must always equal :meth:`buffered_flits` (audited).
+        self._buffered = 0
+        #: Counter-based binding fast path (see CounterBinding): the
+        #: per-node link-event counter list, bumped directly in ``_send``
+        #: instead of a sink-method call.  ``None`` on any other binding.
+        self._c_link = getattr(binding, "n_link", None) if sparse else None
+        if sparse:
+            # Skip the per-call dense/sparse branch in the hot loop.
+            self.arrival_phase = self._arrival_phase_sparse
 
     # --- wiring (done by the network) ---------------------------------------
 
@@ -116,7 +155,10 @@ class BaseRouter:
     # --- the phase protocol ---------------------------------------------------
 
     def arrival_phase(self, cycle: int) -> None:
-        """Drain channels: incoming flits into buffers, credits back."""
+        """Drain channels: incoming flits into buffers, credits back.
+
+        Sparse instances have :meth:`_arrival_phase_sparse` pre-bound
+        over this method."""
         self.now = cycle
         for port in range(self.PORTS):
             channel = self.in_channels[port]
@@ -128,6 +170,37 @@ class BaseRouter:
             if channel is not None:
                 for vc in channel.take_credits():
                     self.credit_return(port, vc)
+
+    def _arrival_phase_sparse(self, cycle: int) -> None:
+        """Event-driven channel drain: the notifiers recorded exactly
+        which ports have work, so only those are touched.  Port order
+        (ascending, flits before credits) leaves all observable state
+        identical to the dense scan: each port's buffers and credit
+        counters are disjoint."""
+        self.now = cycle
+        pending = self._pending_in
+        if pending:
+            self._pending_in = 0
+            in_channels = self.in_channels
+            port = 0
+            while pending:
+                if pending & 1:
+                    flit = in_channels[port].take_flit()
+                    if flit is not None:
+                        self.accept_flit(port, flit)
+                pending >>= 1
+                port += 1
+        pending = self._pending_credit
+        if pending:
+            self._pending_credit = 0
+            out_channels = self.out_channels
+            port = 0
+            while pending:
+                if pending & 1:
+                    for vc in out_channels[port].take_credits():
+                        self.credit_return(port, vc)
+                pending >>= 1
+                port += 1
 
     def accept_flit(self, port: int, flit: Flit) -> None:
         """Store an arriving flit into the input buffer at ``port``."""
@@ -144,6 +217,14 @@ class BaseRouter:
     def allocation_phase(self, cycle: int) -> None:
         """Arbitrate resources for next cycle."""
         raise NotImplementedError
+
+    def work_phase(self, cycle: int) -> None:
+        """Traversal then allocation — the per-router work pass of the
+        sparse kernel's cycle loop.  Subclasses may bind a fused
+        implementation over this instance attribute; the phases stay
+        individually callable (and are what the dense kernel drives)."""
+        self.traversal_phase(cycle)
+        self.allocation_phase(cycle)
 
     # --- injection (called by the network's source processes) ----------------
 
@@ -164,6 +245,12 @@ class BaseRouter:
         """Total flits currently buffered in this router."""
         raise NotImplementedError
 
+    def check_invariants(self) -> None:
+        """Verify maintained fast-path state against the structures it
+        shadows (called by :meth:`repro.sim.network.Network.audit`).
+        Subclasses with extra maintained state override and raise on
+        mismatch."""
+
     def _send(self, out_port: int, flit: Flit) -> None:
         """Ship a flit: eject locally or launch onto the outgoing link,
         emitting the link-traversal event."""
@@ -178,7 +265,11 @@ class BaseRouter:
             raise RuntimeError(
                 f"node {self.node}: no channel on output port {out_port}"
             )
-        self.binding.link_traversal(self.node, out_port, flit.payload)
+        counts = self._c_link
+        if counts is not None:
+            counts[self.node] += 1
+        else:
+            self.binding.link_traversal(self.node, out_port, flit.payload)
         channel.send_flit(flit)
 
 

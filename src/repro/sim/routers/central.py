@@ -42,8 +42,9 @@ class _PacketRecord:
 class CentralBufferRouter(BaseRouter):
     """Shared-memory (central-buffered) router."""
 
-    def __init__(self, node: int, config: NetworkConfig, binding) -> None:
-        super().__init__(node, config, binding)
+    def __init__(self, node: int, config: NetworkConfig, binding,
+                 sparse: bool = False) -> None:
+        super().__init__(node, config, binding, sparse)
         rc = config.router
         self.depth = rc.buffer_depth
         self.capacity = rc.cb_capacity_flits
@@ -58,8 +59,10 @@ class CentralBufferRouter(BaseRouter):
         self._open_records: Dict[int, _PacketRecord] = {}
         self.occupancy = 0
         self.out_credits: List[Optional[int]] = [None] * self.PORTS
-        self.write_arbiter = make_arbiter(rc.arbiter_type, self.PORTS)
-        self.read_arbiter = make_arbiter(rc.arbiter_type, self.PORTS)
+        self.write_arbiter = make_arbiter(rc.arbiter_type, self.PORTS,
+                                          fast=sparse)
+        self.read_arbiter = make_arbiter(rc.arbiter_type, self.PORTS,
+                                         fast=sparse)
         self._write_grants: List[int] = []
         self._read_grants: List[int] = []
 
@@ -82,6 +85,7 @@ class CentralBufferRouter(BaseRouter):
             )
         flit.arrived_cycle = self.now
         fifo.append(flit)
+        self._buffered += 1
         self.binding.buffer_write(self.node, port, flit.payload)
 
     def credit_return(self, port: int, vc: int) -> None:
@@ -105,6 +109,7 @@ class CentralBufferRouter(BaseRouter):
             record = queue[0]
             flit = record.flits.popleft()
             self.occupancy -= 1
+            self._buffered -= 1
             self.binding.cb_read(self.node, flit.payload)
             if flit.is_tail:
                 queue.popleft()
@@ -150,7 +155,10 @@ class CentralBufferRouter(BaseRouter):
         for _ in range(self.read_ports):
             if not candidates:
                 break
-            winner = self.read_arbiter.grant(candidates)
+            if self.sparse and len(candidates) == 1:
+                winner = self.read_arbiter.grant_single(candidates[0])
+            else:
+                winner = self.read_arbiter.grant(candidates)
             self.binding.arbitration(self.node, "cb", len(candidates))
             candidates.remove(winner)
             credits = self.out_credits[winner]
@@ -166,7 +174,10 @@ class CentralBufferRouter(BaseRouter):
         for _ in range(self.write_ports):
             if not candidates or budget <= 0:
                 break
-            winner = self.write_arbiter.grant(candidates)
+            if self.sparse and len(candidates) == 1:
+                winner = self.write_arbiter.grant_single(candidates[0])
+            else:
+                winner = self.write_arbiter.grant(candidates)
             self.binding.arbitration(self.node, "cb", len(candidates))
             candidates.remove(winner)
             budget -= 1

@@ -56,7 +56,11 @@ class SpeculativeVCRouter(VCRouter):
             if not contenders:
                 continue
             ports = [p for p, _ in contenders]
-            winner_port = self.switch_arbiters[out_port].grant(ports)
+            if self.sparse and len(ports) == 1:
+                winner_port = self.switch_arbiters[out_port] \
+                    .grant_single(ports[0])
+            else:
+                winner_port = self.switch_arbiters[out_port].grant(ports)
             self.binding.arbitration(self.node, "switch", len(ports))
             winner_vc = next(v for p, v in contenders
                              if p == winner_port)

@@ -27,6 +27,22 @@ from repro.sim.routers.base import BaseRouter
 from repro.sim.topology import LOCAL, NORTH, SOUTH
 
 
+_LOWBIT_TABLES: Dict[int, List[int]] = {}
+
+
+def _lowbit_table(num_vcs: int) -> List[int]:
+    """Shared table mapping an isolated low bit (``mask & -mask``) to its
+    index — one C-level list index instead of an ``int.bit_length`` call
+    in the allocation scans' inner loops."""
+    table = _LOWBIT_TABLES.get(num_vcs)
+    if table is None:
+        table = [0] * (1 << num_vcs)
+        for i in range(num_vcs):
+            table[1 << i] = i
+        _LOWBIT_TABLES[num_vcs] = table
+    return table
+
+
 class _InputVC:
     """State of one virtual channel at one input port."""
 
@@ -42,8 +58,9 @@ class _InputVC:
 class VCRouter(BaseRouter):
     """Input-buffered virtual-channel router."""
 
-    def __init__(self, node: int, config: NetworkConfig, binding) -> None:
-        super().__init__(node, config, binding)
+    def __init__(self, node: int, config: NetworkConfig, binding,
+                 sparse: bool = False) -> None:
+        super().__init__(node, config, binding, sparse)
         rc = config.router
         self.num_vcs = rc.num_vcs
         self.vc_depth = rc.buffer_depth
@@ -51,6 +68,20 @@ class VCRouter(BaseRouter):
             [_InputVC() for _ in range(self.num_vcs)]
             for _ in range(self.PORTS)
         ]
+        #: Per-input-port bitmasks over VC indices, maintained O(1) so
+        #: the sparse kernel's allocation scans visit only live VCs:
+        #: ``_sa_mask`` — active (output VC held) and non-empty, the only
+        #: VCs that can request the switch; ``_va_mask`` — idle and
+        #: non-empty, the only VCs that can request an output VC.
+        self._sa_mask: List[int] = [0] * self.PORTS
+        self._va_mask: List[int] = [0] * self.PORTS
+        #: Bitmasks over input ports with a nonzero ``_sa_mask`` /
+        #: ``_va_mask`` entry — let allocation skip dead ports (and
+        #: whole calls) outright.
+        self._sa_ports = 0
+        self._va_ports = 0
+        self._low5 = _lowbit_table(self.PORTS)
+        self._lowbit = _lowbit_table(self.num_vcs)
         #: (in_port, in_vc) owning each output VC, or None.
         self.out_vc_owner: List[List[Optional[Tuple[int, int]]]] = [
             [None] * self.num_vcs for _ in range(self.PORTS)
@@ -58,15 +89,16 @@ class VCRouter(BaseRouter):
         #: Per-output-VC downstream credits; None = unlimited (ejection).
         self.out_credits: List[Optional[List[int]]] = [None] * self.PORTS
         self.switch_arbiters = [
-            make_arbiter(rc.arbiter_type, self.PORTS)
+            make_arbiter(rc.arbiter_type, self.PORTS, fast=sparse)
             for _ in range(self.PORTS)
         ]
         self.local_arbiters = [
-            make_arbiter(rc.arbiter_type, self.num_vcs)
+            make_arbiter(rc.arbiter_type, self.num_vcs, fast=sparse)
             for _ in range(self.PORTS)
         ]
         self.vc_arbiters = [
-            [make_arbiter(rc.arbiter_type, self.PORTS * self.num_vcs)
+            [make_arbiter(rc.arbiter_type, self.PORTS * self.num_vcs,
+                          fast=sparse)
              for _ in range(self.num_vcs)]
             for _ in range(self.PORTS)
         ]
@@ -80,6 +112,34 @@ class VCRouter(BaseRouter):
         # Injection bookkeeping: VC receiving the in-progress packet.
         self._inject_vc: Optional[int] = None
         self._inject_rr = 0
+        # Sparse fast paths.  When the binding is counter-based
+        # (CounterBinding exposes its per-node event counters as stable,
+        # in-place-zeroed lists), the hot loops bump the counters
+        # directly instead of paying a method call per event — the
+        # deposits are identical, only the call is elided.  ``None``
+        # keeps every other binding on the sink-method path.
+        arb_counts = getattr(binding, "n_arb", None)
+        if sparse and arb_counts is not None:
+            self._c_arb_local = arb_counts["local"][node]
+            self._c_arb_switch = arb_counts["switch"][node]
+            self._c_arb_vc = arb_counts["vc"][node]
+            self._c_buf_write = binding.n_buf_write
+            self._c_buf_read = binding.n_buf_read
+            self._c_xbar = binding.n_xbar
+        else:
+            self._c_arb_local = None
+            self._c_arb_switch = None
+            self._c_arb_vc = None
+            self._c_buf_write = None
+            self._c_buf_read = None
+            self._c_xbar = None
+        if sparse and type(self).allocation_phase is VCRouter.allocation_phase:
+            # Skip the per-call kernel dispatch and fuse the traversal +
+            # allocation pass (the speculative subclass overrides
+            # allocation_phase, so only bind when this class's
+            # dispatcher would run).
+            self.allocation_phase = self._allocation_phase_sparse
+            self.work_phase = self._work_phase_sparse
 
     # --- wiring -----------------------------------------------------------------
 
@@ -105,7 +165,18 @@ class VCRouter(BaseRouter):
             )
         flit.arrived_cycle = self.now
         vc.fifo.append(flit)
-        self.binding.buffer_write(self.node, port, flit.payload)
+        self._buffered += 1
+        if vc.active:
+            self._sa_mask[port] |= 1 << flit.vc
+            self._sa_ports |= 1 << port
+        else:
+            self._va_mask[port] |= 1 << flit.vc
+            self._va_ports |= 1 << port
+        counts = self._c_buf_write
+        if counts is not None:
+            counts[self.node] += 1
+        else:
+            self.binding.buffer_write(self.node, port, flit.payload)
 
     def credit_return(self, port: int, vc: int) -> None:
         credits = self.out_credits[port]
@@ -119,33 +190,232 @@ class VCRouter(BaseRouter):
                 f"node {self.node} output {port} vc {vc}: credit overflow"
             )
 
+    def _arrival_phase_sparse(self, cycle: int) -> None:
+        """Event-driven channel drain (see the base-class twin), with
+        :meth:`accept_flit` / :meth:`credit_return` and the channel
+        accessors inlined — identical mutations and deposits per event,
+        only the call frames elided."""
+        self.now = cycle
+        pending = self._pending_in
+        if pending:
+            self._pending_in = 0
+            in_channels = self.in_channels
+            vcs = self.vcs
+            vc_depth = self.vc_depth
+            c_buf_write = self._c_buf_write
+            node = self.node
+            port = 0
+            while pending:
+                if pending & 1:
+                    channel = in_channels[port]
+                    flit = channel._flit
+                    if flit is not None:
+                        channel._flit = None
+                        fv = flit.vc
+                        vc = vcs[port][fv]
+                        if len(vc.fifo) >= vc_depth:
+                            raise RuntimeError(
+                                f"node {node} port {port} vc {fv}: buffer "
+                                f"overflow — credit accounting is broken"
+                            )
+                        flit.arrived_cycle = cycle
+                        vc.fifo.append(flit)
+                        self._buffered += 1
+                        if vc.active:
+                            self._sa_mask[port] |= 1 << fv
+                            self._sa_ports |= 1 << port
+                        else:
+                            self._va_mask[port] |= 1 << fv
+                            self._va_ports |= 1 << port
+                        if c_buf_write is not None:
+                            c_buf_write[node] += 1
+                        else:
+                            self.binding.buffer_write(node, port,
+                                                      flit.payload)
+                pending >>= 1
+                port += 1
+        pending = self._pending_credit
+        if pending:
+            self._pending_credit = 0
+            out_channels = self.out_channels
+            out_credits = self.out_credits
+            vc_depth = self.vc_depth
+            port = 0
+            while pending:
+                if pending & 1:
+                    channel = out_channels[port]
+                    returned = channel._credits
+                    if returned:
+                        channel._credits = []
+                        credits = out_credits[port]
+                        for v in returned:
+                            credits[v] += 1
+                            if credits[v] > vc_depth:
+                                raise RuntimeError(
+                                    f"node {self.node} output {port} vc "
+                                    f"{v}: credit overflow"
+                                )
+                pending >>= 1
+                port += 1
+
     # --- pipeline stages ------------------------------------------------------------
 
     def traversal_phase(self, cycle: int) -> None:
         """ST: execute last cycle's switch grants."""
-        grants, self._st_grants = self._st_grants, []
+        grants = self._st_grants
+        if not grants:
+            return
+        self._st_grants = []
+        vcs = self.vcs
+        sa_mask = self._sa_mask
+        in_channels = self.in_channels
+        binding = self.binding
+        buffer_read = binding.buffer_read
+        xbar_traversal = binding.xbar_traversal
+        c_buf_read = self._c_buf_read
+        c_xbar = self._c_xbar
+        node = self.node
+        dateline = self.dateline
         for in_port, in_vc, out_port, out_vc in grants:
-            vc = self.vcs[in_port][in_vc]
+            vc = vcs[in_port][in_vc]
             flit = vc.fifo.popleft()
-            self.binding.buffer_read(self.node)
-            self.binding.xbar_traversal(self.node, out_port, flit.payload)
-            channel = self.in_channels[in_port]
+            self._buffered -= 1
+            if not vc.fifo:
+                masked = sa_mask[in_port] & ~(1 << in_vc)
+                sa_mask[in_port] = masked
+                if not masked:
+                    self._sa_ports &= ~(1 << in_port)
+            if c_buf_read is not None:
+                c_buf_read[node] += 1
+                c_xbar[node] += 1
+            else:
+                buffer_read(node)
+                xbar_traversal(node, out_port, flit.payload)
+            channel = in_channels[in_port]
             if channel is not None:
                 channel.send_credit(in_vc)
-            if flit.is_head:
+            if dateline and flit.is_head:
                 self._update_dateline(flit, out_port)
             if flit.is_tail:
                 self.out_vc_owner[out_port][out_vc] = None
                 vc.active = False
                 vc.out_port = None
                 vc.out_vc = None
+                masked = sa_mask[in_port] & ~(1 << in_vc)
+                sa_mask[in_port] = masked
+                if not masked:
+                    self._sa_ports &= ~(1 << in_port)
+                if vc.fifo:
+                    # The next packet's head is already queued behind
+                    # the departing tail: it now awaits VC allocation.
+                    self._va_mask[in_port] |= 1 << in_vc
+                    self._va_ports |= 1 << in_port
             flit.vc = out_vc
             self._send(out_port, flit)
 
+    def _work_phase_sparse(self, cycle: int) -> None:
+        """Fused ST + SA + VA pass for the sparse kernel.
+
+        The traversal block is the twin of :meth:`traversal_phase` with
+        the per-flit helper calls (``_send``, ``Channel.send_flit``,
+        ``Channel.send_credit``) inlined — identical state mutations and
+        energy deposits, only the call frames elided; the sparse kernel
+        wires every channel's notifier fields, so the inlined sends
+        notify unconditionally.  The equivalence suite and the audit
+        invariants pin this twin to the canonical phase methods.
+        """
+        grants = self._st_grants
+        if grants:
+            self._st_grants = []
+            vcs = self.vcs
+            sa_mask = self._sa_mask
+            in_channels = self.in_channels
+            out_channels = self.out_channels
+            binding = self.binding
+            c_buf_read = self._c_buf_read
+            c_xbar = self._c_xbar
+            c_link = self._c_link
+            node = self.node
+            dateline = self.dateline
+            eject = self.eject
+            moved = 0
+            for in_port, in_vc, out_port, out_vc in grants:
+                vc = vcs[in_port][in_vc]
+                flit = vc.fifo.popleft()
+                self._buffered -= 1
+                if not vc.fifo:
+                    masked = sa_mask[in_port] & ~(1 << in_vc)
+                    sa_mask[in_port] = masked
+                    if not masked:
+                        self._sa_ports &= ~(1 << in_port)
+                if c_buf_read is not None:
+                    c_buf_read[node] += 1
+                    c_xbar[node] += 1
+                else:
+                    binding.buffer_read(node)
+                    binding.xbar_traversal(node, out_port, flit.payload)
+                channel = in_channels[in_port]
+                if channel is not None:
+                    channel._credits.append(in_vc)
+                    upstream = channel.credit_router
+                    upstream._pending_credit |= channel.credit_bit
+                    channel.active_set.add(upstream.node)
+                if dateline and flit.is_head:
+                    self._update_dateline(flit, out_port)
+                if flit.is_tail:
+                    self.out_vc_owner[out_port][out_vc] = None
+                    vc.active = False
+                    vc.out_port = None
+                    vc.out_vc = None
+                    masked = sa_mask[in_port] & ~(1 << in_vc)
+                    sa_mask[in_port] = masked
+                    if not masked:
+                        self._sa_ports &= ~(1 << in_port)
+                    if vc.fifo:
+                        self._va_mask[in_port] |= 1 << in_vc
+                        self._va_ports |= 1 << in_port
+                flit.vc = out_vc
+                moved += 1
+                if out_port == LOCAL:
+                    eject(flit)
+                else:
+                    if flit.is_head:
+                        flit.route_idx += 1
+                    channel = out_channels[out_port]
+                    if c_link is not None:
+                        c_link[node] += 1
+                    else:
+                        binding.link_traversal(node, out_port, flit.payload)
+                    if channel._flit is not None:
+                        raise RuntimeError(
+                            f"channel {channel.src_node}:{channel.src_port}"
+                            f"->{channel.dst_node}:{channel.dst_port} "
+                            f"already carries a flit"
+                        )
+                    channel._flit = flit
+                    downstream = channel.flit_router
+                    downstream._pending_in |= channel.flit_bit
+                    channel.active_set.add(downstream.node)
+            self.moved_flits = moved
+        self._switch_allocation_sparse(cycle)
+        if self._va_ports:
+            self._vc_allocation_sparse(cycle)
+
     def allocation_phase(self, cycle: int) -> None:
         """SA then VA (so VA grants become SA-visible next cycle)."""
-        self._switch_allocation(cycle)
-        self._vc_allocation(cycle)
+        if self.sparse:
+            self._switch_allocation_sparse(cycle)
+            self._vc_allocation_sparse(cycle)
+        else:
+            self._switch_allocation(cycle)
+            self._vc_allocation(cycle)
+
+    def _allocation_phase_sparse(self, cycle: int) -> None:
+        """Pre-bound sparse allocation (installed as the instance's
+        ``allocation_phase`` to skip the kernel dispatch per call)."""
+        self._switch_allocation_sparse(cycle)
+        if self._va_ports:
+            self._vc_allocation_sparse(cycle)
 
     #: Allocation iterations per cycle.  A single pass of a separable
     #: allocator wastes input slots (a stage-1 winner that loses the
@@ -160,42 +430,56 @@ class VCRouter(BaseRouter):
         speculative subclass to fill leftover slots)."""
         matched_inputs = set()
         matched_outputs = set()
+        fast = self.sparse
+        sa_mask = self._sa_mask
+        vcs = self.vcs
+        out_credits = self.out_credits
+        arbitration = self.binding.arbitration
         for _ in range(self.SA_ITERATIONS):
             stage1: List[Tuple[int, int]] = []
             for in_port in range(self.PORTS):
                 if in_port in matched_inputs:
                     continue
+                if fast and not sa_mask[in_port]:
+                    continue
                 candidates = []
-                for v, vc in enumerate(self.vcs[in_port]):
+                for v, vc in enumerate(vcs[in_port]):
                     if not vc.active or not vc.fifo or \
                             vc.fifo[0].arrived_cycle >= cycle:
                         continue
                     if vc.out_port in matched_outputs:
                         continue
-                    credits = self.out_credits[vc.out_port]
+                    credits = out_credits[vc.out_port]
                     if credits is not None and credits[vc.out_vc] <= 0:
                         continue
                     candidates.append(v)
                 if not candidates:
                     continue
-                winner = self.local_arbiters[in_port].grant(candidates)
-                self.binding.arbitration(self.node, "local",
-                                         len(candidates))
+                if fast and len(candidates) == 1:
+                    winner = self.local_arbiters[in_port].grant_single(
+                        candidates[0])
+                else:
+                    winner = self.local_arbiters[in_port].grant(candidates)
+                arbitration(self.node, "local", len(candidates))
                 stage1.append((in_port, winner))
             if not stage1:
                 break
             by_output: Dict[int, List[Tuple[int, int]]] = {}
             for in_port, v in stage1:
-                out_port = self.vcs[in_port][v].out_port
+                out_port = vcs[in_port][v].out_port
                 by_output.setdefault(out_port, []).append((in_port, v))
             for out_port, contenders in by_output.items():
                 ports = [p for p, _ in contenders]
-                winner_port = self.switch_arbiters[out_port].grant(ports)
-                self.binding.arbitration(self.node, "switch", len(ports))
+                if fast and len(ports) == 1:
+                    winner_port = self.switch_arbiters[out_port] \
+                        .grant_single(ports[0])
+                else:
+                    winner_port = self.switch_arbiters[out_port].grant(ports)
+                arbitration(self.node, "switch", len(ports))
                 winner_vc = next(v for p, v in contenders
                                  if p == winner_port)
-                vc = self.vcs[winner_port][winner_vc]
-                credits = self.out_credits[out_port]
+                vc = vcs[winner_port][winner_vc]
+                credits = out_credits[out_port]
                 if credits is not None:
                     credits[vc.out_vc] -= 1
                 matched_inputs.add(winner_port)
@@ -204,13 +488,262 @@ class VCRouter(BaseRouter):
                     (winner_port, winner_vc, out_port, vc.out_vc))
         return matched_inputs, matched_outputs
 
+    def _switch_allocation_sparse(self, cycle: int) -> None:
+        """Sparse-kernel switch allocation, event-for-event equivalent
+        to :meth:`_switch_allocation`.
+
+        Differences are purely mechanical: the stage-1 scan walks the
+        ``_sa_mask`` bitmasks (active non-empty VCs, ascending — the
+        exact candidate set the dense scan filters out of all V VCs),
+        matched ports are bitmasks, and an iteration ends the loop early
+        when no stage-1 winner lost stage 2 — in that case the next
+        dense iteration provably finds no candidates (candidate sets
+        only shrink as outputs match and credits drain), so it would
+        touch no arbiter and emit no event.
+        """
+        pmask = self._sa_ports
+        if not pmask:
+            return
+        sa_mask = self._sa_mask
+        vcs = self.vcs
+        out_credits = self.out_credits
+        lowbit = self._lowbit
+        if not (pmask & (pmask - 1)):
+            # Single requesting port — the dominant shape at paper
+            # operating points.  Stage 2 is uncontended for whichever VC
+            # wins stage 1, only one grant can issue (the port is then
+            # matched), and a second iteration finds no candidates, so
+            # the whole allocation collapses to one local pick plus one
+            # uncontended switch grant — or to nothing when no head is
+            # eligible.
+            in_port = self._low5[pmask]
+            mask = sa_mask[in_port]
+            port_vcs = vcs[in_port]
+            first = -1
+            extras = None
+            while mask:
+                v = lowbit[mask & -mask]
+                mask &= mask - 1
+                vc = port_vcs[v]
+                if vc.fifo[0].arrived_cycle >= cycle:
+                    continue
+                credits = out_credits[vc.out_port]
+                if credits is not None and credits[vc.out_vc] <= 0:
+                    continue
+                if first < 0:
+                    first = v
+                elif extras is None:
+                    extras = [first, v]
+                else:
+                    extras.append(v)
+            if first < 0:
+                return
+            arb = self.local_arbiters[in_port]
+            st = arb._fstamp
+            if extras is None:
+                winner = first
+                n_req = 1
+                if st is not None:
+                    st[winner] = arb._next
+                    arb._next += 1
+                else:
+                    arb.grant_single(winner)
+            else:
+                n_req = len(extras)
+                if st is not None and n_req == 2:
+                    # Two candidates: the fast-matrix winner is simply
+                    # the lower stamp (stamps are unique), restamped —
+                    # grant() minus the bounds check and min machinery.
+                    a, b = extras
+                    winner = a if st[a] < st[b] else b
+                    st[winner] = arb._next
+                    arb._next += 1
+                else:
+                    winner = arb.grant(extras)
+            vc = port_vcs[winner]
+            out_port = vc.out_port
+            arb = self.switch_arbiters[out_port]
+            st = arb._fstamp
+            if st is not None:
+                st[in_port] = arb._next
+                arb._next += 1
+            else:
+                arb.grant_single(in_port)
+            c_local = self._c_arb_local
+            if c_local is not None:
+                c_local[n_req] += 1
+                self._c_arb_switch[1] += 1
+            else:
+                arbitration = self.binding.arbitration
+                arbitration(self.node, "local", n_req)
+                arbitration(self.node, "switch", 1)
+            credits = out_credits[out_port]
+            if credits is not None:
+                credits[vc.out_vc] -= 1
+            self._st_grants.append((in_port, winner, out_port, vc.out_vc))
+            return
+        matched_in = 0
+        matched_out = 0
+        local_arbiters = self.local_arbiters
+        switch_arbiters = self.switch_arbiters
+        arbitration = self.binding.arbitration
+        c_local = self._c_arb_local
+        c_switch = self._c_arb_switch
+        st_grants = self._st_grants
+        low5 = self._low5
+        node = self.node
+        for _ in range(self.SA_ITERATIONS):
+            stage1: List[Tuple[int, int]] = []
+            out_seen = 0
+            out_contested = 0
+            pm = pmask & ~matched_in
+            while pm:
+                in_port = low5[pm & -pm]
+                pm &= pm - 1
+                mask = sa_mask[in_port]
+                port_vcs = vcs[in_port]
+                first = -1
+                extras = None
+                while mask:
+                    v = lowbit[mask & -mask]
+                    mask &= mask - 1
+                    vc = port_vcs[v]
+                    if vc.fifo[0].arrived_cycle >= cycle:
+                        continue
+                    if matched_out >> vc.out_port & 1:
+                        continue
+                    credits = out_credits[vc.out_port]
+                    if credits is not None and credits[vc.out_vc] <= 0:
+                        continue
+                    if first < 0:
+                        first = v
+                    elif extras is None:
+                        extras = [first, v]
+                    else:
+                        extras.append(v)
+                if first < 0:
+                    continue
+                if extras is None:
+                    winner = first
+                    arb = local_arbiters[in_port]
+                    st = arb._fstamp
+                    if st is not None:
+                        st[first] = arb._next
+                        arb._next += 1
+                    else:
+                        arb.grant_single(first)
+                    if c_local is not None:
+                        c_local[1] += 1
+                    else:
+                        arbitration(node, "local", 1)
+                else:
+                    arb = local_arbiters[in_port]
+                    st = arb._fstamp
+                    if st is not None and len(extras) == 2:
+                        a, b = extras
+                        winner = a if st[a] < st[b] else b
+                        st[winner] = arb._next
+                        arb._next += 1
+                    else:
+                        winner = arb.grant(extras)
+                    if c_local is not None:
+                        c_local[len(extras)] += 1
+                    else:
+                        arbitration(node, "local", len(extras))
+                stage1.append((in_port, winner))
+                bit = 1 << port_vcs[winner].out_port
+                if out_seen & bit:
+                    out_contested |= bit
+                else:
+                    out_seen |= bit
+            if not stage1:
+                break
+            if not out_contested:
+                # Common case: every stage-1 winner targets a distinct
+                # output, so each wins stage 2 uncontested.
+                for in_port, v in stage1:
+                    vc = vcs[in_port][v]
+                    out_port = vc.out_port
+                    arb = switch_arbiters[out_port]
+                    st = arb._fstamp
+                    if st is not None:
+                        st[in_port] = arb._next
+                        arb._next += 1
+                    else:
+                        arb.grant_single(in_port)
+                    if c_switch is not None:
+                        c_switch[1] += 1
+                    else:
+                        arbitration(node, "switch", 1)
+                    credits = out_credits[out_port]
+                    if credits is not None:
+                        credits[vc.out_vc] -= 1
+                    matched_in |= 1 << in_port
+                    matched_out |= 1 << out_port
+                    st_grants.append((in_port, v, out_port, vc.out_vc))
+                # No stage-1 winner lost, so the next iteration would
+                # find no candidates, touch no arbiter and emit no
+                # event: stop here.
+                break
+            by_output: Dict[int, List[Tuple[int, int]]] = {}
+            for in_port, v in stage1:
+                out_port = vcs[in_port][v].out_port
+                by_output.setdefault(out_port, []).append((in_port, v))
+            for out_port, contenders in by_output.items():
+                if len(contenders) == 1:
+                    winner_port, winner_vc = contenders[0]
+                    arb = switch_arbiters[out_port]
+                    st = arb._fstamp
+                    if st is not None:
+                        st[winner_port] = arb._next
+                        arb._next += 1
+                    else:
+                        arb.grant_single(winner_port)
+                    if c_switch is not None:
+                        c_switch[1] += 1
+                    else:
+                        arbitration(node, "switch", 1)
+                else:
+                    ports = [p for p, _ in contenders]
+                    arb = switch_arbiters[out_port]
+                    st = arb._fstamp
+                    if st is not None and len(ports) == 2:
+                        a, b = ports
+                        winner_port = a if st[a] < st[b] else b
+                        st[winner_port] = arb._next
+                        arb._next += 1
+                    else:
+                        winner_port = arb.grant(ports)
+                    if c_switch is not None:
+                        c_switch[len(ports)] += 1
+                    else:
+                        arbitration(node, "switch", len(ports))
+                    winner_vc = next(v for p, v in contenders
+                                     if p == winner_port)
+                vc = vcs[winner_port][winner_vc]
+                credits = out_credits[out_port]
+                if credits is not None:
+                    credits[vc.out_vc] -= 1
+                matched_in |= 1 << winner_port
+                matched_out |= 1 << out_port
+                st_grants.append(
+                    (winner_port, winner_vc, out_port, vc.out_vc))
+            if len(stage1) == len(by_output):
+                # Every stage-1 winner was matched: unmatched ports had
+                # no candidates this iteration and cannot gain any, so
+                # the next iteration is a no-op scan.
+                break
+
     def _vc_allocation(self, cycle: int) -> List[Tuple[int, int]]:
         """Heads of idle VCs request one candidate output VC each.
 
         Returns the input VCs granted an output VC this cycle (used by
         the speculative subclass)."""
         requests: Dict[Tuple[int, int], List[Tuple[int, int]]] = {}
+        fast = self.sparse
         for in_port in range(self.PORTS):
+            if fast and not self._va_mask[in_port]:
+                continue
             for v, vc in enumerate(self.vcs[in_port]):
                 if vc.active or not vc.fifo or \
                         vc.fifo[0].arrived_cycle >= cycle:
@@ -230,7 +763,11 @@ class VCRouter(BaseRouter):
         granted: List[Tuple[int, int]] = []
         for (out_port, out_vc), reqs in requests.items():
             ids = [p * self.num_vcs + v for p, v in reqs]
-            winner_id = self.vc_arbiters[out_port][out_vc].grant(ids)
+            if fast and len(ids) == 1:
+                winner_id = self.vc_arbiters[out_port][out_vc] \
+                    .grant_single(ids[0])
+            else:
+                winner_id = self.vc_arbiters[out_port][out_vc].grant(ids)
             self.binding.arbitration(self.node, "vc", len(ids))
             in_port, v = divmod(winner_id, self.num_vcs)
             vc = self.vcs[in_port][v]
@@ -238,8 +775,97 @@ class VCRouter(BaseRouter):
             vc.out_port = out_port
             vc.out_vc = out_vc
             self.out_vc_owner[out_port][out_vc] = (in_port, v)
+            masked = self._va_mask[in_port] & ~(1 << v)
+            self._va_mask[in_port] = masked
+            if not masked:
+                self._va_ports &= ~(1 << in_port)
+            self._sa_mask[in_port] |= 1 << v
+            self._sa_ports |= 1 << in_port
             granted.append((in_port, v))
         return granted
+
+    def _vc_allocation_sparse(self, cycle: int) -> None:
+        """Sparse-kernel VC allocation, event-for-event equivalent to
+        :meth:`_vc_allocation`: the request scan walks the ``_va_mask``
+        bitmasks (idle non-empty VCs, ascending — exactly the VCs the
+        dense scan filters out of all V), which are almost always empty
+        since a VC requests only between packets."""
+        va_mask = self._va_mask
+        vcs = self.vcs
+        lowbit = self._lowbit
+        requests: Optional[Dict[Tuple[int, int],
+                                List[Tuple[int, int]]]] = None
+        for in_port in range(self.PORTS):
+            mask = va_mask[in_port]
+            if not mask:
+                continue
+            port_vcs = vcs[in_port]
+            while mask:
+                v = lowbit[mask & -mask]
+                mask &= mask - 1
+                vc = port_vcs[v]
+                head = vc.fifo[0]
+                if head.arrived_cycle >= cycle:
+                    continue
+                if not head.is_head:
+                    raise RuntimeError(
+                        f"node {self.node} port {in_port} vc {v}: idle VC "
+                        f"headed by a {head.ftype.name} flit"
+                    )
+                out_port = head.next_output_port()
+                candidate = self._pick_output_vc(head, out_port)
+                if candidate is None:
+                    continue
+                if requests is None:
+                    requests = {}
+                requests.setdefault((out_port, candidate), []).append(
+                    (in_port, v))
+        if requests is None:
+            return
+        num_vcs = self.num_vcs
+        arbitration = self.binding.arbitration
+        c_vc = self._c_arb_vc
+        for (out_port, out_vc), reqs in requests.items():
+            if len(reqs) == 1:
+                in_port, v = reqs[0]
+                arb = self.vc_arbiters[out_port][out_vc]
+                st = arb._fstamp
+                if st is not None:
+                    st[in_port * num_vcs + v] = arb._next
+                    arb._next += 1
+                else:
+                    arb.grant_single(in_port * num_vcs + v)
+                if c_vc is not None:
+                    c_vc[1] += 1
+                else:
+                    arbitration(self.node, "vc", 1)
+            else:
+                ids = [p * num_vcs + v for p, v in reqs]
+                arb = self.vc_arbiters[out_port][out_vc]
+                st = arb._fstamp
+                if st is not None and len(ids) == 2:
+                    a, b = ids
+                    winner_id = a if st[a] < st[b] else b
+                    st[winner_id] = arb._next
+                    arb._next += 1
+                else:
+                    winner_id = arb.grant(ids)
+                if c_vc is not None:
+                    c_vc[len(ids)] += 1
+                else:
+                    arbitration(self.node, "vc", len(ids))
+                in_port, v = divmod(winner_id, num_vcs)
+            vc = self.vcs[in_port][v]
+            vc.active = True
+            vc.out_port = out_port
+            vc.out_vc = out_vc
+            self.out_vc_owner[out_port][out_vc] = (in_port, v)
+            masked = va_mask[in_port] & ~(1 << v)
+            va_mask[in_port] = masked
+            if not masked:
+                self._va_ports &= ~(1 << in_port)
+            self._sa_mask[in_port] |= 1 << v
+            self._sa_ports |= 1 << in_port
 
     def _pick_output_vc(self, head: Flit, out_port: int) -> Optional[int]:
         """First free output VC in the head's allowed class, scanning from
@@ -315,3 +941,33 @@ class VCRouter(BaseRouter):
     def buffered_flits(self) -> int:
         return sum(len(vc.fifo)
                    for port in self.vcs for vc in port)
+
+    def check_invariants(self) -> None:
+        for port in range(self.PORTS):
+            sa = va = 0
+            for v, vc in enumerate(self.vcs[port]):
+                if vc.fifo:
+                    if vc.active:
+                        sa |= 1 << v
+                    else:
+                        va |= 1 << v
+            if self._sa_mask[port] != sa or self._va_mask[port] != va:
+                raise RuntimeError(
+                    f"node {self.node} port {port}: allocation masks "
+                    f"(sa={self._sa_mask[port]:#x}, "
+                    f"va={self._va_mask[port]:#x}) disagree with VC "
+                    f"state (sa={sa:#x}, va={va:#x})"
+                )
+        sa_ports = va_ports = 0
+        for port in range(self.PORTS):
+            if self._sa_mask[port]:
+                sa_ports |= 1 << port
+            if self._va_mask[port]:
+                va_ports |= 1 << port
+        if self._sa_ports != sa_ports or self._va_ports != va_ports:
+            raise RuntimeError(
+                f"node {self.node}: port summaries "
+                f"(sa={self._sa_ports:#x}, va={self._va_ports:#x}) "
+                f"disagree with per-port masks "
+                f"(sa={sa_ports:#x}, va={va_ports:#x})"
+            )

@@ -22,8 +22,9 @@ from repro.sim.topology import LOCAL
 class WormholeRouter(BaseRouter):
     """Input-buffered wormhole router."""
 
-    def __init__(self, node: int, config: NetworkConfig, binding) -> None:
-        super().__init__(node, config, binding)
+    def __init__(self, node: int, config: NetworkConfig, binding,
+                 sparse: bool = False) -> None:
+        super().__init__(node, config, binding, sparse)
         depth = config.router.buffer_depth
         self.fifos: List[Deque[Flit]] = [deque() for _ in range(self.PORTS)]
         self.depth = depth
@@ -35,7 +36,8 @@ class WormholeRouter(BaseRouter):
         #: ``None`` means unlimited (the ejection port).
         self.out_credits: List[Optional[int]] = [None] * self.PORTS
         self.arbiters = [
-            make_arbiter(config.router.arbiter_type, self.PORTS)
+            make_arbiter(config.router.arbiter_type, self.PORTS,
+                         fast=sparse)
             for _ in range(self.PORTS)
         ]
 
@@ -58,6 +60,7 @@ class WormholeRouter(BaseRouter):
             )
         flit.arrived_cycle = self.now
         fifo.append(flit)
+        self._buffered += 1
         self.binding.buffer_write(self.node, port, flit.payload)
 
     def credit_return(self, port: int, vc: int) -> None:
@@ -87,6 +90,7 @@ class WormholeRouter(BaseRouter):
             if out_port != LOCAL and credits is not None and credits <= 0:
                 continue
             flit = fifo.popleft()
+            self._buffered -= 1
             self.binding.buffer_read(self.node)
             self.binding.xbar_traversal(self.node, out_port, flit.payload)
             if out_port != LOCAL and credits is not None:
@@ -125,7 +129,10 @@ class WormholeRouter(BaseRouter):
         for out_port, reqs in enumerate(requests):
             if not reqs:
                 continue
-            winner = self.arbiters[out_port].grant(reqs)
+            if self.sparse and len(reqs) == 1:
+                winner = self.arbiters[out_port].grant_single(reqs[0])
+            else:
+                winner = self.arbiters[out_port].grant(reqs)
             self.binding.arbitration(self.node, "switch", len(reqs))
             self.out_owner[out_port] = winner
             self.in_conn[winner] = out_port

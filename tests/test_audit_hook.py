@@ -1,0 +1,119 @@
+"""The periodic ``audit()`` hook and the O(1) maintained counters.
+
+``RunProtocol.audit_every`` wires :meth:`Network.audit` into the engine
+loop every N cycles.  It is off by default (zero); when enabled it must
+pass silently on a healthy network and raise on a genuine bookkeeping
+violation — these tests corrupt a live network mid-run and check the
+next audit catches it.
+"""
+
+import pytest
+
+from repro.core.config import RunProtocol
+from repro.sim.engine import Simulation
+from repro.sim.network import Network
+from repro.sim.topology import topology_for
+from repro.sim.traffic import UniformRandomTraffic
+from tests.conftest import small_config
+
+KERNELS = ["dense", "sparse"]
+
+
+def _simulation(kernel, audit_every, kind="vc"):
+    config = small_config(kind)
+    traffic = UniformRandomTraffic(topology_for(config), 0.05, seed=3)
+    protocol = RunProtocol(warmup_cycles=40, sample_packets=25,
+                           kernel=kernel, audit_every=audit_every)
+    return Simulation(config, traffic, protocol)
+
+
+def test_audit_off_by_default():
+    assert RunProtocol().audit_every == 0
+
+
+@pytest.mark.parametrize("kernel", KERNELS)
+def test_audit_clean_run(kernel):
+    result = _simulation(kernel, audit_every=5).run()
+    assert result.packets_delivered > 0
+
+
+@pytest.mark.parametrize("kernel", KERNELS)
+def test_audit_catches_occupancy_corruption(kernel):
+    """Desynchronising a router's O(1) occupancy counter from its
+    buffers must be caught by the next periodic audit."""
+    sim = _simulation(kernel, audit_every=1)
+    network = sim.network
+    original_step = network.step
+
+    def corrupting_step():
+        moved = original_step()
+        if network.cycle == 30:
+            network.routers[0]._buffered += 1
+        return moved
+
+    network.step = corrupting_step
+    with pytest.raises(RuntimeError, match="occupancy counter"):
+        sim.run()
+
+
+@pytest.mark.parametrize("kernel", KERNELS)
+def test_audit_catches_awaiting_counter_corruption(kernel):
+    sim = _simulation(kernel, audit_every=1)
+    network = sim.network
+    original_step = network.step
+
+    def corrupting_step():
+        moved = original_step()
+        if network.cycle == 30:
+            network._awaiting += 1
+        return moved
+
+    network.step = corrupting_step
+    with pytest.raises(RuntimeError, match="awaiting-injection"):
+        sim.run()
+
+
+def test_audit_catches_active_set_corruption():
+    """A sparse-kernel router holding buffered flits must stay enrolled
+    in the active set; audit flags one evicted behind the kernel's back."""
+    sim = _simulation("sparse", audit_every=1)
+    network = sim.network
+    original_step = network.step
+
+    def corrupting_step():
+        moved = original_step()
+        if network.cycle >= 30:
+            for node in sorted(network._active):
+                if network.routers[node]._buffered:
+                    network._active.discard(node)
+                    break
+        return moved
+
+    network.step = corrupting_step
+    with pytest.raises(RuntimeError, match="active set"):
+        sim.run()
+
+
+def test_audit_not_called_when_disabled():
+    sim = _simulation("sparse", audit_every=0)
+    calls = []
+    network = sim.network
+    network.audit = lambda: calls.append(network.cycle)
+    sim.run()
+    assert calls == []
+
+
+@pytest.mark.parametrize("kernel", KERNELS)
+def test_awaiting_counter_tracks_queues(kernel):
+    """``flits_awaiting_injection`` is a maintained O(1) counter; it must
+    equal the actual source-queue population at every cycle."""
+    config = small_config("wormhole")
+    network = Network(config, kernel=kernel)
+    traffic = UniformRandomTraffic(topology_for(config), 0.2, seed=9)
+    for cycle in range(120):
+        for src, dst in traffic.packets_at(cycle):
+            network.create_packet(src, dst, cycle)
+        network.step()
+        assert network.flits_awaiting_injection == \
+            sum(len(q) for q in network.source_queues)
+    network.audit()

@@ -1,0 +1,138 @@
+"""Dense-vs-sparse kernel equivalence matrix.
+
+The sparse kernel (active-router scheduling, bitmask allocation scans,
+fused per-router work passes, fast-matrix arbiters and counter-based
+average-mode energy accounting) must be semantically invisible: for any
+configuration, traffic pattern and seed it must produce bit-identical
+performance results — the same per-packet latencies, cycle counts and
+flit counts — and energy totals equal to within float-reassociation
+tolerance (the counter path sums each per-event constant once instead of
+event-by-event, which reorders additions but changes nothing else).
+
+Every sparse run here also executes the flit-conservation ``audit()``
+periodically, so the fast-path bookkeeping (occupancy counters, pending
+bitmasks, allocation masks, active-set membership) is verified against
+the structures it shadows while the equivalence is checked.
+"""
+
+import random
+
+import pytest
+
+from repro.core.config import RunProtocol
+from repro.core.presets import PRESETS
+from repro.sim.arbiters import FastMatrixArbiter, MatrixArbiter
+from repro.sim.engine import Simulation
+from repro.sim.topology import topology_for
+from repro.sim.traffic import TransposeTraffic, UniformRandomTraffic
+from tests.conftest import small_config
+
+REL_TOL = 1e-12
+
+
+def _run(config, kernel, traffic_cls, rate, seed, warmup, sample):
+    topo = topology_for(config)
+    traffic = traffic_cls(topo, rate, seed=seed)
+    protocol = RunProtocol(
+        warmup_cycles=warmup,
+        sample_packets=sample,
+        seed=seed,
+        kernel=kernel,
+        # Audit the sparse kernel's maintained state as it runs; the
+        # dense kernel is audited too, pinning the shared invariants.
+        audit_every=40,
+    )
+    return Simulation(config, traffic, protocol).run()
+
+
+def assert_equivalent(dense, sparse):
+    """Bit-identical performance results; energy within tolerance."""
+    assert dense.latency.latencies == sparse.latency.latencies
+    assert dense.total_cycles == sparse.total_cycles
+    assert dense.measured_cycles == sparse.measured_cycles
+    assert dense.flits_injected == sparse.flits_injected
+    assert dense.flits_ejected == sparse.flits_ejected
+    assert dense.measured_flits_ejected == sparse.measured_flits_ejected
+    assert dense.packets_delivered == sparse.packets_delivered
+    d_total = dense.total_energy_j
+    s_total = sparse.total_energy_j
+    assert d_total > 0
+    assert abs(d_total - s_total) <= REL_TOL * d_total
+    d_nodes = dense.accountant.spatial_map()
+    s_nodes = sparse.accountant.spatial_map()
+    assert len(d_nodes) == len(s_nodes)
+    for node, (d, s) in enumerate(zip(d_nodes, s_nodes)):
+        assert abs(d - s) <= REL_TOL * max(abs(d), 1e-30), (
+            f"node {node}: dense {d} vs sparse {s}"
+        )
+
+
+def _pair(config, traffic_cls=UniformRandomTraffic, rate=0.05, seed=1,
+          warmup=60, sample=40):
+    dense = _run(config, "dense", traffic_cls, rate, seed, warmup, sample)
+    sparse = _run(config, "sparse", traffic_cls, rate, seed, warmup, sample)
+    assert_equivalent(dense, sparse)
+
+
+# --- all paper presets -------------------------------------------------------
+
+@pytest.mark.parametrize("preset_name", sorted(PRESETS))
+def test_presets_uniform(preset_name):
+    _pair(PRESETS[preset_name](), rate=0.04, sample=30, warmup=50)
+
+
+# --- traffic patterns x seeds on the flagship config -------------------------
+
+@pytest.mark.parametrize("traffic_cls", [UniformRandomTraffic,
+                                         TransposeTraffic])
+@pytest.mark.parametrize("seed", [1, 2])
+def test_vc16_traffic_and_seeds(traffic_cls, seed):
+    _pair(PRESETS["VC16"](), traffic_cls=traffic_cls, rate=0.10,
+          seed=seed, warmup=80, sample=60)
+
+
+# --- all router kinds x topologies x activity modes --------------------------
+
+@pytest.mark.parametrize("kind", ["wormhole", "vc", "speculative_vc",
+                                  "central"])
+@pytest.mark.parametrize("topology", ["torus", "mesh"])
+def test_router_kinds_topologies(kind, topology):
+    _pair(small_config(kind).with_(topology=topology))
+
+
+@pytest.mark.parametrize("kind", ["wormhole", "vc", "speculative_vc",
+                                  "central"])
+def test_router_kinds_data_mode(kind):
+    # data mode tracks per-payload switching activity: the sparse kernel
+    # forfeits the counter fast path but keeps active-router scheduling,
+    # and the per-event Hamming deposits must match exactly.
+    _pair(small_config(kind).with_(activity_mode="data"))
+
+
+# --- arbiter equivalence (pins the FastMatrixArbiter docstring claim) --------
+
+def test_fast_matrix_arbiter_matches_reference():
+    rng = random.Random(7)
+    size = 5
+    ref = MatrixArbiter(size)
+    fast = FastMatrixArbiter(size)
+    for _ in range(500):
+        requests = sorted(rng.sample(range(size),
+                                     rng.randrange(1, size + 1)))
+        assert ref.grant(requests) == fast.grant(requests)
+
+
+def test_fast_matrix_arbiter_grant_single_matches_grant():
+    rng = random.Random(11)
+    size = 4
+    ref = FastMatrixArbiter(size)
+    single = FastMatrixArbiter(size)
+    for _ in range(300):
+        if rng.random() < 0.5:
+            r = rng.randrange(size)
+            assert ref.grant([r]) == single.grant_single(r)
+        else:
+            requests = sorted(rng.sample(range(size),
+                                         rng.randrange(1, size + 1)))
+            assert ref.grant(requests) == single.grant(requests)
+    assert ref._stamp == single._stamp
