@@ -39,6 +39,7 @@ CASES = {
 }
 
 RESULTS = {}
+EXTRAS = {}
 
 
 def _make_network(kernel, activity_mode, width, height):
@@ -86,6 +87,7 @@ def _write_results():
         if "dense" in kernels and "sparse" in kernels:
             payload.setdefault("speedup_sparse_over_dense", {})[case] = (
                 round(kernels["sparse"] / kernels["dense"], 3))
+    payload.update(EXTRAS)
     OUTPUT.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
     print(f"\n== wrote {OUTPUT.name}: "
           + ", ".join(f"{case} {k} {v:,.0f} c/s"
@@ -129,3 +131,36 @@ def test_sparse_not_slower_than_dense():
     ratio = dense_best / sparse_best
     print(f"\n== sparse/dense speedup at 4x4 rate 0.10: {ratio:.2f}x ==")
     assert ratio >= 1.0
+
+
+def _time_engine_once(telemetry_window):
+    from repro.core.config import RunProtocol
+    from repro.sim.engine import Simulation
+    from repro.sim.topology import topology_for
+
+    cfg = preset("VC16")
+    protocol = RunProtocol(warmup_cycles=200, sample_packets=300, seed=3,
+                           kernel="sparse",
+                           telemetry_window=telemetry_window)
+    traffic = UniformRandomTraffic(topology_for(cfg), 0.10, seed=3)
+    sim = Simulation(cfg, traffic, protocol)
+    start = time.process_time()
+    sim.run()
+    return time.process_time() - start
+
+
+def test_telemetry_overhead_within_bound():
+    """The CI gate: default-window telemetry (windowed snapshots plus
+    engine phase spans) must cost at most ~5% wall clock on the flagship
+    preset.  Interleaved best-of-N, same protocol both ways."""
+    from repro.telemetry import DEFAULT_WINDOW
+
+    off_best = on_best = float("inf")
+    for _ in range(5):
+        off_best = min(off_best, _time_engine_once(0))
+        on_best = min(on_best, _time_engine_once(DEFAULT_WINDOW))
+    ratio = on_best / off_best
+    EXTRAS["telemetry_overhead_ratio"] = round(ratio, 3)
+    print(f"\n== telemetry on/off runtime ratio at 4x4 rate 0.10: "
+          f"{ratio:.3f} ==")
+    assert ratio <= 1.05

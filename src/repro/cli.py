@@ -8,6 +8,8 @@ Commands mirror the library's main entry points:
 * ``experiment`` — orchestrated grid of (preset × traffic × rate × seed)
   points with multiprocessing, on-disk result caching and per-point
   failure isolation;
+* ``report``     — render a recorded telemetry JSONL file (component
+  breakdown, spatial map, time series, engine phase spans);
 * ``power``      — standalone power analysis (section 3.3 walkthrough);
 * ``delay``      — pipeline/frequency analysis (Peh-Dally delay model);
 * ``validate``   — section 3.2 ballpark checks against commercial routers.
@@ -98,8 +100,13 @@ def cmd_presets(args) -> int:
 def cmd_run(args) -> int:
     cfg = _config(args)
     orion = Orion(cfg)
+    window = args.telemetry_window
+    if window == 0 and (args.telemetry_jsonl or args.telemetry_csv):
+        from repro.telemetry import DEFAULT_WINDOW
+        window = DEFAULT_WINDOW
     result = orion.run(_make_traffic(args, cfg),
-                       _protocol(args, monitor=args.monitor))
+                       _protocol(args, monitor=args.monitor,
+                                 telemetry_window=window))
     per_node = TRAFFIC_REGISTRY[args.traffic].per_node
     print(f"config:        {args.preset} ({cfg.router.kind})")
     print(f"traffic:       {args.traffic} at {args.rate} pkt/cycle"
@@ -119,6 +126,18 @@ def cmd_run(args) -> int:
     if args.spatial:
         print("\nper-node power:")
         print(spatial_table(result))
+    if result.telemetry is not None:
+        from repro.telemetry import telemetry_to_csv, telemetry_to_jsonl
+        record = result.telemetry
+        print(f"\ntelemetry: {record.num_windows} windows of "
+              f"{record.window} cycles recorded "
+              f"(render with 'repro report')")
+        if args.telemetry_jsonl:
+            telemetry_to_jsonl(record, args.telemetry_jsonl)
+            print(f"wrote {args.telemetry_jsonl}")
+        if args.telemetry_csv:
+            telemetry_to_csv(record, args.telemetry_csv)
+            print(f"wrote {args.telemetry_csv}")
     if args.json:
         result_to_json(result, args.json)
         print(f"\nwrote {args.json}")
@@ -249,6 +268,21 @@ def cmd_estimate(args) -> int:
     return 0
 
 
+def cmd_report(args) -> int:
+    from repro.telemetry import (
+        telemetry_from_jsonl,
+        telemetry_report,
+        telemetry_to_csv,
+    )
+
+    record = telemetry_from_jsonl(args.path)
+    print(telemetry_report(record, series=not args.no_series))
+    if args.csv:
+        telemetry_to_csv(record, args.csv)
+        print(f"\nwrote {args.csv}")
+    return 0
+
+
 def cmd_power(args) -> int:
     cfg = _config(args)
     orion = Orion(cfg)
@@ -322,6 +356,16 @@ def build_parser() -> argparse.ArgumentParser:
                    help="write the result summary as JSON")
     p.add_argument("--csv", metavar="PATH",
                    help="write the per-node power map as CSV")
+    p.add_argument("--telemetry-window", type=int, default=0,
+                   metavar="CYCLES",
+                   help="record windowed energy/event telemetry every "
+                        "this many cycles (0 disables)")
+    p.add_argument("--telemetry-jsonl", metavar="PATH",
+                   help="write the telemetry record as JSONL "
+                        "(implies a default window if none given)")
+    p.add_argument("--telemetry-csv", metavar="PATH",
+                   help="write the telemetry record as long-format CSV "
+                        "(implies a default window if none given)")
     p.set_defaults(handler=cmd_run)
 
     p = sub.add_parser("sweep", help="sweep injection rates")
@@ -387,6 +431,17 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--width", type=int, help="override grid width")
     p.add_argument("--height", type=int, help="override grid height")
     p.set_defaults(handler=cmd_estimate)
+
+    p = sub.add_parser(
+        "report",
+        help="render a recorded telemetry JSONL file")
+    p.add_argument("path", help="telemetry JSONL written by "
+                                "'run --telemetry-jsonl'")
+    p.add_argument("--no-series", action="store_true",
+                   help="skip the per-window time series table")
+    p.add_argument("--csv", metavar="PATH",
+                   help="also convert the record to long-format CSV")
+    p.set_defaults(handler=cmd_report)
 
     p = sub.add_parser("power", help="standalone power analysis")
     p.add_argument("--preset", default="VC16")

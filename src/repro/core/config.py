@@ -150,6 +150,9 @@ class RunProtocol:
     #: Run the network's flit-conservation ``audit()`` every this many
     #: cycles (0 disables auditing).
     audit_every: int = 0
+    #: Record windowed energy/event telemetry every this many measured
+    #: cycles (0 disables recording).  See :mod:`repro.telemetry`.
+    telemetry_window: int = 0
 
     def __post_init__(self) -> None:
         if self.warmup_cycles < 0:
@@ -172,6 +175,10 @@ class RunProtocol:
         if self.audit_every < 0:
             raise ValueError(
                 f"audit_every must be >= 0, got {self.audit_every}"
+            )
+        if self.telemetry_window < 0:
+            raise ValueError(
+                f"telemetry_window must be >= 0, got {self.telemetry_window}"
             )
 
     def with_(self, **changes) -> "RunProtocol":

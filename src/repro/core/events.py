@@ -102,6 +102,16 @@ class EnergyAccountant:
         """Energy (J) per component at one node."""
         return dict(self._energy[node])
 
+    def node_counts(self, node: int) -> Dict[str, int]:
+        """Event counts per event type at one node."""
+        return dict(self._counts[node])
+
+    def snapshot(self):
+        """Copies of the per-node energy and count tables — the
+        cumulative view windowed telemetry diffs between boundaries."""
+        return ([dict(e) for e in self._energy],
+                [dict(c) for c in self._counts])
+
     def node_total(self, node: int) -> float:
         """Total energy (J) at one node."""
         return sum(self._energy[node].values())

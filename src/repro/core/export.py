@@ -9,7 +9,6 @@ from __future__ import annotations
 
 import csv
 import json
-import math
 from typing import Dict, List
 
 from repro.core.report import SweepResult
@@ -26,10 +25,7 @@ def result_to_dict(result: SimulationResult) -> Dict:
         "avg_latency_cycles": result.avg_latency,
         "min_latency_cycles": result.latency.minimum,
         "max_latency_cycles": result.latency.maximum,
-        # minimum/maximum degrade to NaN on an empty sample; percentile
-        # still raises, so guard it the same way.
-        "p99_latency_cycles": (result.latency.percentile(99)
-                               if result.latency.count else math.nan),
+        "p99_latency_cycles": result.latency.percentile(99),
         "sample_packets": result.sample_packets,
         "warmup_cycles": result.warmup_cycles,
         "measured_cycles": result.measured_cycles,

@@ -259,6 +259,15 @@ class PowerBinding:
             energy = self._e_cb_read
         self.accountant.add(node, ev.CENTRAL_BUFFER, ev.CB_READ, energy)
 
+    # --- telemetry access --------------------------------------------------------
+
+    def telemetry_view(self):
+        """Cumulative per-node (energies, counts) since the last reset —
+        the accountant's tables here; :class:`CounterBinding` adds its
+        not-yet-flushed counters.  Windowed telemetry diffs consecutive
+        views, so summed windows telescope to the run totals."""
+        return self.accountant.snapshot()
+
     # --- analytic access ---------------------------------------------------------
 
     def event_energies(self, requests: int = 1) -> Dict[str, float]:
@@ -509,11 +518,12 @@ class CounterBinding(PowerBinding):
             num_requests, granted=False)
         self._n_arb_other[node] += 1
 
-    # --- finalization -----------------------------------------------------------
+    # --- telemetry access --------------------------------------------------------
 
-    def _flush(self) -> None:
-        """Convert the accumulated counters into accountant deposits."""
-        add = self.accountant.add
+    def _counter_contributions(self):
+        """Yield ``(node, component, event, energy_j, count)`` for the
+        accumulated, not-yet-flushed counters — the joule conversion
+        shared by :meth:`_flush` and :meth:`telemetry_view`."""
         per_event = (
             (self.n_buf_write, ev.BUFFER_WRITE, self._e_buf_write),
             (self.n_buf_read, ev.BUFFER_READ, self._e_buf_read),
@@ -526,7 +536,7 @@ class CounterBinding(PowerBinding):
             component = ev.EVENT_COMPONENT[event]
             for node, count in enumerate(counts):
                 if count:
-                    add(node, component, event, count * energy, count=count)
+                    yield node, component, event, count * energy, count
         tables = {"switch": self._switch_arb, "vc": self._vc_arb,
                   "local": self._local_arb, "cb": self._cb_arb}
         for kind, per_node in self.n_arb.items():
@@ -537,11 +547,31 @@ class CounterBinding(PowerBinding):
                     continue
                 energy = sum(c * table[i]
                              for i, c in enumerate(buckets) if c)
-                add(node, ev.ARBITER, ev.ARBITRATION, energy, count=count)
+                yield node, ev.ARBITER, ev.ARBITRATION, energy, count
         for node, count in enumerate(self._n_arb_other):
             if count:
-                add(node, ev.ARBITER, ev.ARBITRATION,
-                    self._e_arb_other[node], count=count)
+                yield (node, ev.ARBITER, ev.ARBITRATION,
+                       self._e_arb_other[node], count)
+
+    def telemetry_view(self):
+        """Accountant tables plus the pending counters — so windowed
+        snapshots see counter-mode energy mid-run, before finalization
+        flushes it."""
+        energies, counts = self.accountant.snapshot()
+        for node, component, event, energy, count in \
+                self._counter_contributions():
+            energies[node][component] += energy
+            counts[node][event] += count
+        return energies, counts
+
+    # --- finalization -----------------------------------------------------------
+
+    def _flush(self) -> None:
+        """Convert the accumulated counters into accountant deposits."""
+        add = self.accountant.add
+        for node, component, event, energy, count in \
+                self._counter_contributions():
+            add(node, component, event, energy, count=count)
         self._zero_counters()
 
     def finalize(self, measured_cycles: int,
@@ -582,3 +612,7 @@ class NullBinding:
 
     def finalize(self, measured_cycles: int, links_per_node) -> None:
         pass
+
+    def telemetry_view(self):
+        """No energy model: telemetry records traffic columns only."""
+        return None, None

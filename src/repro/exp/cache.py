@@ -6,15 +6,20 @@ a stable hash of (config, traffic spec, rate, protocol, code version).
 Re-running a collection script or resuming a crashed sweep then skips
 every already-simulated point.
 
-Entries are pickles written atomically (tmp file + ``os.replace``) so a
-killed run never leaves a truncated entry; unreadable or stale-schema
-entries are treated as misses.
+Entries are pickles written atomically (unique tmp file +
+``os.replace``) so a killed run never leaves a truncated entry and
+concurrent writers never clobber each other's tmp files; unreadable or
+stale-schema entries are treated as misses.  Orphaned tmp files from
+crashed writers are swept on cache construction once they are old
+enough that no live writer can still own them.
 """
 
 from __future__ import annotations
 
 import os
 import pickle
+import tempfile
+import time
 from pathlib import Path
 from typing import Optional
 
@@ -22,6 +27,10 @@ from repro.exp.spec import CACHE_SCHEMA
 
 #: Default cache location, relative to the current working directory.
 DEFAULT_CACHE_DIR = os.path.join("results", ".cache")
+
+#: Tmp files older than this are considered abandoned by a crashed
+#: writer (a live ``store`` holds its tmp for milliseconds).
+STALE_TMP_SECONDS = 3600.0
 
 
 class ResultCache:
@@ -31,6 +40,7 @@ class ResultCache:
         self.root = Path(root)
         self.hits = 0
         self.misses = 0
+        self.sweep_stale_tmp()
 
     def _path(self, key: str) -> Path:
         return self.root / key[:2] / f"{key}.pkl"
@@ -53,13 +63,43 @@ class ResultCache:
         return payload.get("outcome")
 
     def store(self, key: str, outcome) -> None:
-        """Atomically persist one outcome."""
+        """Atomically persist one outcome.
+
+        The tmp file name comes from ``mkstemp`` — PID suffixes collide
+        between hosts sharing a cache over a network filesystem — and is
+        unlinked on any failure so crashed writes leave no orphan."""
         path = self._path(key)
         path.parent.mkdir(parents=True, exist_ok=True)
-        tmp = path.with_name(f"{path.name}.tmp{os.getpid()}")
-        with open(tmp, "wb") as f:
-            pickle.dump({"schema": CACHE_SCHEMA, "outcome": outcome}, f)
-        os.replace(tmp, path)
+        fd, tmp = tempfile.mkstemp(dir=path.parent,
+                                   prefix=f"{path.name}.tmp")
+        try:
+            with os.fdopen(fd, "wb") as f:
+                pickle.dump({"schema": CACHE_SCHEMA, "outcome": outcome}, f)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    def sweep_stale_tmp(self,
+                        max_age_seconds: float = STALE_TMP_SECONDS) -> int:
+        """Remove abandoned tmp files older than ``max_age_seconds``;
+        returns the number removed.  Young tmp files are left alone —
+        they may belong to a live concurrent writer."""
+        removed = 0
+        if not self.root.exists():
+            return removed
+        now = time.time()
+        for tmp in self.root.glob("*/*.pkl.tmp*"):
+            try:
+                if now - tmp.stat().st_mtime >= max_age_seconds:
+                    tmp.unlink()
+                    removed += 1
+            except OSError:
+                continue  # a concurrent sweep or writer got there first
+        return removed
 
     def clear(self) -> int:
         """Delete every entry; returns the number removed."""

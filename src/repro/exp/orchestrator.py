@@ -59,6 +59,9 @@ class PointOutcome:
     #: Full simulation result; carried only when the orchestrator ran
     #: with ``keep_results=True`` or the protocol enabled the monitor.
     result: Optional[SimulationResult] = None
+    #: Windowed telemetry record; carried (and cached) whenever the
+    #: protocol's ``telemetry_window`` is non-zero.
+    telemetry: Optional[object] = None
 
     def raise_error(self) -> None:
         """Re-raise a recorded failure as its original exception type."""
@@ -132,6 +135,7 @@ def _execute_point(point: RunPoint, keep_result: bool) -> PointOutcome:
         total_cycles=result.total_cycles,
         wall_seconds=time.perf_counter() - start,
         result=result if keep_result else None,
+        telemetry=result.telemetry,
     )
 
 
@@ -191,6 +195,9 @@ def run_points(points: Sequence[RunPoint], *,
     for index, point in enumerate(points):
         hit = cache.load(point.cache_key()) if cache is not None else None
         needs_result = _needs_result(point, keep_results)
+        if hit is not None and point.protocol.telemetry_window \
+                and hit.telemetry is None:
+            hit = None  # entry predates telemetry for this key
         if hit is not None and (not needs_result or hit.result is not None):
             hit.from_cache = True
             if not needs_result:

@@ -28,7 +28,8 @@ from repro.sim.traffic import (
 )
 
 #: Bump when cached payload semantics change: invalidates every entry.
-CACHE_SCHEMA = 1
+#: 2: outcomes carry the windowed telemetry record.
+CACHE_SCHEMA = 2
 
 
 @dataclass(frozen=True)

@@ -49,6 +49,9 @@ class SimulationResult:
     accountant: Optional[EnergyAccountant]
     #: Occupancy/utilization monitor, when enabled.
     monitor: Optional[object] = None
+    #: Windowed :class:`~repro.telemetry.recorder.TelemetryRecord`, when
+    #: the protocol's ``telemetry_window`` is non-zero.
+    telemetry: Optional[object] = None
 
     @property
     def throughput_flits_per_cycle(self) -> float:
@@ -142,6 +145,12 @@ class Simulation:
             self.monitor = NetworkMonitor(self.network)
         else:
             self.monitor = None
+        if protocol.telemetry_window:
+            from repro.telemetry import TelemetryRecorder
+            self.recorder = TelemetryRecorder(
+                self.network, self.binding, protocol.telemetry_window)
+        else:
+            self.recorder = None
 
     def run(self) -> SimulationResult:
         """Execute the full warm-up / sample / drain protocol."""
@@ -159,23 +168,47 @@ class Simulation:
         network.on_packet_delivered = on_delivered
         idle_streak = 0
         ejected_at_warmup = 0
+        recorder = self.recorder
+        # Wall-clock phase spans are profiled only when telemetry is on:
+        # the disabled path stays free of perf_counter calls.
+        profiling = recorder is not None
+        span_inject = span_step = span_observe = 0.0
+        if profiling:
+            from time import perf_counter
         while True:
             cycle = network.cycle
             if cycle == self.warmup_cycles:
                 ejected_at_warmup = network.flits_ejected
                 if self.accountant is not None:
                     self.binding.reset()
+                if self.monitor is not None:
+                    self.monitor.begin()
+                if recorder is not None:
+                    recorder.begin(cycle)
+            if profiling:
+                t0 = perf_counter()
             for src, dst in self.traffic.packets_at(cycle):
                 in_sample = (cycle >= self.warmup_cycles
                              and sample_tagged < self.sample_packets)
                 if in_sample:
                     sample_tagged += 1
                 network.create_packet(src, dst, cycle, in_sample)
+            if profiling:
+                t1 = perf_counter()
+                span_inject += t1 - t0
             moved = network.step()
+            if profiling:
+                t2 = perf_counter()
+                span_step += t2 - t1
             if self.audit_every and network.cycle % self.audit_every == 0:
                 network.audit()
-            if self.monitor is not None and cycle >= self.warmup_cycles:
-                self.monitor.sample()
+            if cycle >= self.warmup_cycles:
+                if self.monitor is not None:
+                    self.monitor.sample()
+                if recorder is not None:
+                    recorder.on_cycle(network.cycle)
+            if profiling:
+                span_observe += perf_counter() - t2
             if sample_tagged >= self.sample_packets and \
                     sample_done >= self.sample_packets:
                 break
@@ -201,8 +234,16 @@ class Simulation:
         network.on_packet_delivered = None
         total_cycles = network.cycle
         measured = total_cycles - self.warmup_cycles
+        if profiling:
+            t0 = perf_counter()
         if self.accountant is not None:
             self.binding.finalize(measured, network.links_per_node())
+        if recorder is not None:
+            recorder.finalize(total_cycles)
+            recorder.add_span("inject", span_inject)
+            recorder.add_span("router_step", span_step)
+            recorder.add_span("observe", span_observe)
+            recorder.add_span("finalize", perf_counter() - t0)
         return SimulationResult(
             config=self.config,
             avg_latency=stats.average,
@@ -217,4 +258,5 @@ class Simulation:
             packets_delivered=network.packets_delivered,
             accountant=self.accountant,
             monitor=self.monitor,
+            telemetry=recorder.record if recorder is not None else None,
         )

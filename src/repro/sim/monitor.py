@@ -1,15 +1,26 @@
 """Network occupancy/utilization monitoring.
 
-An optional observer that samples the network once per cycle and
-accumulates:
+An optional observer that accumulates:
 
 * per-channel utilization (fraction of cycles a flit was in flight) —
   the load map behind saturation behaviour;
 * per-router buffer occupancy (average and peak flits buffered);
 * per-node ejection counts (accepted traffic distribution).
 
-Monitoring is opt-in (``Simulation(..., monitor=True)``) since sampling
-touches every channel every cycle.
+Utilization and ejection ride the network's maintained counters (each
+channel counts its sends, the network counts per-node ejections), so
+:meth:`NetworkMonitor.sample` never scans the channel list: a flit sent
+during cycle *t* is exactly the flit a post-step busy scan would
+observe after cycle *t* (single-cycle channels drain unconditionally at
+*t*+1), so send-count deltas reproduce the per-cycle scan bit for bit.
+Occupancy sampling reads the routers' O(1) maintained ``_buffered``
+counters; under the sparse kernel only the active set is visited —
+retired routers hold zero flits (an audited invariant).
+
+Monitoring is opt-in (``Simulation(..., monitor=True)``).  The engine
+calls :meth:`NetworkMonitor.begin` at the end of warm-up to baseline
+the counters, then :meth:`NetworkMonitor.sample` once per measured
+cycle.
 """
 
 from __future__ import annotations
@@ -21,7 +32,7 @@ from repro.sim.topology import PORT_NAMES
 
 
 class NetworkMonitor:
-    """Accumulates per-cycle occupancy statistics for one network."""
+    """Accumulates occupancy/utilization statistics for one network."""
 
     def __init__(self, network: Network) -> None:
         self.network = network
@@ -31,23 +42,39 @@ class NetworkMonitor:
                 if channel is not None:
                     self._channels.append(channel)
         self.cycles = 0
-        self._channel_busy = [0] * len(self._channels)
         n = len(network.routers)
         self._occupancy_sum = [0] * n
         self._occupancy_peak = [0] * n
-        self._ejected_before = [0] * n
+        self._sparse = network.kernel == "sparse"
+        self.begin()
+
+    def begin(self) -> None:
+        """Baseline the maintained counters (the engine calls this at
+        the end of warm-up, so deltas cover measured cycles only)."""
+        self._sent_baseline = [ch.flits_sent for ch in self._channels]
+        self._ejected_baseline = list(self.network.node_flits_ejected)
 
     def sample(self) -> None:
-        """Record one cycle's state (call once per simulated cycle)."""
+        """Record one cycle's occupancy (call once per measured cycle).
+
+        Channel utilization and ejections need no per-cycle work — the
+        network maintains those counters as the events happen."""
         self.cycles += 1
-        for i, channel in enumerate(self._channels):
-            if channel.busy:
-                self._channel_busy[i] += 1
+        occupancy_sum = self._occupancy_sum
+        occupancy_peak = self._occupancy_peak
+        if self._sparse:
+            routers = self.network.routers
+            for node in self.network._active:
+                buffered = routers[node]._buffered
+                occupancy_sum[node] += buffered
+                if buffered > occupancy_peak[node]:
+                    occupancy_peak[node] = buffered
+            return
         for node, router in enumerate(self.network.routers):
-            buffered = router.buffered_flits()
-            self._occupancy_sum[node] += buffered
-            if buffered > self._occupancy_peak[node]:
-                self._occupancy_peak[node] = buffered
+            buffered = router._buffered
+            occupancy_sum[node] += buffered
+            if buffered > occupancy_peak[node]:
+                occupancy_peak[node] = buffered
 
     # --- queries ---------------------------------------------------------------
 
@@ -56,8 +83,9 @@ class NetworkMonitor:
         if self.cycles == 0:
             raise ValueError("no cycles sampled yet")
         return {
-            (ch.src_node, ch.src_port): busy / self.cycles
-            for ch, busy in zip(self._channels, self._channel_busy)
+            (ch.src_node, ch.src_port):
+                (ch.flits_sent - base) / self.cycles
+            for ch, base in zip(self._channels, self._sent_baseline)
         }
 
     def max_channel_utilization(self) -> float:
@@ -78,6 +106,13 @@ class NetworkMonitor:
     def peak_occupancy(self, node: int) -> int:
         """Most flits ever buffered at one router."""
         return self._occupancy_peak[node]
+
+    def ejection_counts(self) -> List[int]:
+        """Flits ejected per node since :meth:`begin` — the accepted
+        traffic distribution."""
+        return [count - base for count, base
+                in zip(self.network.node_flits_ejected,
+                       self._ejected_baseline)]
 
     def hottest_channels(self, count: int = 5) -> List[Tuple[str, float]]:
         """The ``count`` most utilized channels, labelled for humans."""
@@ -106,8 +141,11 @@ class NetworkMonitor:
                        for n in range(len(self.network.routers))]
         peaks = [self.peak_occupancy(n)
                  for n in range(len(self.network.routers))]
+        ejected = self.ejection_counts()
         lines.append(
             f"buffer occupancy: avg {sum(occupancies) / len(occupancies):.2f} "
             f"flits/router, peak {max(peaks)} flits"
         )
+        lines.append(f"flits ejected: {sum(ejected)} "
+                     f"(max {max(ejected)} at one node)")
         return "\n".join(lines)

@@ -36,6 +36,7 @@ class _Ejector:
     def __call__(self, flit: Flit) -> None:
         network = self.network
         network.flits_ejected += 1
+        network.node_flits_ejected[self.node] += 1
         if flit.packet.dst != self.node:
             raise RuntimeError(
                 f"flit of packet {flit.packet.packet_id} ejected at "
@@ -87,6 +88,10 @@ class Network:
         self._packet_counter = 0
         self.flits_injected = 0
         self.flits_ejected = 0
+        #: Per-node injection/ejection counters (telemetry and monitor
+        #: read these; sums shadow the scalars above — see audit()).
+        self.node_flits_injected: List[int] = [0] * self.topo.num_nodes
+        self.node_flits_ejected: List[int] = [0] * self.topo.num_nodes
         self.packets_created = 0
         self.packets_delivered = 0
         #: Installed by the engine: called with each completed packet.
@@ -224,6 +229,7 @@ class Network:
                 if router.inject_flit(queue[0]):
                     queue.popleft()
                     self.flits_injected += 1
+                    self.node_flits_injected[node] += 1
                     self._awaiting -= 1
                     injected += 1
                     self._active.add(node)
@@ -236,6 +242,7 @@ class Network:
             if self.routers[node].inject_flit(queue[0]):
                 queue.popleft()
                 self.flits_injected += 1
+                self.node_flits_injected[node] += 1
                 self._awaiting -= 1
                 injected += 1
         return injected
@@ -275,6 +282,18 @@ class Network:
                 f"injected but {accounted} accounted for "
                 f"({buffered} buffered, {on_wire} on wire, "
                 f"{self.flits_ejected} ejected)"
+            )
+        if sum(self.node_flits_injected) != self.flits_injected:
+            raise RuntimeError(
+                f"flit conservation violated: per-node injection counters "
+                f"sum to {sum(self.node_flits_injected)} but "
+                f"{self.flits_injected} flits were injected"
+            )
+        if sum(self.node_flits_ejected) != self.flits_ejected:
+            raise RuntimeError(
+                f"flit conservation violated: per-node ejection counters "
+                f"sum to {sum(self.node_flits_ejected)} but "
+                f"{self.flits_ejected} flits were ejected"
             )
         queued = sum(len(q) for q in self.source_queues)
         if queued != self._awaiting:

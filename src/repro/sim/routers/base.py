@@ -37,6 +37,11 @@ class Channel:
         self.dst_port = dst_port
         self._flit: Optional[Flit] = None
         self._credits: List[int] = []
+        #: Lifetime flits placed on this wire.  A flit sent during cycle
+        #: t is exactly the flit a post-step ``busy`` scan observes after
+        #: cycle t (drained at t+1), so send counts reproduce per-cycle
+        #: utilization scans without scanning (see NetworkMonitor).
+        self.flits_sent = 0
         #: Sparse-kernel wiring (installed by the network): placing a
         #: flit / credit on the wire marks the endpoint router's pending
         #: bitmask and enrols it in the network's active set for the next
@@ -57,6 +62,7 @@ class Channel:
                 f"{self.dst_node}:{self.dst_port} already carries a flit"
             )
         self._flit = flit
+        self.flits_sent += 1
         router = self.flit_router
         if router is not None:
             router._pending_in |= self.flit_bit

@@ -393,6 +393,7 @@ class VCRouter(BaseRouter):
                             f"already carries a flit"
                         )
                     channel._flit = flit
+                    channel.flits_sent += 1
                     downstream = channel.flit_router
                     downstream._pending_in |= channel.flit_bit
                     channel.active_set.add(downstream.node)

@@ -61,11 +61,17 @@ class LatencyStats:
         return min(self.latencies)
 
     def percentile(self, q: float) -> float:
-        """Latency percentile ``q`` in [0, 100] (nearest-rank)."""
-        if not self.latencies:
-            raise ValueError("no packets recorded")
+        """Latency percentile ``q`` in [0, 100] (nearest-rank).
+
+        Like the other summary statistics, an empty sample degrades to
+        NaN with a warning rather than raising — so a saturated sweep
+        point records a hole instead of killing the sweep's export.
+        """
         if not 0.0 <= q <= 100.0:
             raise ValueError(f"percentile must be in [0, 100], got {q}")
+        if not self.latencies:
+            _warn_empty(f"percentile({q:g})")
+            return math.nan
         ordered = sorted(self.latencies)
         rank = max(1, math.ceil(q / 100.0 * len(ordered)))
         return float(ordered[rank - 1])

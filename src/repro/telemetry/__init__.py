@@ -1,0 +1,58 @@
+"""Windowed telemetry: low-overhead energy/event time series.
+
+The paper's headline artifacts — the per-component power breakdown
+(Figure 5c) and the spatial energy map (Figure 6) — are observability
+products: they need per-router, per-component event and energy
+accounting over *time*, not just end-of-run totals.  This package adds
+that layer without reintroducing the dense per-cycle scans the sparse
+kernel was built to avoid:
+
+* :class:`TelemetryRecorder` rides the existing counter-based
+  accounting — every ``window`` cycles it snapshots the power binding's
+  cumulative per-node energy/event view (integer counter reads for the
+  sparse kernel's :class:`~repro.core.power_binding.CounterBinding`,
+  accountant reads otherwise), per-router injection/ejection counts and
+  buffer occupancy, and stores the per-window *deltas*;
+* :class:`TelemetryRecord` is the picklable result: per-router ×
+  per-component energy/event time series plus wall-clock profiling
+  spans for the engine's phases.  Summed windows telescope back to the
+  run-end totals exactly (up to float re-summation);
+* :mod:`repro.telemetry.io` round-trips records through JSONL (one
+  window per line) and flat CSV;
+* :mod:`repro.telemetry.report` renders the Figure 5c-style component
+  breakdown and Figure 6-style spatial map from a record — the
+  ``repro report`` CLI command's engine.
+
+Enable with ``RunProtocol(telemetry_window=N)`` (off by default)::
+
+    from repro import Orion, RunProtocol, preset
+
+    result = Orion(preset("VC16")).run_uniform(
+        0.05, RunProtocol(telemetry_window=100))
+    record = result.telemetry
+    print(record.num_windows, record.total_energy_j())
+"""
+
+from repro.telemetry.recorder import (
+    DEFAULT_WINDOW,
+    TelemetryRecord,
+    TelemetryRecorder,
+    TelemetryWindow,
+)
+from repro.telemetry.io import (
+    telemetry_from_jsonl,
+    telemetry_to_csv,
+    telemetry_to_jsonl,
+)
+from repro.telemetry.report import telemetry_report
+
+__all__ = [
+    "DEFAULT_WINDOW",
+    "TelemetryRecord",
+    "TelemetryRecorder",
+    "TelemetryWindow",
+    "telemetry_from_jsonl",
+    "telemetry_report",
+    "telemetry_to_csv",
+    "telemetry_to_jsonl",
+]

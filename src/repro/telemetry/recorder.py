@@ -1,0 +1,324 @@
+"""The windowed telemetry recorder and its data model.
+
+:class:`TelemetryRecorder` is driven by the simulation engine: once at
+the end of warm-up (:meth:`~TelemetryRecorder.begin`), once per
+measured cycle (:meth:`~TelemetryRecorder.on_cycle` — a single integer
+comparison until a window boundary is crossed), and once at run end
+(:meth:`~TelemetryRecorder.finalize`, after the power binding deposits
+its traffic-insensitive energy).  At each window boundary it reads the
+binding's cumulative per-node energy/event view and the network's
+per-node injection/ejection counters, and stores the deltas since the
+previous boundary — so the cost is O(nodes) *per window*, not per
+cycle, and summed windows telescope back to the run-end accountant
+totals exactly (up to float re-summation).
+
+Buffer occupancy is sampled at window boundaries (the routers' O(1)
+maintained counters), so the per-router watermark is a boundary-sampled
+peak, not a per-cycle one — per-cycle peaks are the
+:class:`repro.sim.monitor.NetworkMonitor`'s job.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core import events as ev
+
+#: Window size the CLI uses when telemetry output is requested without
+#: an explicit ``--telemetry-window``.
+DEFAULT_WINDOW = 100
+
+#: Engine phases profiled into :attr:`TelemetryRecord.spans_s`.  The
+#: router-step span covers the whole network step (arrival/channel
+#: drain, traversal, allocation and injection are fused per cycle).
+SPAN_NAMES = ("inject", "router_step", "observe", "finalize")
+
+
+@dataclass
+class TelemetryWindow:
+    """One window's deltas: per-router × per-component/per-event.
+
+    ``energy_j`` and ``events`` are column-major — component (or event
+    kind) to a per-node list — and carry only columns with at least one
+    non-zero entry.  ``occupancy`` is the flits buffered per router at
+    the instant the window closed.
+    """
+
+    index: int
+    #: Absolute simulation cycles spanned: [cycle_start, cycle_end).
+    cycle_start: int
+    cycle_end: int
+    energy_j: Dict[str, List[float]] = field(default_factory=dict)
+    events: Dict[str, List[int]] = field(default_factory=dict)
+    injected: List[int] = field(default_factory=list)
+    ejected: List[int] = field(default_factory=list)
+    occupancy: List[int] = field(default_factory=list)
+
+    @property
+    def cycles(self) -> int:
+        return self.cycle_end - self.cycle_start
+
+    def total_energy_j(self) -> float:
+        return sum(sum(col) for col in self.energy_j.values())
+
+    def node_energy_j(self) -> List[float]:
+        """Per-node energy (J) in this window."""
+        n = len(self.occupancy)
+        out = [0.0] * n
+        for col in self.energy_j.values():
+            for node, energy in enumerate(col):
+                out[node] += energy
+        return out
+
+
+@dataclass
+class TelemetryRecord:
+    """A recorded run: window series plus metadata and phase spans."""
+
+    window: int
+    num_nodes: int
+    width: int
+    height: int
+    frequency_hz: float
+    warmup_cycles: int
+    kernel: str = "sparse"
+    router_kind: str = ""
+    activity_mode: str = "average"
+    windows: List[TelemetryWindow] = field(default_factory=list)
+    #: Wall-clock seconds per engine phase (see ``SPAN_NAMES``).
+    spans_s: Dict[str, float] = field(default_factory=dict)
+
+    # --- aggregate queries (must reproduce the run-end accounting) ----------
+
+    @property
+    def num_windows(self) -> int:
+        return len(self.windows)
+
+    @property
+    def measured_cycles(self) -> int:
+        """Cycles covered by the recorded windows."""
+        if not self.windows:
+            return 0
+        return self.windows[-1].cycle_end - self.windows[0].cycle_start
+
+    def component_energy_totals(self) -> Dict[str, float]:
+        """Network-wide energy (J) per component, summed over windows —
+        the Figure 5c data, reproducing the accountant's breakdown."""
+        totals = dict.fromkeys(ev.COMPONENTS, 0.0)
+        for window in self.windows:
+            for component, col in window.energy_j.items():
+                totals[component] += sum(col)
+        return totals
+
+    def node_energy_totals(self) -> List[float]:
+        """Per-node energy (J) summed over windows — the Figure 6 data,
+        reproducing the accountant's spatial map."""
+        totals = [0.0] * self.num_nodes
+        for window in self.windows:
+            for col in window.energy_j.values():
+                for node, energy in enumerate(col):
+                    totals[node] += energy
+        return totals
+
+    def event_totals(self) -> Dict[str, int]:
+        """Network-wide event counts summed over windows."""
+        totals = dict.fromkeys(ev.EVENT_TYPES, 0)
+        for window in self.windows:
+            for event, col in window.events.items():
+                totals[event] += sum(col)
+        return totals
+
+    def total_energy_j(self) -> float:
+        return sum(self.component_energy_totals().values())
+
+    def power_breakdown_w(self) -> Dict[str, float]:
+        """Average power per component (W) over the measured window."""
+        cycles = self.measured_cycles
+        if cycles == 0:
+            return dict.fromkeys(ev.COMPONENTS, 0.0)
+        scale = self.frequency_hz / cycles
+        return {component: energy * scale for component, energy
+                in self.component_energy_totals().items()}
+
+    def total_power_w(self) -> float:
+        return sum(self.power_breakdown_w().values())
+
+    def node_power_w(self) -> List[float]:
+        """Average power per node (W) over the measured window."""
+        cycles = self.measured_cycles
+        if cycles == 0:
+            return [0.0] * self.num_nodes
+        scale = self.frequency_hz / cycles
+        return [energy * scale for energy in self.node_energy_totals()]
+
+    # --- time series ---------------------------------------------------------
+
+    def window_power_w(self) -> List[float]:
+        """Total network power (W) per window — the time series."""
+        out = []
+        for window in self.windows:
+            cycles = window.cycles
+            out.append(window.total_energy_j() * self.frequency_hz / cycles
+                       if cycles else 0.0)
+        return out
+
+    def occupancy_peaks(self) -> List[int]:
+        """Per-router peak buffered flits across window-boundary
+        samples (a boundary watermark, not a per-cycle peak)."""
+        peaks = [0] * self.num_nodes
+        for window in self.windows:
+            for node, buffered in enumerate(window.occupancy):
+                if buffered > peaks[node]:
+                    peaks[node] = buffered
+        return peaks
+
+    def injected_totals(self) -> List[int]:
+        """Per-node flits injected over the measured window."""
+        totals = [0] * self.num_nodes
+        for window in self.windows:
+            for node, count in enumerate(window.injected):
+                totals[node] += count
+        return totals
+
+    def ejected_totals(self) -> List[int]:
+        """Per-node flits ejected over the measured window."""
+        totals = [0] * self.num_nodes
+        for window in self.windows:
+            for node, count in enumerate(window.ejected):
+                totals[node] += count
+        return totals
+
+
+class TelemetryRecorder:
+    """Accumulates a :class:`TelemetryRecord` for one simulation run."""
+
+    def __init__(self, network, binding, window: int) -> None:
+        if window < 1:
+            raise ValueError(f"telemetry window must be >= 1, got {window}")
+        self.network = network
+        self.binding = binding
+        self.window = window
+        config = network.config
+        self.record = TelemetryRecord(
+            window=window,
+            num_nodes=config.num_nodes,
+            width=config.width,
+            height=config.height,
+            frequency_hz=config.tech.frequency_hz,
+            warmup_cycles=0,
+            kernel=network.kernel,
+            router_kind=config.router.kind,
+            activity_mode=config.activity_mode,
+        )
+        self.spans = dict.fromkeys(SPAN_NAMES, 0.0)
+        self._started = False
+        self._window_start = 0
+        self._prev_energy: Optional[List[Dict[str, float]]] = None
+        self._prev_counts: Optional[List[Dict[str, int]]] = None
+        self._prev_injected: List[int] = []
+        self._prev_ejected: List[int] = []
+
+    # --- engine hooks --------------------------------------------------------
+
+    def begin(self, cycle: int) -> None:
+        """Start recording at the end of warm-up (after the binding
+        reset, so the first window's deltas exclude warm-up energy)."""
+        self._started = True
+        self._window_start = cycle
+        self.record.warmup_cycles = cycle
+        self._prev_energy, self._prev_counts = \
+            self.binding.telemetry_view()
+        self._prev_injected = list(self.network.node_flits_injected)
+        self._prev_ejected = list(self.network.node_flits_ejected)
+
+    def on_cycle(self, now: int) -> None:
+        """Called once per measured cycle, after the network stepped;
+        ``now`` is the count of completed cycles."""
+        if now - self._window_start >= self.window:
+            self._close(now)
+
+    def finalize(self, total_cycles: int) -> None:
+        """Close the residual window after the binding's finalization
+        deposits, so constant energy (idle links, leakage, clock) lands
+        in the series and summed windows equal the run totals."""
+        if not self._started:
+            raise RuntimeError("telemetry recorder never started "
+                               "(begin() was not called)")
+        if total_cycles > self._window_start or not self.record.windows:
+            self._close(total_cycles)
+            return
+        # The last window closed exactly at run end: fold the
+        # finalization deposits into it rather than emitting a
+        # zero-cycle window.
+        window = self.record.windows[-1]
+        delta = self._delta(total_cycles, total_cycles)
+        for component, col in delta.energy_j.items():
+            have = window.energy_j.get(component)
+            if have is None:
+                window.energy_j[component] = col
+            else:
+                for node, energy in enumerate(col):
+                    have[node] += energy
+        for event, col in delta.events.items():
+            have = window.events.get(event)
+            if have is None:
+                window.events[event] = col
+            else:
+                for node, count in enumerate(col):
+                    have[node] += count
+        self.record.spans_s = dict(self.spans)
+
+    def add_span(self, name: str, seconds: float) -> None:
+        """Accumulate wall-clock time into one engine phase span and
+        publish the spans onto the record."""
+        self.spans[name] = self.spans.get(name, 0.0) + seconds
+        self.record.spans_s = dict(self.spans)
+
+    # --- window assembly -----------------------------------------------------
+
+    def _delta(self, start: int, end: int) -> TelemetryWindow:
+        """Snapshot the cumulative views and diff against the previous
+        boundary; advances the previous-snapshot state."""
+        network = self.network
+        n = self.record.num_nodes
+        window = TelemetryWindow(
+            index=len(self.record.windows),
+            cycle_start=start,
+            cycle_end=end,
+        )
+        energy, counts = self.binding.telemetry_view()
+        if energy is not None:
+            prev = self._prev_energy
+            for component in ev.COMPONENTS:
+                col = [energy[node].get(component, 0.0)
+                       - prev[node].get(component, 0.0)
+                       for node in range(n)]
+                if any(col):
+                    window.energy_j[component] = col
+            self._prev_energy = energy
+        if counts is not None:
+            prev = self._prev_counts
+            for event in ev.EVENT_TYPES:
+                col = [counts[node].get(event, 0)
+                       - prev[node].get(event, 0)
+                       for node in range(n)]
+                if any(col):
+                    window.events[event] = col
+            self._prev_counts = counts
+        injected = network.node_flits_injected
+        ejected = network.node_flits_ejected
+        window.injected = [injected[node] - self._prev_injected[node]
+                           for node in range(n)]
+        window.ejected = [ejected[node] - self._prev_ejected[node]
+                          for node in range(n)]
+        self._prev_injected = list(injected)
+        self._prev_ejected = list(ejected)
+        window.occupancy = [router._buffered
+                            for router in network.routers]
+        return window
+
+    def _close(self, now: int) -> None:
+        self.record.windows.append(self._delta(self._window_start, now))
+        self._window_start = now
+        self.record.spans_s = dict(self.spans)

@@ -203,6 +203,77 @@ class TestCaching:
         assert cache.clear() == 2
         assert len(cache) == 0
 
+    def test_concurrent_writers_same_key(self, tmp_path):
+        """Many writers racing on one key must not collide on tmp names
+        or leave orphan tmp files — each write stays atomic."""
+        import threading
+
+        cache = ResultCache(tmp_path / "cache")
+        outcome = run_points([point()], cache=None)[0]
+        key = point().cache_key()
+        errors = []
+
+        def write():
+            try:
+                for _ in range(20):
+                    cache.store(key, outcome)
+            except BaseException as exc:  # pragma: no cover
+                errors.append(exc)
+
+        threads = [threading.Thread(target=write) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        assert not list((tmp_path / "cache").glob("*/*.tmp*"))
+        hit = cache.load(key)
+        assert hit is not None and hit.ok
+
+    def test_stale_tmp_files_swept_on_construction(self, tmp_path):
+        import os
+        import time
+
+        root = tmp_path / "cache"
+        cache = ResultCache(root)
+        outcome = run_points([point()], cache=None)[0]
+        cache.store(point().cache_key(), outcome)
+        subdir = next(root.glob("*/"))
+        old = subdir / "dead.pkl.tmpabc123"
+        old.write_bytes(b"partial write from a crashed run")
+        stale = time.time() - 7200
+        os.utime(old, (stale, stale))
+        young = subdir / "live.pkl.tmpdef456"
+        young.write_bytes(b"a concurrent writer still owns this")
+
+        ResultCache(root)  # construction sweeps
+        assert not old.exists()
+        assert young.exists()  # too young to be an orphan
+        assert len(cache) == 1  # real entries untouched
+
+    def test_interrupted_store_leaves_no_tmp(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+
+        class Unpicklable:
+            def __reduce__(self):
+                raise RuntimeError("boom mid-write")
+
+        with pytest.raises(RuntimeError, match="boom"):
+            cache.store(point().cache_key(), Unpicklable())
+        assert not list((tmp_path / "cache").glob("*/*.tmp*"))
+
+    def test_telemetry_carried_and_cached(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        proto = FAST.with_(telemetry_window=25)
+        fresh = run_points([point(protocol=proto)], cache=cache)[0]
+        assert fresh.telemetry is not None
+        assert fresh.telemetry.num_windows > 0
+        cached = run_points([point(protocol=proto)], cache=cache)[0]
+        assert cached.from_cache
+        assert cached.telemetry is not None
+        assert cached.telemetry.event_totals() == \
+            fresh.telemetry.event_totals()
+
 
 class TestFailureIsolation:
     def test_timeout_recorded_without_killing_sweep(self):

@@ -30,7 +30,8 @@ from tests.conftest import small_config
 REL_TOL = 1e-12
 
 
-def _run(config, kernel, traffic_cls, rate, seed, warmup, sample):
+def _run(config, kernel, traffic_cls, rate, seed, warmup, sample,
+         monitor=False, telemetry_window=0):
     topo = topology_for(config)
     traffic = traffic_cls(topo, rate, seed=seed)
     protocol = RunProtocol(
@@ -41,6 +42,8 @@ def _run(config, kernel, traffic_cls, rate, seed, warmup, sample):
         # Audit the sparse kernel's maintained state as it runs; the
         # dense kernel is audited too, pinning the shared invariants.
         audit_every=40,
+        monitor=monitor,
+        telemetry_window=telemetry_window,
     )
     return Simulation(config, traffic, protocol).run()
 
@@ -107,6 +110,74 @@ def test_router_kinds_data_mode(kind):
     # forfeits the counter fast path but keeps active-router scheduling,
     # and the per-event Hamming deposits must match exactly.
     _pair(small_config(kind).with_(activity_mode="data"))
+
+
+# --- monitor observability under both kernels --------------------------------
+
+def assert_monitor_equivalent(dense, sparse):
+    """The monitor's counters are maintained data, not per-cycle scans —
+    they must still be bit-identical between kernels."""
+    dm, sm = dense.monitor, sparse.monitor
+    assert dm.cycles == sm.cycles
+    assert dm.channel_utilization() == sm.channel_utilization()
+    assert dm.ejection_counts() == sm.ejection_counts()
+    n = len(dm.network.routers)
+    for node in range(n):
+        assert dm.average_occupancy(node) == sm.average_occupancy(node), (
+            f"node {node} occupancy sum diverged"
+        )
+        assert dm.peak_occupancy(node) == sm.peak_occupancy(node), (
+            f"node {node} occupancy peak diverged"
+        )
+
+
+@pytest.mark.parametrize("kind", ["wormhole", "vc", "speculative_vc",
+                                  "central"])
+def test_monitor_equivalence(kind):
+    config = small_config(kind)
+    dense = _run(config, "dense", UniformRandomTraffic, 0.06, 1, 60, 40,
+                 monitor=True)
+    sparse = _run(config, "sparse", UniformRandomTraffic, 0.06, 1, 60, 40,
+                  monitor=True)
+    assert_equivalent(dense, sparse)
+    assert_monitor_equivalent(dense, sparse)
+    assert dense.monitor.max_channel_utilization() > 0
+
+
+def test_monitor_equivalence_under_load():
+    config = PRESETS["VC16"]()
+    dense = _run(config, "dense", TransposeTraffic, 0.12, 2, 80, 60,
+                 monitor=True)
+    sparse = _run(config, "sparse", TransposeTraffic, 0.12, 2, 80, 60,
+                  monitor=True)
+    assert_equivalent(dense, sparse)
+    assert_monitor_equivalent(dense, sparse)
+    assert max(sparse.monitor.ejection_counts()) > 0
+
+
+# --- telemetry observability under both kernels -------------------------------
+
+def test_telemetry_equivalence():
+    config = PRESETS["VC16"]()
+    dense = _run(config, "dense", UniformRandomTraffic, 0.06, 1, 60, 40,
+                 telemetry_window=16)
+    sparse = _run(config, "sparse", UniformRandomTraffic, 0.06, 1, 60, 40,
+                  telemetry_window=16)
+    assert_equivalent(dense, sparse)
+    dt, st = dense.telemetry, sparse.telemetry
+    assert dt.num_windows == st.num_windows
+    assert dt.event_totals() == st.event_totals()
+    for dw, sw in zip(dt.windows, st.windows):
+        assert (dw.cycle_start, dw.cycle_end) == (sw.cycle_start,
+                                                  sw.cycle_end)
+        assert dw.events == sw.events
+        assert dw.injected == sw.injected
+        assert dw.ejected == sw.ejected
+        assert dw.occupancy == sw.occupancy
+        for component, col in dw.energy_j.items():
+            s_col = sw.energy_j[component]
+            for d, s in zip(col, s_col):
+                assert abs(d - s) <= REL_TOL * max(abs(d), 1e-30)
 
 
 # --- arbiter equivalence (pins the FastMatrixArbiter docstring claim) --------

@@ -51,9 +51,13 @@ class TestLatencyStats:
             with pytest.warns(RuntimeWarning, match="no sample packets"):
                 assert math.isnan(getattr(stats, metric))
 
-    def test_empty_percentile_still_raises(self):
+    def test_empty_percentile_degrades_to_nan(self):
+        with pytest.warns(RuntimeWarning, match="no sample packets"):
+            assert math.isnan(LatencyStats().percentile(50))
+
+    def test_empty_percentile_still_validates_range(self):
         with pytest.raises(ValueError):
-            LatencyStats().percentile(50)
+            LatencyStats().percentile(150)
 
     def test_percentile_range_checked(self):
         stats = LatencyStats()
