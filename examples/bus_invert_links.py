@@ -12,7 +12,7 @@ simulation.
 Run:  python examples/bus_invert_links.py
 """
 
-from repro import Orion, preset
+from repro import Orion, RunProtocol, preset
 from repro.core import events as ev
 from repro.core.config import LinkConfig
 from repro.power import BusInvertLinkPower, OnChipLinkPower
@@ -20,6 +20,7 @@ from repro.tech import Technology
 
 SAMPLE = 800
 RATE = 0.08
+PROTOCOL = RunProtocol(warmup_cycles=800, sample_packets=SAMPLE)
 
 
 def model_level_comparison() -> None:
@@ -46,8 +47,7 @@ def network_level_comparison() -> None:
                                        encoding="bus_invert"))
     results = {}
     for label, cfg in (("uncoded", base), ("bus-invert", coded)):
-        results[label] = Orion(cfg).run_uniform(
-            RATE, warmup_cycles=800, sample_packets=SAMPLE)
+        results[label] = Orion(cfg).run_uniform(RATE, PROTOCOL)
     print(f"{'':<12} {'link power':>12} {'total power':>12} "
           f"{'latency':>9}")
     for label, result in results.items():

@@ -9,7 +9,7 @@ plus both routers' power breakdowns and the area-parity check.
 Run:  python examples/central_buffer_study.py
 """
 
-from repro import Orion, PowerBinding, preset
+from repro import Orion, PowerBinding, RunProtocol, preset
 from repro.core.events import EnergyAccountant
 from repro.core.report import breakdown_table, comparison_table
 from repro.power import FIFOBufferPower, area
@@ -17,6 +17,7 @@ from repro.power import FIFOBufferPower, area
 UNIFORM_RATES = (0.02, 0.05, 0.08, 0.11)
 BROADCAST_RATES = (0.05, 0.10, 0.15, 0.19)
 SAMPLE = 600
+PROTOCOL = RunProtocol(warmup_cycles=800, sample_packets=SAMPLE)
 
 
 def area_check() -> None:
@@ -46,12 +47,10 @@ def main() -> None:
             print(f"\nsweeping {name} under {workload} ...")
             if workload == "uniform random":
                 sweeps.append(orion.sweep_uniform(
-                    rates, label=name, warmup_cycles=800,
-                    sample_packets=SAMPLE))
+                    rates, PROTOCOL, label=name))
             else:
                 sweeps.append(orion.sweep_broadcast(
-                    source, rates, label=name, warmup_cycles=800,
-                    sample_packets=SAMPLE))
+                    source, rates, PROTOCOL, label=name))
         panel = "7(a)" if workload == "uniform random" else "7(d)"
         print(f"\n== Figure {panel}: latency under {workload} (cycles) ==")
         print(comparison_table(sweeps))
@@ -65,13 +64,11 @@ def main() -> None:
                 f"{s.points[i].total_power_w:>10.1f}" for s in sweeps))
 
     print("\n== Figure 7(c): XB power breakdown (uniform, rate 0.08) ==")
-    xb = Orion(preset("XB")).run_uniform(0.08, warmup_cycles=800,
-                                         sample_packets=SAMPLE)
+    xb = Orion(preset("XB")).run_uniform(0.08, PROTOCOL)
     print(breakdown_table(xb))
 
     print("\n== Figure 7(f): CB power breakdown (uniform, rate 0.08) ==")
-    cb = Orion(preset("CB")).run_uniform(0.08, warmup_cycles=800,
-                                         sample_packets=SAMPLE)
+    cb = Orion(preset("CB")).run_uniform(0.08, PROTOCOL)
     print(breakdown_table(cb))
 
 

@@ -9,7 +9,7 @@ per-component breakdown and the section 3.3 per-flit energy walkthrough.
 Run:  python examples/quickstart.py
 """
 
-from repro import Orion, preset
+from repro import Orion, RunProtocol, preset
 from repro.core.report import breakdown_table, format_power
 
 
@@ -31,8 +31,8 @@ def main() -> None:
 
     rate = 0.05
     print(f"\n== Uniform random traffic at {rate} packets/cycle/node ==")
-    result = orion.run_uniform(rate, warmup_cycles=1000,
-                               sample_packets=2000)
+    result = orion.run_uniform(rate, RunProtocol(warmup_cycles=1000,
+                                                 sample_packets=2000))
     print(f"sample packets:   {result.sample_packets}")
     print(f"average latency:  {result.avg_latency:.2f} cycles")
     print(f"99th percentile:  {result.latency.percentile(99):.0f} cycles")

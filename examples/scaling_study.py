@@ -9,13 +9,14 @@ verdict on what clock each router supports.
 Run:  python examples/scaling_study.py
 """
 
-from repro import Orion, preset
+from repro import Orion, RunProtocol, preset
 from repro.core.config import NetworkConfig, RouterConfig
 from repro.core.presets import ON_CHIP_LINK, ON_CHIP_TECH
 from repro.delay import RouterDelayModel
 
 SAMPLE = 400
 RATE = 0.03
+PROTOCOL = RunProtocol(warmup_cycles=600, sample_packets=SAMPLE)
 
 
 def config(topology: str, width: int, kind: str = "vc") -> NetworkConfig:
@@ -36,8 +37,7 @@ def main() -> None:
     print(f"{'network':<16} {'latency':>9} {'power':>9} {'W/node':>8}")
     for topology, width in (("torus", 4), ("torus", 8), ("mesh", 8)):
         cfg = config(topology, width)
-        result = Orion(cfg).run_uniform(RATE, warmup_cycles=600,
-                                        sample_packets=SAMPLE)
+        result = Orion(cfg).run_uniform(RATE, PROTOCOL)
         nodes = cfg.num_nodes
         print(f"{topology + ' ' + str(width) + 'x' + str(width):<16} "
               f"{result.avg_latency:>9.2f} {result.total_power_w:>8.2f}W "
@@ -46,8 +46,7 @@ def main() -> None:
     print("\n== Speculative router on the 8x8 torus ==")
     for kind in ("vc", "speculative_vc"):
         cfg = config("torus", 8, kind=kind)
-        result = Orion(cfg).run_uniform(RATE, warmup_cycles=600,
-                                        sample_packets=SAMPLE)
+        result = Orion(cfg).run_uniform(RATE, PROTOCOL)
         print(f"{kind:<16} latency {result.avg_latency:6.2f}  power "
               f"{result.total_power_w:6.2f} W")
 

@@ -13,13 +13,14 @@ hotspot patterns at the same total injection.
 Run:  python examples/traffic_patterns.py
 """
 
-from repro import Orion, preset
+from repro import Orion, RunProtocol, preset
 from repro.core.report import spatial_table
 from repro.sim.topology import Torus
 from repro.sim.traffic import HotspotTraffic, TransposeTraffic
 
 TOTAL_RATE = 0.2
 SAMPLE = 1_000
+PROTOCOL = RunProtocol(warmup_cycles=1000, sample_packets=SAMPLE)
 
 
 def show(title, result):
@@ -40,13 +41,10 @@ def main() -> None:
     topo = Torus(config.width, config.height)
     source = topo.node_at(1, 2)
 
-    uniform = orion.run_uniform(TOTAL_RATE / 16, warmup_cycles=1000,
-                                sample_packets=SAMPLE)
+    uniform = orion.run_uniform(TOTAL_RATE / 16, PROTOCOL)
     show("Figure 6(a): uniform random, 0.2/16 per node", uniform)
 
-    broadcast = orion.run_broadcast(source, TOTAL_RATE,
-                                    warmup_cycles=1000,
-                                    sample_packets=SAMPLE)
+    broadcast = orion.run_broadcast(source, TOTAL_RATE, PROTOCOL)
     show("Figure 6(b): broadcast from (1,2) at 0.2", broadcast)
     powers = broadcast.node_power_w()
     by_distance = {}
@@ -60,14 +58,12 @@ def main() -> None:
               f"({len(by_distance[d])} nodes)")
 
     transpose = orion.run(
-        TransposeTraffic(topo, TOTAL_RATE / 16, seed=1),
-        warmup_cycles=1000, sample_packets=SAMPLE)
+        TransposeTraffic(topo, TOTAL_RATE / 16, seed=1), PROTOCOL)
     show("Beyond the paper: transpose traffic", transpose)
 
     hotspot = orion.run(
         HotspotTraffic(topo, TOTAL_RATE / 16, hotspot=source,
-                       hot_fraction=0.5, seed=1),
-        warmup_cycles=1000, sample_packets=SAMPLE)
+                       hot_fraction=0.5, seed=1), PROTOCOL)
     show("Beyond the paper: hotspot traffic (50% to (1,2))", hotspot)
 
 

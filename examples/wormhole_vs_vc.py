@@ -14,7 +14,7 @@ Run:  python examples/wormhole_vs_vc.py [--full]
 
 import argparse
 
-from repro import Orion, preset
+from repro import Orion, RunProtocol, preset
 from repro.core.report import breakdown_table, comparison_table
 
 CONFIGS = ("WH64", "VC16", "VC64", "VC128")
@@ -27,14 +27,13 @@ def main() -> None:
                         help="paper-scale 10,000-packet samples")
     args = parser.parse_args()
     sample = 10_000 if args.full else 1_000
+    protocol = RunProtocol(warmup_cycles=1000, sample_packets=sample)
 
     sweeps = []
     for name in CONFIGS:
         orion = Orion(preset(name))
         print(f"sweeping {name} ...")
-        sweeps.append(orion.sweep_uniform(
-            RATES, label=name, warmup_cycles=1000,
-            sample_packets=sample))
+        sweeps.append(orion.sweep_uniform(RATES, protocol, label=name))
 
     print("\n== Figure 5(a): average packet latency (cycles) ==")
     print(comparison_table(sweeps))
@@ -53,8 +52,7 @@ def main() -> None:
         print(row)
 
     print("\n== Figure 5(c): VC64 average power breakdown at rate 0.10 ==")
-    vc64 = Orion(preset("VC64")).run_uniform(
-        0.10, warmup_cycles=1000, sample_packets=sample)
+    vc64 = Orion(preset("VC64")).run_uniform(0.10, protocol)
     print(breakdown_table(vc64))
 
 

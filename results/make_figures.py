@@ -17,7 +17,7 @@ import csv
 import os
 import sys
 
-from repro import Orion, preset
+from repro import Orion, RunProtocol, preset
 from repro.core.export import spatial_to_csv, sweep_to_csv
 from repro.power import area
 
@@ -39,6 +39,9 @@ def main(argv=None) -> int:
                         help="sample packets per point (paper: 10000)")
     parser.add_argument("--warmup", type=int, default=800)
     args = parser.parse_args(argv)
+    protocol = RunProtocol(warmup_cycles=args.warmup,
+                           sample_packets=args.sample)
+    protocol7 = protocol.with_(seed=7)
 
     # Walkthrough (section 3.3).
     energies = Orion(preset("WH64")).flit_energy_walkthrough()
@@ -52,19 +55,16 @@ def main(argv=None) -> int:
     # Figure 5.
     for name in ("WH64", "VC16", "VC64", "VC128"):
         sweep = Orion(preset(name)).sweep_uniform(
-            FIG5_RATES, label=name, warmup_cycles=args.warmup,
-            sample_packets=args.sample)
+            FIG5_RATES, protocol, label=name)
         sweep_to_csv(sweep, out(f"fig5_{name.lower()}.csv"))
         print(f"fig5_{name.lower()}.csv")
 
     # Figure 6.
     cfg6 = preset("VC16").with_(tie_break="even")
-    uniform = Orion(cfg6).run_uniform(0.2 / 16, warmup_cycles=args.warmup,
-                                      sample_packets=args.sample, seed=7)
+    uniform = Orion(cfg6).run_uniform(0.2 / 16, protocol7)
     spatial_to_csv(uniform, out("fig6a.csv"))
     broadcast = Orion(cfg6).run_broadcast(
-        BROADCAST_SOURCE, 0.2, warmup_cycles=args.warmup,
-        sample_packets=args.sample, seed=7)
+        BROADCAST_SOURCE, 0.2, protocol7)
     spatial_to_csv(broadcast, out("fig6b.csv"))
     print("fig6a.csv fig6b.csv")
 
@@ -72,12 +72,10 @@ def main(argv=None) -> int:
     for name in ("XB", "CB"):
         orion = Orion(preset(name))
         sweep_to_csv(orion.sweep_uniform(
-            FIG7_UNIFORM_RATES, label=name, warmup_cycles=args.warmup,
-            sample_packets=args.sample),
+            FIG7_UNIFORM_RATES, protocol, label=name),
             out(f"fig7_{name.lower()}_uniform.csv"))
         sweep_to_csv(orion.sweep_broadcast(
-            BROADCAST_SOURCE, FIG7_BROADCAST_RATES, label=name,
-            warmup_cycles=args.warmup, sample_packets=args.sample),
+            BROADCAST_SOURCE, FIG7_BROADCAST_RATES, protocol, label=name),
             out(f"fig7_{name.lower()}_broadcast.csv"))
         print(f"fig7_{name.lower()}_*.csv")
 

@@ -8,11 +8,21 @@ simulator whose microarchitectural events drive the power models.
 
 Quick start::
 
-    from repro import Orion, preset
+    from repro import Orion, RunProtocol, preset
 
     orion = Orion(preset("VC16"))
-    result = orion.run_uniform(rate=0.05, sample_packets=2000)
+    result = orion.run_uniform(0.05, RunProtocol(sample_packets=2000))
     print(result.avg_latency, result.total_power_w)
+
+Fault injection::
+
+    from repro.faults import FaultSpec
+
+    protocol = RunProtocol(sample_packets=2000,
+                           faults=FaultSpec(seed=3, link_kills=2),
+                           on_stall="finish", livelock_cycles=50_000)
+    result = orion.run_uniform(0.05, protocol)
+    print(result.status, result.packets_misrouted)
 
 See :mod:`repro.core.presets` for the paper's named configurations and
 :mod:`repro.power` for the standalone component power models.

@@ -62,8 +62,28 @@ def _protocol(args, **overrides) -> RunProtocol:
     fields = dict(warmup_cycles=args.warmup, sample_packets=args.sample,
                   seed=getattr(args, "seed", 1),
                   kernel=getattr(args, "kernel", "sparse"))
+    faults = _fault_spec(args)
+    if faults is not None:
+        fields["faults"] = faults
+        # Faulted fabrics can legitimately stall (e.g. a frozen router
+        # holding traffic); report that as a status unless overridden.
+        fields["on_stall"] = getattr(args, "on_stall", None) or "finish"
+        fields["livelock_cycles"] = 50_000
+    elif getattr(args, "on_stall", None):
+        fields["on_stall"] = args.on_stall
     fields.update(overrides)
     return RunProtocol(**fields)
+
+
+def _fault_spec(args):
+    specs = getattr(args, "faults", None)
+    if not specs:
+        return None
+    from repro.faults import parse_fault_specs
+    return parse_fault_specs(specs,
+                             seed=getattr(args, "fault_seed", 0),
+                             policy=getattr(args, "fault_policy",
+                                            "misroute"))
 
 
 def _config(args, name: Optional[str] = None):
@@ -111,6 +131,15 @@ def cmd_run(args) -> int:
     print(f"config:        {args.preset} ({cfg.router.kind})")
     print(f"traffic:       {args.traffic} at {args.rate} pkt/cycle"
           f"{'/node' if per_node else ''}")
+    if args.faults or result.status != "ok":
+        print(f"status:        {result.status}")
+    if args.faults:
+        print(f"faults:        {len(args.faults)} spec(s), "
+              f"policy={args.fault_policy}; "
+              f"{result.packets_misrouted} packets misrouted, "
+              f"{result.packets_dropped} packets "
+              f"({result.flits_dropped} flits) dropped, "
+              f"{result.sample_dropped} sample packets lost")
     print(f"sample:        {result.sample_packets} packets over "
           f"{result.measured_cycles} measured cycles")
     print(f"avg latency:   {result.avg_latency:.2f} cycles")
@@ -192,13 +221,15 @@ def cmd_experiment(args) -> int:
             body = (f"lat={outcome.avg_latency:8.2f}  "
                     f"pw={format_power(outcome.total_power_w):>10}")
         else:
-            body = f"FAILED: {outcome.error}"
+            body = f"FAILED({outcome.status}): {outcome.error}"
         print(f"[{progress.done:>{len(str(progress.total))}}/"
               f"{progress.total}] {outcome.point.describe():<40} "
               f"{body}  {status}", flush=True)
 
     result = run_experiment(spec, processes=args.processes, cache=cache,
-                            progress=None if args.quiet else show)
+                            progress=None if args.quiet else show,
+                            point_timeout=args.point_timeout,
+                            retries=args.retries)
     print()
     for sweep in result.sweeps().values():
         print(sweep.table())
@@ -366,6 +397,22 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--telemetry-csv", metavar="PATH",
                    help="write the telemetry record as long-format CSV "
                         "(implies a default window if none given)")
+    p.add_argument("--faults", action="append", metavar="SPEC",
+                   help="inject a fault (repeatable), e.g. "
+                        "'link_kill:node=5,port=east,at=1200', "
+                        "'link_flip:node=5,port=2,at=1000,for=500', "
+                        "'router_freeze:node=3,at=500,for=800', "
+                        "'vc_stuck:node=2,port=east,vc=0,at=800', or "
+                        "'random:kills=2,flips=1'")
+    p.add_argument("--fault-policy", choices=("misroute", "drop"),
+                   default="misroute",
+                   help="what traffic does at a faulted link")
+    p.add_argument("--fault-seed", type=int, default=0,
+                   help="seed for 'random:' fault placement")
+    p.add_argument("--on-stall", choices=("raise", "finish"),
+                   help="watchdog behaviour: raise (default on healthy "
+                        "runs) or finish with status='stalled' "
+                        "(default with --faults)")
     p.set_defaults(handler=cmd_run)
 
     p = sub.add_parser("sweep", help="sweep injection rates")
@@ -403,6 +450,14 @@ def build_parser() -> argparse.ArgumentParser:
                    help="warm-up cycles per point")
     p.add_argument("--processes", type=int, default=1,
                    help="worker processes")
+    p.add_argument("--point-timeout", type=float, default=None,
+                   metavar="SECONDS",
+                   help="wall-clock cap per point (runs each point in "
+                        "its own subprocess; expired points record "
+                        "status='timeout')")
+    p.add_argument("--retries", type=int, default=0,
+                   help="re-run a point whose worker crashed this many "
+                        "times before recording status='crashed'")
     p.add_argument("--cache-dir", default="results/.cache",
                    help="result cache directory")
     p.add_argument("--no-cache", action="store_true",

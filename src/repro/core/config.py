@@ -153,6 +153,20 @@ class RunProtocol:
     #: Record windowed energy/event telemetry every this many measured
     #: cycles (0 disables recording).  See :mod:`repro.telemetry`.
     telemetry_window: int = 0
+    #: Deterministic fault-injection scenario (a
+    #: :class:`repro.faults.FaultSpec`), or ``None`` for a healthy
+    #: fabric.  See :mod:`repro.faults`.
+    faults: Optional["FaultSpec"] = None  # noqa: F821 - lazy import
+    #: What a watchdog-detected stall (deadlock, livelock or max-cycles
+    #: exhaustion) does: "raise" (historical — DeadlockError /
+    #: SimulationTimeout) or "finish" (return the partial result with
+    #: :attr:`SimulationResult.status` set to "stalled"/"max_cycles").
+    on_stall: str = "raise"
+    #: Livelock watchdog: cycles without a single packet delivered or
+    #: dropped (while traffic is in flight) before the run is declared
+    #: stalled.  0 disables; the idle-cycle ``watchdog_cycles`` deadlock
+    #: detector is always on.
+    livelock_cycles: int = 0
 
     def __post_init__(self) -> None:
         if self.warmup_cycles < 0:
@@ -179,6 +193,20 @@ class RunProtocol:
         if self.telemetry_window < 0:
             raise ValueError(
                 f"telemetry_window must be >= 0, got {self.telemetry_window}"
+            )
+        if self.faults is not None:
+            from repro.faults import FaultSpec
+            if not isinstance(self.faults, FaultSpec):
+                raise ValueError(
+                    f"faults must be a FaultSpec or None, got "
+                    f"{type(self.faults).__name__}"
+                )
+        if self.on_stall not in ("raise", "finish"):
+            raise ValueError(f"unknown on_stall {self.on_stall!r}; "
+                             f"options: ('raise', 'finish')")
+        if self.livelock_cycles < 0:
+            raise ValueError(
+                f"livelock_cycles must be >= 0, got {self.livelock_cycles}"
             )
 
     def with_(self, **changes) -> "RunProtocol":

@@ -33,6 +33,11 @@ def result_to_dict(result: SimulationResult) -> Dict:
         "throughput_flits_per_cycle": result.throughput_flits_per_cycle,
         "flits_injected": result.flits_injected,
         "flits_ejected": result.flits_ejected,
+        "status": result.status,
+        "flits_dropped": result.flits_dropped,
+        "packets_dropped": result.packets_dropped,
+        "packets_misrouted": result.packets_misrouted,
+        "sample_dropped": result.sample_dropped,
     }
     if result.accountant is not None:
         out["total_power_w"] = result.total_power_w
@@ -87,7 +92,11 @@ def experiment_rows(outcomes) -> List[Dict]:
             "rate": point.rate,
             "seed": point.protocol.seed,
             "ok": outcome.ok,
+            "status": outcome.status,
             "error": outcome.error or "",
+            "flits_dropped": outcome.flits_dropped,
+            "packets_misrouted": outcome.packets_misrouted,
+            "attempts": outcome.attempts,
             "avg_latency_cycles": outcome.avg_latency,
             "total_power_w": outcome.total_power_w,
             "throughput_flits_per_cycle":

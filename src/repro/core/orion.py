@@ -11,9 +11,12 @@ categories (Figure 3):
 3. evaluate new microarchitectures — define a new ``RouterConfig`` kind
    plus power models and reuse the same driver.
 
-Per-run measurement knobs live in one :class:`RunProtocol` object; the
-per-knob keyword arguments (``warmup_cycles=...`` etc.) remain as a
-deprecated compatibility layer.  Sweeps execute through the
+Per-run measurement knobs live in one :class:`RunProtocol` object — the
+single source of truth for how a run is measured.  Every run/sweep
+method takes ``(..., protocol=None, **overrides)``: the deprecated
+per-knob keyword layer accepts any ``RunProtocol`` field by name and is
+resolved in one :func:`resolve_protocol` call site (:meth:`Orion._resolve`),
+emitting a ``DeprecationWarning``.  Sweeps execute through the
 :mod:`repro.exp` orchestrator, so any registered traffic kind can be
 swept, fanned out over ``processes`` worker processes, and optionally
 served from an on-disk result cache.
@@ -21,7 +24,8 @@ served from an on-disk result cache.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Optional, Sequence
+import dataclasses
+from typing import Callable, Dict, Optional, Sequence, Tuple
 
 from repro.core.config import NetworkConfig, RunProtocol, resolve_protocol
 from repro.core.power_binding import PowerBinding
@@ -29,6 +33,25 @@ from repro.core.events import EnergyAccountant
 from repro.core.report import SweepPoint, SweepResult
 from repro.sim.engine import Simulation, SimulationResult
 from repro.sim.traffic import TrafficPattern, make_traffic
+
+#: Names the deprecated keyword layer recognises as protocol overrides;
+#: anything else in a ``run_traffic``/``sweep_traffic`` call is a
+#: traffic parameter.
+_PROTOCOL_FIELDS = frozenset(
+    f.name for f in dataclasses.fields(RunProtocol))
+
+
+def _split_overrides(kwargs: dict) -> Tuple[dict, dict]:
+    """Partition mixed keywords into (protocol overrides, traffic
+    parameters) by RunProtocol field name."""
+    protocol_overrides = {}
+    traffic_params = {}
+    for name, value in kwargs.items():
+        if name in _PROTOCOL_FIELDS:
+            protocol_overrides[name] = value
+        else:
+            traffic_params[name] = value
+    return protocol_overrides, traffic_params
 
 
 class Orion:
@@ -40,71 +63,42 @@ class Orion:
     # --- single runs --------------------------------------------------------
 
     def run_uniform(self, rate: float,
-                    protocol: Optional[RunProtocol] = None, *,
-                    warmup_cycles: Optional[int] = None,
-                    sample_packets: Optional[int] = None,
-                    seed: Optional[int] = None,
-                    max_cycles: Optional[int] = None,
-                    collect_power: Optional[bool] = None,
-                    monitor: Optional[bool] = None) -> SimulationResult:
-        """Run uniform random traffic at ``rate`` packets/cycle/node."""
-        return self.run_traffic("uniform", rate, protocol,
-                                warmup_cycles=warmup_cycles,
-                                sample_packets=sample_packets, seed=seed,
-                                max_cycles=max_cycles,
-                                collect_power=collect_power,
-                                monitor=monitor)
+                    protocol: Optional[RunProtocol] = None,
+                    **overrides) -> SimulationResult:
+        """Run uniform random traffic at ``rate`` packets/cycle/node.
+
+        ``overrides`` accepts any :class:`RunProtocol` field as a
+        deprecated per-run keyword; new code passes one ``protocol``.
+        """
+        return self.run_traffic("uniform", rate, protocol, **overrides)
 
     def run_broadcast(self, source: int, rate: float,
-                      protocol: Optional[RunProtocol] = None, *,
-                      warmup_cycles: Optional[int] = None,
-                      sample_packets: Optional[int] = None,
-                      seed: Optional[int] = None,
-                      max_cycles: Optional[int] = None,
-                      collect_power: Optional[bool] = None,
-                      monitor: Optional[bool] = None) -> SimulationResult:
+                      protocol: Optional[RunProtocol] = None,
+                      **overrides) -> SimulationResult:
         """Run single-source broadcast traffic (section 4.3)."""
-        return self.run_traffic("broadcast", rate, protocol, source=source,
-                                warmup_cycles=warmup_cycles,
-                                sample_packets=sample_packets, seed=seed,
-                                max_cycles=max_cycles,
-                                collect_power=collect_power,
-                                monitor=monitor)
+        return self.run_traffic("broadcast", rate, protocol,
+                                source=source, **overrides)
 
     def run_traffic(self, traffic: str, rate: float,
-                    protocol: Optional[RunProtocol] = None, *,
-                    warmup_cycles: Optional[int] = None,
-                    sample_packets: Optional[int] = None,
-                    seed: Optional[int] = None,
-                    max_cycles: Optional[int] = None,
-                    collect_power: Optional[bool] = None,
-                    monitor: Optional[bool] = None,
-                    **traffic_params) -> SimulationResult:
-        """Run any registered traffic kind (see ``TRAFFIC_REGISTRY``)."""
-        protocol = resolve_protocol(protocol,
-                                    warmup_cycles=warmup_cycles,
-                                    sample_packets=sample_packets, seed=seed,
-                                    max_cycles=max_cycles,
-                                    collect_power=collect_power,
-                                    monitor=monitor)
+                    protocol: Optional[RunProtocol] = None,
+                    **kwargs) -> SimulationResult:
+        """Run any registered traffic kind (see ``TRAFFIC_REGISTRY``).
+
+        Keywords that name :class:`RunProtocol` fields are (deprecated)
+        protocol overrides; everything else is passed to the traffic
+        constructor.
+        """
+        protocol_overrides, traffic_params = _split_overrides(kwargs)
+        protocol = self._resolve(protocol, protocol_overrides)
         pattern = make_traffic(traffic, self._topo(), rate,
                                seed=protocol.seed, **traffic_params)
         return self.run(pattern, protocol)
 
     def run(self, traffic: TrafficPattern,
-            protocol: Optional[RunProtocol] = None, *,
-            warmup_cycles: Optional[int] = None,
-            sample_packets: Optional[int] = None,
-            max_cycles: Optional[int] = None,
-            collect_power: Optional[bool] = None,
-            monitor: Optional[bool] = None) -> SimulationResult:
+            protocol: Optional[RunProtocol] = None,
+            **overrides) -> SimulationResult:
         """Run an arbitrary traffic pattern to the paper's protocol."""
-        protocol = resolve_protocol(protocol,
-                                    warmup_cycles=warmup_cycles,
-                                    sample_packets=sample_packets,
-                                    max_cycles=max_cycles,
-                                    collect_power=collect_power,
-                                    monitor=monitor)
+        protocol = self._resolve(protocol, overrides)
         return Simulation(self.config, traffic, protocol).run()
 
     # --- sweeps ----------------------------------------------------------------
@@ -112,13 +106,10 @@ class Orion:
     def sweep_uniform(self, rates: Sequence[float],
                       protocol: Optional[RunProtocol] = None, *,
                       label: Optional[str] = None,
-                      warmup_cycles: Optional[int] = None,
-                      sample_packets: Optional[int] = None,
-                      seed: Optional[int] = None,
-                      max_cycles: Optional[int] = None,
                       keep_results: bool = False,
                       processes: int = 1,
-                      cache=None) -> SweepResult:
+                      cache=None,
+                      **overrides) -> SweepResult:
         """Latency/power curve over injection rates, uniform traffic —
         the x-axes of Figures 5 and 7.
 
@@ -126,33 +117,24 @@ class Orion:
         multiprocessing pool; ``cache`` (a ``ResultCache`` or directory
         path) serves repeated points from disk.
         """
-        protocol = resolve_protocol(protocol,
-                                    warmup_cycles=warmup_cycles,
-                                    sample_packets=sample_packets, seed=seed,
-                                    max_cycles=max_cycles)
         return self.sweep_traffic("uniform", rates, protocol, label=label,
                                   keep_results=keep_results,
-                                  processes=processes, cache=cache)
+                                  processes=processes, cache=cache,
+                                  **overrides)
 
     def sweep_broadcast(self, source: int, rates: Sequence[float],
                         protocol: Optional[RunProtocol] = None, *,
                         label: Optional[str] = None,
-                        warmup_cycles: Optional[int] = None,
-                        sample_packets: Optional[int] = None,
-                        seed: Optional[int] = None,
-                        max_cycles: Optional[int] = None,
                         keep_results: bool = False,
                         processes: int = 1,
-                        cache=None) -> SweepResult:
+                        cache=None,
+                        **overrides) -> SweepResult:
         """Latency/power curve over injection rates, broadcast traffic."""
-        protocol = resolve_protocol(protocol,
-                                    warmup_cycles=warmup_cycles,
-                                    sample_packets=sample_packets, seed=seed,
-                                    max_cycles=max_cycles)
         return self.sweep_traffic("broadcast", rates, protocol,
                                   source=source, label=label,
                                   keep_results=keep_results,
-                                  processes=processes, cache=cache)
+                                  processes=processes, cache=cache,
+                                  **overrides)
 
     def sweep_traffic(self, traffic: str, rates: Sequence[float],
                       protocol: Optional[RunProtocol] = None, *,
@@ -161,13 +143,19 @@ class Orion:
                       processes: int = 1,
                       cache=None,
                       progress=None,
-                      **traffic_params) -> SweepResult:
+                      on_error: str = "raise",
+                      point_timeout: Optional[float] = None,
+                      retries: int = 0,
+                      **kwargs) -> SweepResult:
         """Sweep any registered traffic kind over injection rates.
 
         Executes through the :mod:`repro.exp` orchestrator — serial and
         parallel runs produce bit-identical points, and failures at one
-        rate propagate (matching the facade's historical behaviour; use
-        the orchestrator directly for failure isolation).
+        rate propagate by default (``on_error="record"`` isolates them
+        instead; failed points surface on ``SweepResult.failed_points``).
+        ``point_timeout`` bounds each point's wall-clock seconds and
+        ``retries`` re-runs points whose worker crashed (see
+        :func:`repro.exp.run_points`).
         """
         from repro.exp import (
             ResultCache,
@@ -179,7 +167,8 @@ class Orion:
 
         if not rates:
             raise ValueError("sweep needs at least one rate")
-        protocol = protocol or RunProtocol()
+        protocol_overrides, traffic_params = _split_overrides(kwargs)
+        protocol = self._resolve(protocol, protocol_overrides)
         label = label or self.config.router.kind
         spec = TrafficSpec.of(traffic, **traffic_params)
         points = [RunPoint(config=self.config, traffic=spec, rate=rate,
@@ -189,27 +178,23 @@ class Orion:
             cache = ResultCache(cache)
         outcomes = run_points(points, processes=processes, cache=cache,
                               keep_results=keep_results, progress=progress,
-                              on_error="raise")
+                              on_error=on_error,
+                              point_timeout=point_timeout, retries=retries)
         return outcomes_to_sweep(outcomes, label=label)
 
     def sweep(self, rates: Sequence[float],
               traffic_factory: Callable[[float], TrafficPattern],
               protocol: Optional[RunProtocol] = None, *,
               label: Optional[str] = None,
-              warmup_cycles: Optional[int] = None,
-              sample_packets: Optional[int] = None,
-              max_cycles: Optional[int] = None,
-              keep_results: bool = False) -> SweepResult:
+              keep_results: bool = False,
+              **overrides) -> SweepResult:
         """Run one simulation per rate and collect the curve.
 
         The factory form supports unregistered/trace patterns; it is
         inherently serial (factories need not be picklable).  Prefer
         :meth:`sweep_traffic` for registered kinds.
         """
-        protocol = resolve_protocol(protocol,
-                                    warmup_cycles=warmup_cycles,
-                                    sample_packets=sample_packets,
-                                    max_cycles=max_cycles)
+        protocol = self._resolve(protocol, overrides)
         if not rates:
             raise ValueError("sweep needs at least one rate")
         sweep = SweepResult(label=label or self.config.router.kind)
@@ -223,6 +208,7 @@ class Orion:
                     result.throughput_flits_per_cycle),
                 breakdown_w=result.power_breakdown_w(),
                 result=result if keep_results else None,
+                status=result.status,
             ))
         return sweep
 
@@ -284,3 +270,10 @@ class Orion:
     def _topo(self):
         from repro.sim.topology import topology_for
         return topology_for(self.config)
+
+    @staticmethod
+    def _resolve(protocol: Optional[RunProtocol],
+                 overrides: dict) -> RunProtocol:
+        """The facade's single ``resolve_protocol`` call site: every
+        public method funnels its deprecated per-knob keywords here."""
+        return resolve_protocol(protocol, **overrides)

@@ -75,6 +75,9 @@ class SweepPoint:
     #: Recorded failure ("DeadlockError: ..."), when the orchestrator ran
     #: with failure isolation; ``None`` for a successful point.
     error: Optional[str] = None
+    #: Terminal status of the point ("ok", "stalled", "max_cycles",
+    #: "crashed", "timeout") — see :class:`repro.exp.PointOutcome`.
+    status: str = "ok"
 
 
 @dataclass
@@ -100,12 +103,15 @@ class SweepResult:
     @property
     def ok_points(self) -> List[SweepPoint]:
         """Points that completed (no recorded failure)."""
-        return [p for p in self.points if p.error is None]
+        return [p for p in self.points
+                if p.error is None and p.status == "ok"]
 
     @property
     def failed_points(self) -> List[SweepPoint]:
-        """Points whose simulation deadlocked or timed out."""
-        return [p for p in self.points if p.error is not None]
+        """Points that stalled, crashed, or hit a cycle/wall-clock
+        limit."""
+        return [p for p in self.points
+                if p.error is not None or p.status != "ok"]
 
     @property
     def zero_load_latency(self) -> float:
@@ -134,8 +140,9 @@ class SweepResult:
         lines = [f"== {self.label} ==",
                  f"{'rate':>8} {'latency':>10} {'power':>12} {'thruput':>9}"]
         for p in sorted(self.points, key=lambda p: p.rate):
-            if p.error is not None:
-                lines.append(f"{p.rate:>8.3f}  FAILED: {p.error}")
+            if p.error is not None or p.status != "ok":
+                detail = p.error or p.status
+                lines.append(f"{p.rate:>8.3f}  FAILED({p.status}): {detail}")
                 continue
             lines.append(
                 f"{p.rate:>8.3f} {p.avg_latency:>10.2f} "

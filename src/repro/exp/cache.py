@@ -16,6 +16,7 @@ enough that no live writer can still own them.
 
 from __future__ import annotations
 
+import logging
 import os
 import pickle
 import tempfile
@@ -24,6 +25,8 @@ from pathlib import Path
 from typing import Optional
 
 from repro.exp.spec import CACHE_SCHEMA
+
+logger = logging.getLogger("repro.exp.cache")
 
 #: Default cache location, relative to the current working directory.
 DEFAULT_CACHE_DIR = os.path.join("results", ".cache")
@@ -47,12 +50,24 @@ class ResultCache:
 
     def load(self, key: str):
         """The cached outcome for ``key``, or ``None`` on any miss
-        (absent, unreadable, or written by an older schema)."""
+        (absent, unreadable, or written by an older schema).
+
+        An *absent* entry is a silent miss; an entry that exists but
+        cannot be read (truncated pickle, permission error, unpicklable
+        class) is logged before being treated as a miss, so transient
+        corruption degrades to recompute instead of killing the sweep.
+        """
+        path = self._path(key)
         try:
-            with open(self._path(key), "rb") as f:
+            with open(path, "rb") as f:
                 payload = pickle.load(f)
+        except FileNotFoundError:
+            self.misses += 1
+            return None
         except (OSError, pickle.PickleError, EOFError,
-                AttributeError, ImportError, ValueError):
+                AttributeError, ImportError, ValueError) as exc:
+            logger.warning("cache entry %s unreadable (%s: %s); recomputing",
+                           path, type(exc).__name__, exc)
             self.misses += 1
             return None
         if not isinstance(payload, dict) or \

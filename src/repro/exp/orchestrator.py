@@ -48,6 +48,13 @@ class PointOutcome:
 
     point: RunPoint
     ok: bool
+    #: Terminal status of the point: "ok"; "stalled"/"max_cycles" (the
+    #: simulation's watchdogs fired — recorded whether the run raised or
+    #: finished under ``on_stall="finish"``); "crashed" (the worker
+    #: raised an unexpected exception, retries exhausted); "timeout"
+    #: (the point exceeded ``point_timeout`` wall-clock seconds and its
+    #: worker process was terminated).
+    status: str = "ok"
     error: Optional[str] = None
     avg_latency: float = 0.0
     total_power_w: float = 0.0
@@ -62,6 +69,11 @@ class PointOutcome:
     #: Windowed telemetry record; carried (and cached) whenever the
     #: protocol's ``telemetry_window`` is non-zero.
     telemetry: Optional[object] = None
+    #: Fault metadata from the simulation (zero on healthy fabrics).
+    flits_dropped: int = 0
+    packets_misrouted: int = 0
+    #: Execution attempts this outcome took (> 1 after crash retries).
+    attempts: int = 1
 
     def raise_error(self) -> None:
         """Re-raise a recorded failure as its original exception type."""
@@ -79,6 +91,7 @@ class PointOutcome:
             breakdown_w=dict(self.breakdown_w),
             result=self.result,
             error=self.error,
+            status=self.status,
         )
 
 
@@ -119,15 +132,19 @@ def _execute_point(point: RunPoint, keep_result: bool) -> PointOutcome:
     try:
         result = sim.run()
     except (DeadlockError, SimulationTimeout) as exc:
+        status = ("stalled" if isinstance(exc, DeadlockError)
+                  else "max_cycles")
         return PointOutcome(
-            point=point, ok=False,
+            point=point, ok=False, status=status,
             error=f"{type(exc).__name__}: {exc}",
             total_cycles=sim.network.cycle,
             wall_seconds=time.perf_counter() - start,
         )
     collect = point.protocol.collect_power
+    ok = result.status == "ok"
     return PointOutcome(
-        point=point, ok=True,
+        point=point, ok=ok, status=result.status,
+        error=None if ok else f"terminated: {result.status}",
         avg_latency=result.avg_latency,
         total_power_w=result.total_power_w if collect else 0.0,
         throughput_flits_per_cycle=result.throughput_flits_per_cycle,
@@ -136,13 +153,108 @@ def _execute_point(point: RunPoint, keep_result: bool) -> PointOutcome:
         wall_seconds=time.perf_counter() - start,
         result=result if keep_result else None,
         telemetry=result.telemetry,
+        flits_dropped=result.flits_dropped,
+        packets_misrouted=result.packets_misrouted,
     )
+
+
+def _execute_resilient(point: RunPoint, keep_result: bool,
+                       retries: int, backoff: float,
+                       capture: bool) -> PointOutcome:
+    """Run one point, retrying unexpected worker crashes.
+
+    Simulation-level failures (deadlock, timeout, watchdog statuses)
+    are deterministic and never retried — only *unexpected* exceptions
+    (a buggy traffic generator, a transient OS error) get another
+    attempt, with exponential backoff.  When attempts are exhausted the
+    crash is either captured as a ``status="crashed"`` outcome
+    (``on_error="record"``) or re-raised.
+    """
+    attempt = 0
+    while True:
+        attempt += 1
+        start = time.perf_counter()
+        try:
+            outcome = _execute_point(point, keep_result)
+            outcome.attempts = attempt
+            return outcome
+        except Exception as exc:  # noqa: BLE001 - crash isolation boundary
+            if attempt <= retries:
+                if backoff > 0:
+                    time.sleep(backoff * 2 ** (attempt - 1))
+                continue
+            if not capture:
+                raise
+            return PointOutcome(
+                point=point, ok=False, status="crashed",
+                error=f"{type(exc).__name__}: {exc}",
+                wall_seconds=time.perf_counter() - start,
+                attempts=attempt,
+            )
 
 
 def _pool_point(payload) -> PointOutcome:
     """Module-level pool worker (must be picklable)."""
-    point, keep_result = payload
-    return _execute_point(point, keep_result)
+    point, keep_result, retries, backoff, capture = payload
+    return _execute_resilient(point, keep_result, retries, backoff, capture)
+
+
+def _queue_point(payload, queue) -> None:
+    """Subprocess entry for the per-point timeout path."""
+    queue.put(_pool_point(payload))
+
+
+def _dispatch_with_timeout(pending: Sequence[int], payloads: Sequence[tuple],
+                           processes: int, timeout: float,
+                           finish: Callable[[int, PointOutcome], None]
+                           ) -> None:
+    """Run each pending point in its own subprocess with a wall-clock
+    cap.
+
+    A point that exceeds ``timeout`` seconds is terminated and recorded
+    as ``status="timeout"``; a worker that dies without reporting (OOM
+    kill, segfault) becomes ``status="crashed"``.  At most ``processes``
+    workers run at once, and results are collected in submission order
+    so ``finish`` sees the same ordering as the other dispatch paths.
+    """
+    import multiprocessing
+
+    ctx = multiprocessing.get_context()
+    window: List[tuple] = []  # (index, point, process, queue, deadline)
+
+    def reap(entry) -> None:
+        index, point, proc, queue, deadline = entry
+        proc.join(max(0.0, deadline - time.monotonic()))
+        if proc.is_alive():
+            proc.terminate()
+            proc.join()
+            outcome = PointOutcome(
+                point=point, ok=False, status="timeout",
+                error=f"TimeoutError: point exceeded {timeout:g}s "
+                      f"wall-clock",
+                wall_seconds=timeout,
+            )
+        elif queue.empty():
+            outcome = PointOutcome(
+                point=point, ok=False, status="crashed",
+                error=f"RuntimeError: worker exited with code "
+                      f"{proc.exitcode}",
+            )
+        else:
+            outcome = queue.get()
+        queue.close()
+        finish(index, outcome)
+
+    for index, payload in zip(pending, payloads):
+        if len(window) >= max(1, processes):
+            reap(window.pop(0))
+        queue = ctx.SimpleQueue()
+        proc = ctx.Process(target=_queue_point, args=(payload, queue))
+        proc.start()
+        window.append((index, payload[0], proc, queue,
+                       time.monotonic() + timeout))
+    while window:
+        reap(window.pop(0))
 
 
 def run_points(points: Sequence[RunPoint], *,
@@ -150,18 +262,35 @@ def run_points(points: Sequence[RunPoint], *,
                cache: Optional[ResultCache] = None,
                keep_results: bool = False,
                progress: Optional[ProgressHook] = None,
-               on_error: str = "record") -> List[PointOutcome]:
+               on_error: str = "record",
+               point_timeout: Optional[float] = None,
+               retries: int = 0,
+               retry_backoff: float = 0.25) -> List[PointOutcome]:
     """Execute run points, in order, with caching and parallelism.
 
     ``on_error="record"`` isolates per-point failures; ``"raise"``
     re-raises the first one (after caching it, so a resumed sweep does
     not recompute the doomed point).
+
+    ``point_timeout`` caps each point's wall-clock seconds by running it
+    in a dedicated subprocess (terminated on expiry, recorded as
+    ``status="timeout"``).  ``retries`` re-runs a point whose worker
+    crashed with an unexpected exception, sleeping
+    ``retry_backoff * 2**(attempt-1)`` seconds between attempts.
     """
     if on_error not in ("record", "raise"):
         raise ValueError(f"on_error must be 'record' or 'raise', "
                          f"got {on_error!r}")
     if processes < 1:
         raise ValueError(f"processes must be >= 1, got {processes}")
+    if point_timeout is not None and point_timeout <= 0:
+        raise ValueError(f"point_timeout must be positive, "
+                         f"got {point_timeout}")
+    if retries < 0:
+        raise ValueError(f"retries must be >= 0, got {retries}")
+    if retry_backoff < 0:
+        raise ValueError(f"retry_backoff must be >= 0, "
+                         f"got {retry_backoff}")
     points = list(points)
     if not points:
         raise ValueError("experiment needs at least one run point")
@@ -206,9 +335,14 @@ def run_points(points: Sequence[RunPoint], *,
         else:
             pending.append(index)
 
-    payloads = [(points[i], _needs_result(points[i], keep_results))
+    capture = on_error == "record"
+    payloads = [(points[i], _needs_result(points[i], keep_results),
+                 retries, retry_backoff, capture)
                 for i in pending]
-    if processes > 1 and len(pending) > 1:
+    if point_timeout is not None and pending:
+        _dispatch_with_timeout(pending, payloads, processes, point_timeout,
+                               finish)
+    elif processes > 1 and len(pending) > 1:
         import multiprocessing
 
         with multiprocessing.Pool(min(processes, len(pending))) as pool:
@@ -217,7 +351,7 @@ def run_points(points: Sequence[RunPoint], *,
                 finish(index, outcome)
     else:
         for index, payload in zip(pending, payloads):
-            finish(index, _execute_point(*payload))
+            finish(index, _pool_point(payload))
     return outcomes
 
 
@@ -324,7 +458,10 @@ def run_experiment(spec: Union[ExperimentSpec, Sequence[RunPoint]], *,
                    cache: Union[ResultCache, str, None] = None,
                    keep_results: bool = False,
                    progress: Optional[ProgressHook] = None,
-                   on_error: str = "record") -> ExperimentResult:
+                   on_error: str = "record",
+                   point_timeout: Optional[float] = None,
+                   retries: int = 0,
+                   retry_backoff: float = 0.25) -> ExperimentResult:
     """Run a whole experiment grid (or explicit point list).
 
     ``cache`` may be a :class:`ResultCache`, a directory path, or
@@ -336,6 +473,7 @@ def run_experiment(spec: Union[ExperimentSpec, Sequence[RunPoint]], *,
     start = time.perf_counter()
     outcomes = run_points(points, processes=processes, cache=cache,
                           keep_results=keep_results, progress=progress,
-                          on_error=on_error)
+                          on_error=on_error, point_timeout=point_timeout,
+                          retries=retries, retry_backoff=retry_backoff)
     return ExperimentResult(outcomes=outcomes,
                             wall_seconds=time.perf_counter() - start)

@@ -29,7 +29,9 @@ from repro.sim.traffic import (
 
 #: Bump when cached payload semantics change: invalidates every entry.
 #: 2: outcomes carry the windowed telemetry record.
-CACHE_SCHEMA = 2
+#: 3: outcomes carry status and fault metadata (drops, misroutes,
+#:    attempts).
+CACHE_SCHEMA = 3
 
 
 @dataclass(frozen=True)

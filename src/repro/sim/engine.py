@@ -12,7 +12,8 @@ total simulation cycles."
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from collections import deque
+from dataclasses import dataclass, replace
 from typing import Dict, List, Optional
 
 from repro.core.config import NetworkConfig, RunProtocol, resolve_protocol
@@ -52,6 +53,18 @@ class SimulationResult:
     #: Windowed :class:`~repro.telemetry.recorder.TelemetryRecord`, when
     #: the protocol's ``telemetry_window`` is non-zero.
     telemetry: Optional[object] = None
+    #: How the run ended: "ok" (sample drained), or — under
+    #: ``RunProtocol.on_stall="finish"`` — "stalled" (deadlock/livelock
+    #: watchdog fired) or "max_cycles" (cycle limit hit).  With the
+    #: default ``on_stall="raise"`` those conditions raise instead.
+    status: str = "ok"
+    #: Fault-handling outcomes (all zero on a healthy fabric).
+    flits_dropped: int = 0
+    packets_dropped: int = 0
+    packets_misrouted: int = 0
+    #: Sample-tagged packets dropped rather than delivered (they count
+    #: toward run completion but contribute no latency observation).
+    sample_dropped: int = 0
 
     @property
     def throughput_flits_per_cycle(self) -> float:
@@ -100,22 +113,12 @@ class Simulation:
     """One network + one workload, run to the paper's completion rule."""
 
     def __init__(self, config: NetworkConfig, traffic: TrafficPattern,
-                 protocol: Optional[RunProtocol] = None, *,
-                 warmup_cycles: Optional[int] = None,
-                 sample_packets: Optional[int] = None,
-                 max_cycles: Optional[int] = None,
-                 watchdog_cycles: Optional[int] = None,
-                 collect_power: Optional[bool] = None,
-                 monitor: Optional[bool] = None) -> None:
-        protocol = resolve_protocol(
-            protocol,
-            warmup_cycles=warmup_cycles,
-            sample_packets=sample_packets,
-            max_cycles=max_cycles,
-            watchdog_cycles=watchdog_cycles,
-            collect_power=collect_power,
-            monitor=monitor,
-        )
+                 protocol: Optional[RunProtocol] = None,
+                 **overrides) -> None:
+        """``overrides`` accepts any :class:`RunProtocol` field as a
+        deprecated per-run keyword (``None`` meaning "not given"); new
+        code passes one ``protocol`` instead."""
+        protocol = resolve_protocol(protocol, **overrides)
         self.protocol = protocol
         self.traffic = traffic
         self.warmup_cycles = protocol.warmup_cycles
@@ -151,6 +154,12 @@ class Simulation:
                 self.network, self.binding, protocol.telemetry_window)
         else:
             self.recorder = None
+        if protocol.faults is not None and protocol.faults.has_faults:
+            from repro.faults import build_schedule
+            self.fault_schedule = build_schedule(protocol.faults, config)
+            self.network.fault_policy = protocol.faults.policy
+        else:
+            self.fault_schedule = None
 
     def run(self) -> SimulationResult:
         """Execute the full warm-up / sample / drain protocol."""
@@ -166,6 +175,26 @@ class Simulation:
                 stats.record(packet)
 
         network.on_packet_delivered = on_delivered
+        sample_dropped = 0
+        # Fault machinery engages only when a schedule exists: the
+        # healthy-fabric loop below stays bit-identical and pays one
+        # falsy test per cycle for the hook.
+        fault_queue = None
+        if self.fault_schedule is not None and self.fault_schedule.events:
+            fault_queue = deque(self.fault_schedule.events)
+
+            def on_dropped(packet) -> None:
+                nonlocal sample_done, sample_dropped
+                if packet.in_sample:
+                    sample_done += 1
+                    sample_dropped += 1
+
+            network.on_packet_dropped = on_dropped
+        status = "ok"
+        on_stall = self.protocol.on_stall
+        livelock_cycles = self.protocol.livelock_cycles
+        progress_streak = 0
+        last_progress = 0
         idle_streak = 0
         ejected_at_warmup = 0
         recorder = self.recorder
@@ -185,6 +214,12 @@ class Simulation:
                     self.monitor.begin()
                 if recorder is not None:
                     recorder.begin(cycle)
+            # The single fault hook shared by both kernels: due events
+            # mutate the network between cycles, before injection and
+            # stepping, so dense and sparse timelines perturb
+            # identically.
+            if fault_queue and fault_queue[0].cycle <= cycle:
+                self._apply_due_faults(fault_queue, cycle)
             if profiling:
                 t0 = perf_counter()
             for src, dst in self.traffic.packets_at(cycle):
@@ -216,24 +251,58 @@ class Simulation:
                                or network.flits_awaiting_injection > 0):
                 idle_streak += 1
                 if idle_streak >= self.watchdog_cycles:
-                    raise DeadlockError(
-                        f"no flit moved for {idle_streak} cycles at cycle "
-                        f"{network.cycle} with "
-                        f"{network.flits_in_flight} flits in flight"
-                    )
+                    if on_stall == "raise":
+                        raise DeadlockError(
+                            f"no flit moved for {idle_streak} cycles at "
+                            f"cycle {network.cycle} with "
+                            f"{network.flits_in_flight} flits in flight"
+                        )
+                    status = "stalled"
+                    break
             else:
                 idle_streak = 0
+            if livelock_cycles:
+                # Livelock watchdog: flits may keep moving (so the idle
+                # detector stays quiet) while no packet ever completes —
+                # e.g. traffic ping-ponging around dead links.
+                progressed = (network.packets_delivered
+                              + network.packets_dropped)
+                if progressed != last_progress:
+                    last_progress = progressed
+                    progress_streak = 0
+                elif network.flits_in_flight > 0 \
+                        or network.flits_awaiting_injection > 0:
+                    progress_streak += 1
+                    if progress_streak >= livelock_cycles:
+                        if on_stall == "raise":
+                            raise DeadlockError(
+                                f"no packet delivered or dropped for "
+                                f"{progress_streak} cycles at cycle "
+                                f"{network.cycle} (livelock) with "
+                                f"{network.flits_in_flight} flits in "
+                                f"flight"
+                            )
+                        status = "stalled"
+                        break
+                else:
+                    progress_streak = 0
             if network.cycle >= self.max_cycles:
-                raise SimulationTimeout(
-                    f"exceeded {self.max_cycles} cycles with "
-                    f"{sample_done}/{self.sample_packets} sample packets "
-                    f"delivered"
-                )
-        # Drop the delivery closure so results (and the monitor's network
-        # reference) stay picklable across process pools.
+                if on_stall == "raise":
+                    raise SimulationTimeout(
+                        f"exceeded {self.max_cycles} cycles with "
+                        f"{sample_done}/{self.sample_packets} sample "
+                        f"packets delivered"
+                    )
+                status = "max_cycles"
+                break
+        # Drop the delivery/drop closures so results (and the monitor's
+        # network reference) stay picklable across process pools.
         network.on_packet_delivered = None
+        network.on_packet_dropped = None
         total_cycles = network.cycle
-        measured = total_cycles - self.warmup_cycles
+        # A stall can terminate inside warm-up; clamp so downstream
+        # power math never sees a negative window.
+        measured = max(0, total_cycles - self.warmup_cycles)
         if profiling:
             t0 = perf_counter()
         if self.accountant is not None:
@@ -259,4 +328,20 @@ class Simulation:
             accountant=self.accountant,
             monitor=self.monitor,
             telemetry=recorder.record if recorder is not None else None,
+            status=status,
+            flits_dropped=network.flits_dropped,
+            packets_dropped=network.packets_dropped,
+            packets_misrouted=network.packets_misrouted,
+            sample_dropped=sample_dropped,
         )
+
+    def _apply_due_faults(self, queue, cycle: int) -> None:
+        """Feed due fault events to the network; an event the network
+        cannot apply yet (busy output VC) is deferred one cycle, keeping
+        the remaining timeline in order."""
+        network = self.network
+        while queue and queue[0].cycle <= cycle:
+            event = queue.popleft()
+            if not network.apply_fault(event):
+                queue.appendleft(replace(event, cycle=cycle + 1))
+                break

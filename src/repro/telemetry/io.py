@@ -23,7 +23,12 @@ from typing import Dict, List
 from repro.telemetry.recorder import TelemetryRecord, TelemetryWindow
 
 #: Bump when the JSONL layout changes; readers reject other versions.
-JSONL_SCHEMA = 1
+#: 2: window lines carry ``dropped``/``misrouted`` fault columns
+#: (schema-1 files still read back, the columns defaulting to zero).
+JSONL_SCHEMA = 2
+
+#: Schema versions :func:`telemetry_from_jsonl` accepts.
+_READABLE_SCHEMAS = (1, 2)
 
 _HEADER_FIELDS = ("window", "num_nodes", "width", "height",
                   "frequency_hz", "warmup_cycles", "kernel",
@@ -48,6 +53,8 @@ def telemetry_to_jsonl(record: TelemetryRecord, path: str) -> None:
                 "injected": window.injected,
                 "ejected": window.ejected,
                 "occupancy": window.occupancy,
+                "dropped": window.dropped,
+                "misrouted": window.misrouted,
             }) + "\n")
         f.write(json.dumps({"type": "footer",
                             "spans_s": record.spans_s}) + "\n")
@@ -65,10 +72,10 @@ def telemetry_from_jsonl(path: str) -> TelemetryRecord:
             kind = entry.get("type")
             if kind == "header":
                 schema = entry.get("schema")
-                if schema != JSONL_SCHEMA:
+                if schema not in _READABLE_SCHEMAS:
                     raise ValueError(
                         f"{path}: unsupported telemetry schema {schema!r} "
-                        f"(expected {JSONL_SCHEMA})"
+                        f"(expected one of {_READABLE_SCHEMAS})"
                     )
                 record = TelemetryRecord(
                     **{name: entry[name] for name in _HEADER_FIELDS})
@@ -85,6 +92,10 @@ def telemetry_from_jsonl(path: str) -> TelemetryRecord:
                     injected=entry["injected"],
                     ejected=entry["ejected"],
                     occupancy=entry["occupancy"],
+                    dropped=entry.get("dropped")
+                    or [0] * len(entry["injected"]),
+                    misrouted=entry.get("misrouted")
+                    or [0] * len(entry["injected"]),
                 ))
             elif kind == "footer":
                 if record is None:
@@ -133,6 +144,10 @@ def telemetry_rows(record: TelemetryRecord) -> List[Dict]:
                     "injected": window.injected[node],
                     "ejected": window.ejected[node],
                     "occupancy": window.occupancy[node],
+                    "dropped": window.dropped[node]
+                    if window.dropped else 0,
+                    "misrouted": window.misrouted[node]
+                    if window.misrouted else 0,
                 })
     return rows
 
@@ -142,7 +157,7 @@ def telemetry_to_csv(record: TelemetryRecord, path: str) -> None:
     rows = telemetry_rows(record)
     fieldnames = ["window", "cycle_start", "cycle_end", "node", "x", "y",
                   "component", "energy_j", "events", "injected",
-                  "ejected", "occupancy"]
+                  "ejected", "occupancy", "dropped", "misrouted"]
     with open(path, "w", newline="") as f:
         writer = csv.DictWriter(f, fieldnames=fieldnames)
         writer.writeheader()

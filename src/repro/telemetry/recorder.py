@@ -54,6 +54,11 @@ class TelemetryWindow:
     injected: List[int] = field(default_factory=list)
     ejected: List[int] = field(default_factory=list)
     occupancy: List[int] = field(default_factory=list)
+    #: Per-node flits dropped / packets misrouted in this window
+    #: (fault-injection runs; empty lists on healthy fabrics predate
+    #: the columns and read as zero).
+    dropped: List[int] = field(default_factory=list)
+    misrouted: List[int] = field(default_factory=list)
 
     @property
     def cycles(self) -> int:
@@ -189,6 +194,24 @@ class TelemetryRecord:
                 totals[node] += count
         return totals
 
+    def dropped_totals(self) -> List[int]:
+        """Per-node flits dropped (fault policy) over the measured
+        window."""
+        totals = [0] * self.num_nodes
+        for window in self.windows:
+            for node, count in enumerate(window.dropped):
+                totals[node] += count
+        return totals
+
+    def misrouted_totals(self) -> List[int]:
+        """Per-node packets misrouted around faults over the measured
+        window."""
+        totals = [0] * self.num_nodes
+        for window in self.windows:
+            for node, count in enumerate(window.misrouted):
+                totals[node] += count
+        return totals
+
 
 class TelemetryRecorder:
     """Accumulates a :class:`TelemetryRecord` for one simulation run."""
@@ -218,6 +241,8 @@ class TelemetryRecorder:
         self._prev_counts: Optional[List[Dict[str, int]]] = None
         self._prev_injected: List[int] = []
         self._prev_ejected: List[int] = []
+        self._prev_dropped: List[int] = []
+        self._prev_misrouted: List[int] = []
 
     # --- engine hooks --------------------------------------------------------
 
@@ -231,6 +256,8 @@ class TelemetryRecorder:
             self.binding.telemetry_view()
         self._prev_injected = list(self.network.node_flits_injected)
         self._prev_ejected = list(self.network.node_flits_ejected)
+        self._prev_dropped = list(self.network.node_flits_dropped)
+        self._prev_misrouted = list(self.network.node_packets_misrouted)
 
     def on_cycle(self, now: int) -> None:
         """Called once per measured cycle, after the network stepped;
@@ -314,6 +341,14 @@ class TelemetryRecorder:
                           for node in range(n)]
         self._prev_injected = list(injected)
         self._prev_ejected = list(ejected)
+        dropped = network.node_flits_dropped
+        misrouted = network.node_packets_misrouted
+        window.dropped = [dropped[node] - self._prev_dropped[node]
+                          for node in range(n)]
+        window.misrouted = [misrouted[node] - self._prev_misrouted[node]
+                            for node in range(n)]
+        self._prev_dropped = list(dropped)
+        self._prev_misrouted = list(misrouted)
         window.occupancy = [router._buffered
                             for router in network.routers]
         return window

@@ -98,6 +98,11 @@ def telemetry_report(record: TelemetryRecord, series: bool = True) -> str:
         "per-node power (mW):",
         spatial_table(record),
     ]
+    dropped = sum(record.dropped_totals())
+    misrouted = sum(record.misrouted_totals())
+    if dropped or misrouted:
+        lines += ["", f"fault handling: {dropped} flits dropped, "
+                      f"{misrouted} packets misrouted"]
     if series:
         lines += ["", "time series:", series_table(record)]
     lines += ["", "engine phase spans:", spans_table(record)]

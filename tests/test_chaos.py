@@ -1,0 +1,157 @@
+"""Chaos suite: orchestrator resilience under misbehaving workers.
+
+Marked ``chaos`` so CI can exercise it standalone (``pytest -m chaos``).
+Covers crash capture, bounded retry, per-point wall-clock timeouts and
+hard worker death — the failure modes ``run_points`` must survive
+without losing the rest of the sweep.
+"""
+
+import multiprocessing
+import os
+
+import pytest
+
+from repro.core.config import RunProtocol
+from repro.exp import RunPoint, TrafficSpec, run_points
+from repro.sim.traffic import (
+    TRAFFIC_REGISTRY,
+    TrafficParam,
+    UniformRandomTraffic,
+    register_traffic,
+)
+
+from tests.conftest import small_config
+
+pytestmark = pytest.mark.chaos
+
+FAST = RunProtocol(warmup_cycles=100, sample_packets=40)
+
+
+class _CrashingTraffic(UniformRandomTraffic):
+    """Raises on construction: models a worker dying unexpectedly."""
+
+    def __init__(self, topo, rate, seed=1):
+        raise RuntimeError("chaos: worker crash")
+
+
+class _FlakyOnceTraffic(UniformRandomTraffic):
+    """Crashes on first construction, succeeds after: the ``marker``
+    file records that the first attempt already burned."""
+
+    def __init__(self, topo, rate, seed=1, marker=""):
+        if marker and not os.path.exists(marker):
+            open(marker, "w").close()
+            raise RuntimeError("chaos: flaky failure")
+        super().__init__(topo, rate, seed=seed)
+
+
+class _ExitingTraffic(UniformRandomTraffic):
+    """Kills the worker process outright — no exception to catch."""
+
+    def __init__(self, topo, rate, seed=1):
+        os._exit(3)
+
+
+@pytest.fixture
+def chaos_traffic():
+    """Register test-only traffic kinds for one test, then unregister
+    so the global registry stays clean for the rest of the suite."""
+    registered = []
+
+    def add(name, factory, params=()):
+        register_traffic(name, factory, params=params,
+                         description="chaos test pattern")
+        registered.append(name)
+        return name
+
+    yield add
+    for name in registered:
+        TRAFFIC_REGISTRY.pop(name, None)
+
+
+def point(traffic=None, rate=0.02, protocol=FAST):
+    return RunPoint(config=small_config("wormhole"),
+                    traffic=traffic or TrafficSpec.of("uniform"),
+                    rate=rate, protocol=protocol)
+
+
+class TestCrashCapture:
+    def test_crash_recorded_and_sweep_continues(self, chaos_traffic):
+        chaos_traffic("chaos_crash", _CrashingTraffic)
+        pts = [point(), point(TrafficSpec.of("chaos_crash")),
+               point(rate=0.03)]
+        outcomes = run_points(pts)
+        assert [o.status for o in outcomes] == ["ok", "crashed", "ok"]
+        assert [o.ok for o in outcomes] == [True, False, True]
+        assert "RuntimeError: chaos: worker crash" in outcomes[1].error
+        assert outcomes[1].attempts == 1
+        assert outcomes[1].result is None
+
+    def test_crash_propagates_with_on_error_raise(self, chaos_traffic):
+        chaos_traffic("chaos_crash", _CrashingTraffic)
+        with pytest.raises(RuntimeError, match="chaos"):
+            run_points([point(TrafficSpec.of("chaos_crash"))],
+                       on_error="raise")
+
+
+class TestRetries:
+    def test_retry_recovers_flaky_worker(self, chaos_traffic, tmp_path):
+        chaos_traffic("chaos_flaky", _FlakyOnceTraffic,
+                      params=(TrafficParam("marker", str, default=""),))
+        spec = TrafficSpec.of("chaos_flaky",
+                              marker=str(tmp_path / "burned"))
+        outcome = run_points([point(spec)], retries=1,
+                             retry_backoff=0.0)[0]
+        assert outcome.ok and outcome.status == "ok"
+        assert outcome.attempts == 2
+
+    def test_retries_exhausted_record_crash(self, chaos_traffic):
+        chaos_traffic("chaos_crash", _CrashingTraffic)
+        outcome = run_points([point(TrafficSpec.of("chaos_crash"))],
+                             retries=2, retry_backoff=0.0)[0]
+        assert outcome.status == "crashed"
+        assert outcome.attempts == 3
+
+    def test_deterministic_failures_not_retried(self):
+        # A SimulationTimeout is the point's deterministic verdict, not
+        # a worker crash: retrying it would burn time for nothing.
+        doomed = point(protocol=FAST.with_(max_cycles=30,
+                                           sample_packets=5000))
+        outcome = run_points([doomed], retries=3, retry_backoff=0.0)[0]
+        assert not outcome.ok and outcome.status == "max_cycles"
+        assert outcome.attempts == 1
+
+    @pytest.mark.parametrize("kwargs", [dict(retries=-1),
+                                        dict(retry_backoff=-0.5),
+                                        dict(point_timeout=0.0)])
+    def test_invalid_resilience_knobs_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            run_points([point()], **kwargs)
+
+
+class TestPointTimeout:
+    def test_runaway_point_terminated(self):
+        runaway = point(protocol=FAST.with_(sample_packets=2_000_000,
+                                            max_cycles=50_000_000))
+        outcomes = run_points([point(), runaway, point(rate=0.03)],
+                              point_timeout=0.5)
+        assert [o.status for o in outcomes] == ["ok", "timeout", "ok"]
+        assert "exceeded" in outcomes[1].error
+        assert outcomes[1].wall_seconds == pytest.approx(0.5)
+
+    def test_fast_points_unaffected_by_timeout(self):
+        outcomes = run_points([point(), point(rate=0.03)],
+                              point_timeout=60.0)
+        assert all(o.ok and o.status == "ok" for o in outcomes)
+        assert all(o.result is None for o in outcomes)
+
+    @pytest.mark.skipif(
+        multiprocessing.get_start_method() != "fork",
+        reason="test traffic kinds only reach workers via fork")
+    def test_dead_worker_recorded_with_exit_code(self, chaos_traffic):
+        chaos_traffic("chaos_exit", _ExitingTraffic)
+        outcomes = run_points([point(TrafficSpec.of("chaos_exit")),
+                               point()], point_timeout=60.0)
+        assert outcomes[0].status == "crashed"
+        assert "exited with code 3" in outcomes[0].error
+        assert outcomes[1].ok

@@ -196,6 +196,30 @@ class TestCaching:
         redone = run_points(pts, cache=cache)
         assert not redone[0].from_cache and redone[0].ok
 
+    def test_corrupted_entry_logs_a_warning(self, tmp_path, caplog):
+        import logging
+
+        cache = ResultCache(tmp_path / "cache")
+        pts = [point()]
+        run_points(pts, cache=cache)
+        entry = next((tmp_path / "cache").glob("*/*.pkl"))
+        entry.write_bytes(b"\x80\x04garbage")
+        cache.misses = 0
+        with caplog.at_level(logging.WARNING, logger="repro.exp.cache"):
+            redone = run_points(pts, cache=cache)
+        assert redone[0].ok and not redone[0].from_cache
+        assert cache.misses == 1
+        assert any("unreadable" in record.message
+                   for record in caplog.records)
+
+    def test_plain_miss_stays_silent(self, tmp_path, caplog):
+        import logging
+
+        cache = ResultCache(tmp_path / "cache")
+        with caplog.at_level(logging.WARNING, logger="repro.exp.cache"):
+            assert cache.load(point().cache_key()) is None
+        assert not caplog.records
+
     def test_clear_and_len(self, tmp_path):
         cache = ResultCache(tmp_path / "cache")
         run_points([point(), point(rate=0.03)], cache=cache)

@@ -1,0 +1,342 @@
+"""Fault-injection subsystem tests.
+
+Covers the description side (specs, seeded schedules, the CLI grammar),
+the application side (kills, flips, freezes, stuck VCs flowing through
+the engine hook), both fault policies, the ``on_stall`` status plumbing,
+and the telemetry counters faulted runs feed.
+"""
+
+import pytest
+
+from repro.core.config import RunProtocol
+from repro.core.orion import Orion
+from repro.faults import (
+    FAULT_KINDS,
+    FaultEvent,
+    FaultSpec,
+    build_schedule,
+    parse_fault_specs,
+)
+from repro.sim.engine import DeadlockError, Simulation
+from repro.sim.routing import EAST, NORTH
+from repro.sim.topology import topology_for
+from repro.sim.traffic import UniformRandomTraffic
+
+from tests.conftest import small_config
+
+#: on_stall="finish" so degraded runs report status instead of raising.
+RESILIENT = RunProtocol(warmup_cycles=100, sample_packets=60,
+                        on_stall="finish", livelock_cycles=5_000)
+
+
+def run_faulted(config, spec, protocol=RESILIENT, rate=0.05, seed=1):
+    return Orion(config).run_uniform(
+        rate, protocol.with_(seed=seed, faults=spec))
+
+
+# --- specs and events --------------------------------------------------------
+
+class TestFaultEvent:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            FaultEvent("meltdown", 0, 0)
+
+    def test_negative_cycle_and_node_rejected(self):
+        with pytest.raises(ValueError, match="cycle"):
+            FaultEvent("router_freeze", -1, 0)
+        with pytest.raises(ValueError, match="node"):
+            FaultEvent("router_freeze", 0, -2)
+
+    def test_link_events_need_a_port(self):
+        with pytest.raises(ValueError, match="output port"):
+            FaultEvent("link_kill", 0, 0)
+
+    def test_vc_stuck_needs_a_vc(self):
+        with pytest.raises(ValueError, match="VC index"):
+            FaultEvent("vc_stuck", 0, 0, port=EAST)
+
+    def test_describe_names_the_hardware(self):
+        text = FaultEvent("vc_stuck", 80, 2, EAST, 1).describe()
+        assert "vc_stuck@80" in text and "node=2" in text
+        assert "port=2" in text and "vc=1" in text
+
+
+class TestFaultSpec:
+    def test_policy_validated(self):
+        with pytest.raises(ValueError, match="unknown fault policy"):
+            FaultSpec(policy="pray")
+
+    @pytest.mark.parametrize("field", ["link_kills", "link_flips",
+                                       "router_freezes", "stuck_vcs"])
+    def test_negative_counts_rejected(self, field):
+        with pytest.raises(ValueError, match=field):
+            FaultSpec(**{field: -1})
+
+    def test_empty_onset_window_rejected(self):
+        with pytest.raises(ValueError, match="onset"):
+            FaultSpec(onset_start=100, onset_end=100)
+
+    def test_events_normalised_to_tuple(self):
+        spec = FaultSpec(events=[FaultEvent("router_freeze", 5, 0)])
+        assert isinstance(spec.events, tuple)
+
+    def test_has_faults(self):
+        assert not FaultSpec().has_faults
+        assert FaultSpec(link_kills=1).has_faults
+        assert FaultSpec(
+            events=(FaultEvent("router_freeze", 5, 0),)).has_faults
+
+    def test_describe_summarises(self):
+        spec = FaultSpec(seed=7, link_kills=2, policy="drop")
+        assert "2 kill" in spec.describe()
+        assert "seed=7" in spec.describe()
+
+
+# --- schedule expansion ------------------------------------------------------
+
+class TestBuildSchedule:
+    def test_same_seed_same_schedule(self):
+        config = small_config("vc")
+        spec = FaultSpec(seed=5, link_kills=2, link_flips=1,
+                         router_freezes=1, stuck_vcs=1)
+        first = build_schedule(spec, config)
+        second = build_schedule(spec, config)
+        assert first.events == second.events
+
+    def test_different_seeds_differ(self):
+        config = small_config("vc")
+        spec = FaultSpec(seed=5, link_kills=2, link_flips=1)
+        assert build_schedule(spec, config).events != \
+            build_schedule(spec.with_(seed=6), config).events
+
+    def test_events_sorted_by_cycle(self):
+        config = small_config("vc")
+        spec = FaultSpec(seed=3, link_kills=3, router_freezes=2)
+        cycles = [e.cycle for e in build_schedule(spec, config).events]
+        assert cycles == sorted(cycles)
+
+    def test_counts_expand_to_expected_kinds(self):
+        config = small_config("vc")
+        spec = FaultSpec(seed=1, link_kills=2, link_flips=1,
+                         router_freezes=1, stuck_vcs=1)
+        events = build_schedule(spec, config).events
+        by_kind = {kind: sum(e.kind == kind for e in events)
+                   for kind in FAULT_KINDS}
+        assert by_kind == {"link_kill": 3, "link_restore": 1,
+                           "vc_stuck": 1, "router_freeze": 1,
+                           "router_thaw": 1}
+
+    def test_transients_pair_with_their_duration(self):
+        config = small_config("wormhole")
+        spec = FaultSpec(seed=2, link_flips=1, flip_duration=123)
+        events = build_schedule(spec, config).events
+        kill = next(e for e in events if e.kind == "link_kill")
+        restore = next(e for e in events if e.kind == "link_restore")
+        assert (restore.node, restore.port) == (kill.node, kill.port)
+        assert restore.cycle == kill.cycle + 123
+
+    def test_more_kills_than_links_rejected(self):
+        with pytest.raises(ValueError, match="directed links"):
+            build_schedule(FaultSpec(link_kills=1000),
+                           small_config("wormhole"))
+
+    def test_stuck_vc_needs_vc_router(self):
+        with pytest.raises(ValueError, match="VC router"):
+            build_schedule(FaultSpec(stuck_vcs=1), small_config("wormhole"))
+
+    def test_explicit_event_on_missing_node_rejected(self):
+        spec = FaultSpec(events=(FaultEvent("router_freeze", 10, 99),))
+        with pytest.raises(ValueError, match="node outside"):
+            build_schedule(spec, small_config("wormhole"))
+
+    def test_explicit_vc_out_of_range_rejected(self):
+        spec = FaultSpec(events=(FaultEvent("vc_stuck", 10, 0, EAST, 7),))
+        with pytest.raises(ValueError, match="VC outside"):
+            build_schedule(spec, small_config("vc"))
+
+    def test_schedule_describe_lists_events(self):
+        config = small_config("wormhole")
+        schedule = build_schedule(FaultSpec(seed=1, link_kills=1), config)
+        assert "1 events" in schedule.describe()
+        assert "link_kill@" in schedule.describe()
+
+
+# --- CLI grammar -------------------------------------------------------------
+
+class TestParseFaultSpecs:
+    def test_link_kill_with_port_alias(self):
+        spec = parse_fault_specs(["link_kill:node=5,port=east,at=1200"])
+        assert spec.events == (FaultEvent("link_kill", 1200, 5, EAST),)
+
+    def test_link_flip_expands_to_kill_and_restore(self):
+        spec = parse_fault_specs(["link_flip:node=5,port=2,at=1000,for=300"])
+        assert spec.events == (
+            FaultEvent("link_kill", 1000, 5, 2),
+            FaultEvent("link_restore", 1300, 5, 2),
+        )
+
+    def test_router_freeze_with_and_without_thaw(self):
+        transient = parse_fault_specs(["router_freeze:node=3,at=500,for=800"])
+        assert transient.events == (
+            FaultEvent("router_freeze", 500, 3),
+            FaultEvent("router_thaw", 1300, 3),
+        )
+        permanent = parse_fault_specs(["router_freeze:node=3,at=500"])
+        assert permanent.events == (FaultEvent("router_freeze", 500, 3),)
+
+    def test_vc_stuck(self):
+        spec = parse_fault_specs(["vc_stuck:node=2,port=north,vc=1,at=800"])
+        assert spec.events == (FaultEvent("vc_stuck", 800, 2, NORTH, 1),)
+
+    def test_random_counts_and_window(self):
+        spec = parse_fault_specs(
+            ["random:kills=2,flips=1,freezes=1,stuck=1,"
+             "seed=9,start=100,end=900"])
+        assert (spec.link_kills, spec.link_flips, spec.router_freezes,
+                spec.stuck_vcs) == (2, 1, 1, 1)
+        assert (spec.seed, spec.onset_start, spec.onset_end) == (9, 100, 900)
+
+    def test_seed_and_policy_defaults_flow_through(self):
+        spec = parse_fault_specs(["random:kills=1"], seed=42, policy="drop")
+        assert spec.seed == 42 and spec.policy == "drop"
+
+    def test_multiple_specs_merge(self):
+        spec = parse_fault_specs(["link_kill:node=1,port=0,at=100",
+                                  "random:kills=1"])
+        assert len(spec.events) == 1 and spec.link_kills == 1
+
+    @pytest.mark.parametrize("text,match", [
+        ("link_kill", "expected kind"),
+        ("teleport:node=1,at=5", "unknown fault kind"),
+        ("link_kill:node=1,at=5", "missing port="),
+        ("link_kill:node=1,port=up,at=5", "bad port"),
+        ("link_kill:node=x,port=0,at=5", "must be an integer"),
+        ("link_kill:node=1,port=0,at=5,color=red", "unknown fields"),
+        ("link_kill:node=1,port=0", "missing at="),
+        ("random:kills", "expected name=value"),
+    ])
+    def test_bad_specs_rejected(self, text, match):
+        with pytest.raises(ValueError, match=match):
+            parse_fault_specs([text])
+
+
+# --- faults through the engine ----------------------------------------------
+
+class TestFaultedRuns:
+    def test_empty_spec_is_bit_identical_to_no_faults(self):
+        config = small_config("wormhole")
+        clean = Orion(config).run_uniform(0.05, RESILIENT)
+        gated = run_faulted(config, FaultSpec())
+        assert clean.latency.latencies == gated.latency.latencies
+        assert clean.total_cycles == gated.total_cycles
+        assert clean.total_energy_j == gated.total_energy_j
+
+    def test_misroute_detours_around_killed_link(self):
+        # A y-phase (NORTH) kill always has an EAST/WEST detour whose
+        # DOR continuation does not bounce back; x-phase kills may not.
+        spec = FaultSpec(events=(
+            FaultEvent("link_kill", 120, 5, NORTH),))
+        result = run_faulted(small_config("wormhole"), spec)
+        assert result.status == "ok"
+        assert result.packets_misrouted > 0
+        assert result.packets_dropped == 0
+        assert result.sample_packets == 60
+        assert result.avg_latency > 0
+
+    def test_drop_policy_discards_and_counts(self):
+        spec = FaultSpec(policy="drop", events=(
+            FaultEvent("link_kill", 120, 5, EAST),))
+        result = run_faulted(small_config("wormhole"), spec)
+        assert result.status == "ok"
+        assert result.packets_misrouted == 0
+        assert result.packets_dropped > 0
+        assert result.flits_dropped >= result.packets_dropped
+        # Dropped sample packets count toward completion, not latency.
+        assert result.sample_packets == 60
+        assert result.sample_dropped > 0
+        assert len(result.latency.latencies) == 60 - result.sample_dropped
+
+    def test_link_flip_recovers(self):
+        spec = FaultSpec(events=(
+            FaultEvent("link_kill", 150, 5, EAST),
+            FaultEvent("link_restore", 400, 5, EAST),))
+        result = run_faulted(small_config("wormhole"), spec)
+        assert result.status == "ok"
+
+    def test_transient_freeze_recovers(self):
+        spec = FaultSpec(events=(
+            FaultEvent("router_freeze", 150, 5),
+            FaultEvent("router_thaw", 400, 5),))
+        result = run_faulted(small_config("vc"), spec)
+        assert result.status == "ok"
+        assert result.sample_packets == 60
+
+    def test_permanent_freeze_stalls_with_finish(self):
+        spec = FaultSpec(events=(FaultEvent("router_freeze", 150, 5),))
+        result = run_faulted(small_config("wormhole"),
+                             spec, RESILIENT.with_(livelock_cycles=800))
+        assert result.status == "stalled"
+        assert result.total_cycles > 150
+
+    def test_permanent_freeze_raises_by_default(self):
+        spec = FaultSpec(events=(FaultEvent("router_freeze", 150, 5),))
+        protocol = RunProtocol(warmup_cycles=100, sample_packets=60,
+                               livelock_cycles=800, faults=spec)
+        with pytest.raises(DeadlockError):
+            Orion(small_config("wormhole")).run_uniform(0.05, protocol)
+
+    def test_max_cycles_status_with_finish(self):
+        protocol = RESILIENT.with_(max_cycles=300, sample_packets=5000)
+        result = Orion(small_config("wormhole")).run_uniform(0.05, protocol)
+        assert result.status == "max_cycles"
+        assert result.total_cycles <= 301
+
+    def test_stuck_vc_degrades_but_delivers(self):
+        spec = FaultSpec(events=(
+            FaultEvent("vc_stuck", 120, 5, EAST, 0),))
+        result = run_faulted(small_config("vc"), spec)
+        assert result.status == "ok"
+        assert result.sample_packets == 60
+
+    def test_random_cocktail_with_audits(self):
+        spec = FaultSpec(seed=4, link_kills=2, link_flips=1,
+                         onset_start=110, onset_end=400)
+        protocol = RESILIENT.with_(audit_every=25)
+        result = run_faulted(small_config("wormhole"), spec, protocol)
+        # The flit-conservation audit must hold on a degraded fabric
+        # whatever the outcome; completion is policy-dependent.
+        assert result.status in ("ok", "stalled", "max_cycles")
+
+    def test_faulted_links_tracked_on_network(self):
+        spec = FaultSpec(events=(FaultEvent("link_kill", 120, 5, EAST),))
+        config = small_config("wormhole")
+        topo = topology_for(config)
+        sim = Simulation(config, UniformRandomTraffic(topo, 0.05, seed=1),
+                         RESILIENT.with_(faults=spec))
+        sim.run()
+        assert (5, EAST) in sim.network.faulted_links
+
+
+# --- telemetry integration ---------------------------------------------------
+
+class TestFaultTelemetry:
+    def test_window_counters_sum_to_result_counters(self):
+        config = small_config("wormhole")
+        spec = FaultSpec(policy="drop", events=(
+            FaultEvent("link_kill", 140, 5, EAST),))
+        result = run_faulted(config, spec,
+                             RESILIENT.with_(telemetry_window=64))
+        record = result.telemetry
+        assert sum(record.dropped_totals()) == result.flits_dropped
+        assert sum(record.misrouted_totals()) == result.packets_misrouted
+        assert result.flits_dropped > 0
+
+    def test_misroute_counters_in_windows(self):
+        config = small_config("wormhole")
+        spec = FaultSpec(events=(FaultEvent("link_kill", 140, 5, NORTH),))
+        result = run_faulted(config, spec,
+                             RESILIENT.with_(telemetry_window=64))
+        record = result.telemetry
+        assert sum(record.misrouted_totals()) == result.packets_misrouted
+        assert result.packets_misrouted > 0
+        assert sum(record.dropped_totals()) == 0

@@ -21,6 +21,7 @@ import pytest
 
 from repro.core.config import RunProtocol
 from repro.core.presets import PRESETS
+from repro.faults import FaultEvent, FaultSpec
 from repro.sim.arbiters import FastMatrixArbiter, MatrixArbiter
 from repro.sim.engine import Simulation
 from repro.sim.topology import topology_for
@@ -31,7 +32,7 @@ REL_TOL = 1e-12
 
 
 def _run(config, kernel, traffic_cls, rate, seed, warmup, sample,
-         monitor=False, telemetry_window=0):
+         monitor=False, telemetry_window=0, faults=None):
     topo = topology_for(config)
     traffic = traffic_cls(topo, rate, seed=seed)
     protocol = RunProtocol(
@@ -44,6 +45,11 @@ def _run(config, kernel, traffic_cls, rate, seed, warmup, sample,
         audit_every=40,
         monitor=monitor,
         telemetry_window=telemetry_window,
+        faults=faults,
+        # Degraded fabrics may legitimately stall; equivalence must hold
+        # for the terminal status too, so never raise mid-run.
+        on_stall="finish" if faults is not None else "raise",
+        livelock_cycles=20_000 if faults is not None else 0,
     )
     return Simulation(config, traffic, protocol).run()
 
@@ -178,6 +184,50 @@ def test_telemetry_equivalence():
             s_col = sw.energy_j[component]
             for d, s in zip(col, s_col):
                 assert abs(d - s) <= REL_TOL * max(abs(d), 1e-30)
+
+
+# --- faulted fabrics under both kernels --------------------------------------
+#
+# The engine applies fault events through one hook shared by the dense
+# and sparse kernels, so a seeded FaultSpec must perturb both timelines
+# identically — including the fault outcome counters and the terminal
+# status.
+
+def assert_faulted_equivalent(dense, sparse):
+    assert_equivalent(dense, sparse)
+    assert dense.status == sparse.status
+    assert dense.flits_dropped == sparse.flits_dropped
+    assert dense.packets_dropped == sparse.packets_dropped
+    assert dense.packets_misrouted == sparse.packets_misrouted
+    assert dense.sample_dropped == sparse.sample_dropped
+
+
+@pytest.mark.parametrize("kind", ["wormhole", "vc"])
+@pytest.mark.parametrize("policy", ["misroute", "drop"])
+def test_random_faults_equivalent(kind, policy):
+    config = small_config(kind)
+    spec = FaultSpec(seed=9, policy=policy, link_kills=2, link_flips=1,
+                     onset_start=70, onset_end=200)
+    dense = _run(config, "dense", UniformRandomTraffic, 0.06, 1, 60, 40,
+                 faults=spec)
+    sparse = _run(config, "sparse", UniformRandomTraffic, 0.06, 1, 60, 40,
+                  faults=spec)
+    assert_faulted_equivalent(dense, sparse)
+    assert dense.flits_dropped + dense.packets_misrouted > 0
+
+
+def test_freeze_and_stuck_vc_equivalent():
+    config = small_config("vc")
+    spec = FaultSpec(events=(
+        FaultEvent("router_freeze", 90, 5),
+        FaultEvent("vc_stuck", 100, 6, 2, 0),
+        FaultEvent("router_thaw", 220, 5),
+    ))
+    dense = _run(config, "dense", UniformRandomTraffic, 0.06, 1, 60, 40,
+                 faults=spec)
+    sparse = _run(config, "sparse", UniformRandomTraffic, 0.06, 1, 60, 40,
+                  faults=spec)
+    assert_faulted_equivalent(dense, sparse)
 
 
 # --- arbiter equivalence (pins the FastMatrixArbiter docstring claim) --------
