@@ -10,14 +10,23 @@ Commands mirror the library's main entry points:
   failure isolation;
 * ``report``     — render a recorded telemetry JSONL file (component
   breakdown, spatial map, time series, engine phase spans);
+* ``serve``      — long-lived asyncio HTTP job service (queue, dedup,
+  progress streaming, graceful drain; see :mod:`repro.serve`);
+* ``submit``     — send a run/estimate/experiment job to a warm server;
+* ``cache``      — result-cache maintenance (stats, LRU prune, clear);
 * ``power``      — standalone power analysis (section 3.3 walkthrough);
 * ``delay``      — pipeline/frequency analysis (Peh-Dally delay model);
 * ``validate``   — section 3.2 ballpark checks against commercial routers.
+
+Failures are consistent: every handler either returns a non-zero exit
+code or raises an error that :func:`main` turns into ``error: ...`` on
+stderr and exit code 1 — never a traceback for predictable bad input.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional
 
@@ -36,6 +45,43 @@ from repro.sim.topology import topology_for
 from repro.sim.traffic import TRAFFIC_REGISTRY, make_traffic, traffic_names
 
 TRAFFIC_KINDS = traffic_names()
+
+
+def _positive_int(text: str) -> int:
+    """argparse type: an integer >= 1, rejected with a clear usage
+    error instead of a traceback deep in the pool."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"{text!r} is not an integer") \
+            from None
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
+
+
+def _nonneg_int(text: str) -> int:
+    """argparse type: an integer >= 0."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"{text!r} is not an integer") \
+            from None
+    if value < 0:
+        raise argparse.ArgumentTypeError(f"must be >= 0, got {value}")
+    return value
+
+
+def _positive_float(text: str) -> float:
+    """argparse type: a number > 0."""
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"{text!r} is not a number") \
+            from None
+    if value <= 0:
+        raise argparse.ArgumentTypeError(f"must be > 0, got {value}")
+    return value
 
 
 def _traffic_extras(traffic: str, args) -> dict:
@@ -343,6 +389,139 @@ def cmd_validate(args) -> int:
     return 0
 
 
+def cmd_serve(args) -> int:
+    from repro.serve import ServeConfig, serve_forever
+
+    config = ServeConfig(
+        host=args.host, port=args.port, workers=args.workers,
+        queue_limit=args.queue_limit,
+        cache_dir=None if args.no_cache else args.cache_dir,
+        journal_dir=args.journal_dir,
+        drain_timeout=args.drain_timeout,
+        point_timeout=args.point_timeout,
+        retries=args.retries, processes=args.job_processes,
+        quiet=args.quiet)
+    return serve_forever(config)
+
+
+def _submit_payload(args) -> dict:
+    """Build a job payload from ``repro submit`` flags (or --file)."""
+    if args.file:
+        with open(args.file) as f:
+            return json.load(f)
+    spec: dict = {}
+    if args.kind in ("run", "estimate"):
+        spec["config"] = args.preset
+        spec["traffic"] = {"name": args.traffic,
+                           "params": _traffic_extras(args.traffic, args)}
+        spec["rate"] = args.rate
+        if args.kind == "run":
+            spec["protocol"] = {"warmup_cycles": args.warmup,
+                                "sample_packets": args.sample,
+                                "seed": args.seed}
+    else:
+        spec["presets"] = [n.strip() for n in args.preset.split(",")]
+        spec["traffics"] = [
+            {"name": t.strip(),
+             "params": _traffic_extras(t.strip(), args)}
+            for t in args.traffic.split(",")]
+        spec["rates"] = [float(r) for r in args.rates.split(",")]
+        spec["seeds"] = [int(s) for s in args.seeds.split(",")]
+        spec["protocol"] = {"warmup_cycles": args.warmup,
+                            "sample_packets": args.sample}
+    return {"kind": args.kind, "spec": spec, "priority": args.priority}
+
+
+def _print_job_result(state: dict) -> None:
+    result = state.get("result") or {}
+    if "estimate" in result:
+        est = result["estimate"]
+        latency = est.get("avg_latency")
+        latency_text = "saturated" if latency is None else f"{latency:.2f}"
+        print(f"estimate: latency={latency_text} cycles  "
+              f"power={format_power(est['total_power_w'])}  "
+              f"saturation={est.get('saturation_rate')}")
+        return
+    for point in result.get("points", ()):
+        status = "cached" if point["from_cache"] else \
+            f"{point['wall_seconds']:.2f}s"
+        if point["ok"]:
+            body = (f"lat={point['avg_latency']:8.2f}  "
+                    f"pw={format_power(point['total_power_w']):>10}")
+        else:
+            body = f"FAILED({point['status']}): {point['error']}"
+        print(f"  {point['describe']:<40} {body}  {status}")
+
+
+def cmd_submit(args) -> int:
+    from repro.serve import ServeClient, ServeError
+
+    client = ServeClient(args.server, timeout=args.timeout)
+    payload = _submit_payload(args)
+    try:
+        accepted = client.submit(payload)
+    except ServeError as exc:
+        if exc.status == 429 and exc.retry_after:
+            print(f"error: {exc} (retry after {exc.retry_after:g}s)",
+                  file=sys.stderr)
+        else:
+            print(f"error: {exc}", file=sys.stderr)
+        return 1
+    job_id = accepted["id"]
+    print(f"job {job_id} {accepted['status']}"
+          f"{' (deduplicated onto an identical active job)' if accepted.get('deduped') else ''}")
+    if args.no_wait:
+        return 0
+    try:
+        if args.stream:
+            for event in client.stream(job_id):
+                print(json.dumps(event, sort_keys=True), flush=True)
+            state = client.status(job_id)
+        else:
+            state = client.wait(job_id, timeout=args.timeout)
+    except ServeError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    print(f"job {job_id} {state['status']} "
+          f"in {state.get('wall_seconds') or 0.0:.2f}s")
+    _print_job_result(state)
+    if state["status"] != "done":
+        print(f"error: {state.get('error')}", file=sys.stderr)
+        return 1
+    result = state.get("result") or {}
+    return 1 if result.get("failures") else 0
+
+
+def cmd_cache(args) -> int:
+    from repro.exp import ResultCache
+
+    cache = ResultCache(args.cache_dir)
+    if args.cache_command == "stats":
+        stats = cache.stats()
+        print(f"cache: {stats['root']}")
+        print(f"  entries:     {stats['entries']}")
+        print(f"  total bytes: {stats['total_bytes']}")
+        for name in ("oldest_age_s", "newest_age_s"):
+            age = stats[name]
+            print(f"  {name.replace('_', ' '):<12} "
+                  f"{'-' if age is None else format(age, '.0f') + 's'}")
+        return 0
+    if args.cache_command == "prune":
+        if args.max_age_s is None and args.max_entries is None:
+            print("error: prune needs --max-age-s and/or --max-entries",
+                  file=sys.stderr)
+            return 2
+        removed = cache.prune(max_age_s=args.max_age_s,
+                              max_entries=args.max_entries)
+        removed += cache.sweep_stale_tmp()
+        print(f"pruned {removed} entries; {len(cache)} remain")
+        return 0
+    # clear
+    removed = cache.clear()
+    print(f"cleared {removed} entries")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -363,9 +542,9 @@ def build_parser() -> argparse.ArgumentParser:
                        default="uniform")
         p.add_argument("--source", type=int, default=9,
                        help="broadcast/hotspot node id")
-        p.add_argument("--sample", type=int, default=1000,
+        p.add_argument("--sample", type=_positive_int, default=1000,
                        help="measured packets (paper uses 10000)")
-        p.add_argument("--warmup", type=int, default=1000,
+        p.add_argument("--warmup", type=_nonneg_int, default=1000,
                        help="warm-up cycles")
         p.add_argument("--seed", type=int, default=1)
         p.add_argument("--kernel", choices=("dense", "sparse"),
@@ -419,7 +598,7 @@ def build_parser() -> argparse.ArgumentParser:
     add_common(p, with_rate=False)
     p.add_argument("--rates", default="0.02,0.06,0.10,0.14",
                    help="comma-separated injection rates")
-    p.add_argument("--processes", type=int, default=1,
+    p.add_argument("--processes", type=_positive_int, default=1,
                    help="worker processes for the rate points")
     p.add_argument("--csv", metavar="PATH",
                    help="write the sweep as CSV")
@@ -438,24 +617,24 @@ def build_parser() -> argparse.ArgumentParser:
                    help="comma-separated injection rates, or 'auto' to "
                         "place the grid analytically around predicted "
                         "saturation")
-    p.add_argument("--grid-points", type=int, default=8,
+    p.add_argument("--grid-points", type=_positive_int, default=8,
                    help="points per guided grid (with --rates auto)")
     p.add_argument("--seeds", default="1",
                    help="comma-separated traffic seeds")
     p.add_argument("--source", type=int, default=9,
                    help="broadcast/hotspot node id")
-    p.add_argument("--sample", type=int, default=1000,
+    p.add_argument("--sample", type=_positive_int, default=1000,
                    help="measured packets per point")
-    p.add_argument("--warmup", type=int, default=1000,
+    p.add_argument("--warmup", type=_nonneg_int, default=1000,
                    help="warm-up cycles per point")
-    p.add_argument("--processes", type=int, default=1,
+    p.add_argument("--processes", type=_positive_int, default=1,
                    help="worker processes")
-    p.add_argument("--point-timeout", type=float, default=None,
+    p.add_argument("--point-timeout", type=_positive_float, default=None,
                    metavar="SECONDS",
                    help="wall-clock cap per point (runs each point in "
                         "its own subprocess; expired points record "
                         "status='timeout')")
-    p.add_argument("--retries", type=int, default=0,
+    p.add_argument("--retries", type=_nonneg_int, default=0,
                    help="re-run a point whose worker crashed this many "
                         "times before recording status='crashed'")
     p.add_argument("--cache-dir", default="results/.cache",
@@ -510,13 +689,105 @@ def build_parser() -> argparse.ArgumentParser:
                        help="ballpark checks vs commercial routers")
     p.set_defaults(handler=cmd_validate)
 
+    p = sub.add_parser(
+        "serve",
+        help="long-lived HTTP job service: queue, dedup, progress "
+             "streams, graceful drain (see docs/SERVICE.md)")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=_nonneg_int, default=8421,
+                   help="TCP port (0 binds an ephemeral port)")
+    p.add_argument("--workers", type=_positive_int, default=2,
+                   help="concurrent jobs")
+    p.add_argument("--queue-limit", type=_positive_int, default=64,
+                   help="waiting jobs before submissions get 429")
+    p.add_argument("--cache-dir", default="results/.cache",
+                   help="shared result cache directory")
+    p.add_argument("--no-cache", action="store_true",
+                   help="disable the result cache")
+    p.add_argument("--journal-dir", default="results/.serve",
+                   help="crash-safe job journal directory")
+    p.add_argument("--drain-timeout", type=_positive_float, default=30.0,
+                   metavar="SECONDS",
+                   help="graceful-drain budget after SIGTERM")
+    p.add_argument("--point-timeout", type=_positive_float, default=300.0,
+                   metavar="SECONDS",
+                   help="default wall-clock cap per simulation point")
+    p.add_argument("--retries", type=_nonneg_int, default=0,
+                   help="default crash retries per point")
+    p.add_argument("--job-processes", type=_positive_int, default=1,
+                   help="default worker processes within one job")
+    p.add_argument("--quiet", action="store_true",
+                   help="suppress lifecycle log lines")
+    p.set_defaults(handler=cmd_serve)
+
+    p = sub.add_parser(
+        "submit",
+        help="submit a job to a running 'repro serve' instance")
+    p.add_argument("--server", default="http://127.0.0.1:8421",
+                   help="server base URL")
+    p.add_argument("--kind", choices=("run", "estimate", "experiment"),
+                   default="run")
+    p.add_argument("--file", metavar="PATH",
+                   help="submit a raw job payload JSON file instead of "
+                        "building one from flags")
+    p.add_argument("--preset", default="VC16",
+                   help="configuration name(s); comma-separated for "
+                        "--kind experiment")
+    p.add_argument("--traffic", default="uniform",
+                   help="traffic kind(s); comma-separated for "
+                        "--kind experiment")
+    p.add_argument("--source", type=int, default=9,
+                   help="broadcast/hotspot node id")
+    p.add_argument("--rate", type=_positive_float, default=0.05,
+                   help="injection rate (run/estimate)")
+    p.add_argument("--rates", default="0.02,0.06,0.10,0.14",
+                   help="comma-separated rates (experiment)")
+    p.add_argument("--seeds", default="1",
+                   help="comma-separated seeds (experiment)")
+    p.add_argument("--sample", type=_positive_int, default=1000,
+                   help="measured packets per point")
+    p.add_argument("--warmup", type=_nonneg_int, default=1000,
+                   help="warm-up cycles per point")
+    p.add_argument("--seed", type=int, default=1)
+    p.add_argument("--priority", type=int, default=0,
+                   help="higher runs first")
+    p.add_argument("--timeout", type=_positive_float, default=600.0,
+                   help="seconds to wait for the result")
+    p.add_argument("--no-wait", action="store_true",
+                   help="print the job id and return immediately")
+    p.add_argument("--stream", action="store_true",
+                   help="follow the NDJSON progress stream instead of "
+                        "polling")
+    p.set_defaults(handler=cmd_submit)
+
+    p = sub.add_parser("cache", help="result-cache maintenance")
+    p.add_argument("cache_command", choices=("stats", "prune", "clear"))
+    p.add_argument("--cache-dir", default="results/.cache")
+    p.add_argument("--max-age-s", type=_positive_float, default=None,
+                   help="prune: drop entries older than this many "
+                        "seconds")
+    p.add_argument("--max-entries", type=_nonneg_int, default=None,
+                   help="prune: keep at most this many newest entries")
+    p.set_defaults(handler=cmd_cache)
+
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.handler(args)
+    try:
+        return args.handler(args)
+    except KeyboardInterrupt:
+        return 130
+    except BrokenPipeError:
+        return 141
+    except (ValueError, OSError, RuntimeError) as exc:
+        # Predictable operational failures (bad preset names, missing
+        # files, unreachable servers) exit 1 with one clear line; real
+        # bugs still traceback.
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
 
 
 if __name__ == "__main__":

@@ -28,11 +28,21 @@ from repro.exp.orchestrator import (
     ExperimentResult,
     PointOutcome,
     Progress,
+    fanout_progress,
     outcomes_to_sweep,
     run_experiment,
     run_points,
 )
-from repro.exp.spec import CACHE_SCHEMA, ExperimentSpec, RunPoint, TrafficSpec
+from repro.exp.spec import (
+    CACHE_SCHEMA,
+    ExperimentSpec,
+    RunPoint,
+    TrafficSpec,
+    config_from_dict,
+    config_to_dict,
+    protocol_from_dict,
+    protocol_to_dict,
+)
 
 __all__ = [
     "CACHE_SCHEMA",
@@ -46,6 +56,11 @@ __all__ = [
     "ResultCache",
     "RunPoint",
     "TrafficSpec",
+    "config_from_dict",
+    "config_to_dict",
+    "protocol_from_dict",
+    "protocol_to_dict",
+    "fanout_progress",
     "guided_rate_grid",
     "outcomes_to_sweep",
     "run_experiment",

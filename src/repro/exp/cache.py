@@ -116,6 +116,78 @@ class ResultCache:
                 continue  # a concurrent sweep or writer got there first
         return removed
 
+    def prune(self, max_age_s: Optional[float] = None,
+              max_entries: Optional[int] = None) -> int:
+        """Evict entries, LRU by file mtime; returns the number removed.
+
+        ``max_age_s`` drops every entry older than that many seconds;
+        ``max_entries`` then keeps only the newest that many.  Both
+        ``None`` is a no-op.  ``load`` refreshes nothing — mtime is
+        write time — so "LRU" here is strictly least-recently-*stored*,
+        which is the right policy for a long-lived server whose hot keys
+        are re-stored only when the code version (and hence the key)
+        changes.  Entries that vanish mid-scan (a concurrent prune or
+        writer) are skipped, not errors.
+        """
+        if max_age_s is None and max_entries is None:
+            return 0
+        if max_age_s is not None and max_age_s < 0:
+            raise ValueError(f"max_age_s must be >= 0, got {max_age_s}")
+        if max_entries is not None and max_entries < 0:
+            raise ValueError(f"max_entries must be >= 0, got {max_entries}")
+        entries = []
+        for path in self.root.glob("*/*.pkl") if self.root.exists() else ():
+            try:
+                entries.append((path.stat().st_mtime, path))
+            except OSError:
+                continue
+        entries.sort()  # oldest first
+        doomed = []
+        if max_age_s is not None:
+            cutoff = time.time() - max_age_s
+            doomed += [path for mtime, path in entries if mtime < cutoff]
+            entries = [(m, p) for m, p in entries if m >= cutoff]
+        if max_entries is not None and len(entries) > max_entries:
+            excess = len(entries) - max_entries
+            doomed += [path for _, path in entries[:excess]]
+        removed = 0
+        for path in doomed:
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                continue
+        return removed
+
+    def stats(self) -> dict:
+        """Size and age accounting of the on-disk store plus this
+        instance's hit/miss counters, as a JSON-safe dict."""
+        entries = 0
+        total_bytes = 0
+        oldest = newest = None
+        for path in self.root.glob("*/*.pkl") if self.root.exists() else ():
+            try:
+                stat = path.stat()
+            except OSError:
+                continue
+            entries += 1
+            total_bytes += stat.st_size
+            if oldest is None or stat.st_mtime < oldest:
+                oldest = stat.st_mtime
+            if newest is None or stat.st_mtime > newest:
+                newest = stat.st_mtime
+        now = time.time()
+        return {
+            "root": str(self.root),
+            "entries": entries,
+            "total_bytes": total_bytes,
+            "oldest_age_s": now - oldest if oldest is not None else None,
+            "newest_age_s": now - newest if newest is not None else None,
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_rate": self.hit_rate,
+        }
+
     def clear(self) -> int:
         """Delete every entry; returns the number removed."""
         removed = 0

@@ -82,6 +82,36 @@ class PointOutcome:
         name, _, message = (self.error or "").partition(": ")
         raise _ERROR_TYPES.get(name, RuntimeError)(message or self.error)
 
+    def summary_dict(self) -> Dict[str, object]:
+        """A flat, JSON-safe summary of this outcome (no pickled
+        simulation payloads) — the shape the ``repro.serve`` job
+        service returns and streams.  Telemetry, when recorded, is
+        compacted through :func:`repro.telemetry.telemetry_summary`."""
+        summary = {
+            "describe": self.point.describe(),
+            "label": self.point.label,
+            "traffic": self.point.traffic.describe(),
+            "rate": self.point.rate,
+            "seed": self.point.protocol.seed,
+            "ok": self.ok,
+            "status": self.status,
+            "error": self.error,
+            "avg_latency": self.avg_latency,
+            "total_power_w": self.total_power_w,
+            "throughput_flits_per_cycle": self.throughput_flits_per_cycle,
+            "breakdown_w": dict(self.breakdown_w),
+            "total_cycles": self.total_cycles,
+            "wall_seconds": self.wall_seconds,
+            "from_cache": self.from_cache,
+            "flits_dropped": self.flits_dropped,
+            "packets_misrouted": self.packets_misrouted,
+            "attempts": self.attempts,
+        }
+        if self.telemetry is not None:
+            from repro.telemetry import telemetry_summary
+            summary["telemetry"] = telemetry_summary(self.telemetry)
+        return summary
+
     def to_sweep_point(self) -> SweepPoint:
         return SweepPoint(
             rate=self.point.rate,
@@ -115,8 +145,40 @@ class Progress:
     def cache_hit_rate(self) -> float:
         return self.cache_hits / self.done if self.done else 0.0
 
+    def to_dict(self) -> Dict[str, object]:
+        """A JSON-safe snapshot of this progress event.
+
+        Progress hooks run on whatever thread executes the sweep, so a
+        hook that feeds an event loop (or a socket, or a queue) wants a
+        plain dict it can hand across the boundary without touching the
+        live outcome again; this is that dict.  The ``repro.serve``
+        NDJSON progress stream emits these verbatim.
+        """
+        return {
+            "done": self.done,
+            "total": self.total,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "cache_hit_rate": self.cache_hit_rate,
+            "failures": self.failures,
+            "cycles_simulated": self.cycles_simulated,
+            "elapsed_seconds": self.elapsed_seconds,
+            "point": self.outcome.summary_dict(),
+        }
+
 
 ProgressHook = Callable[[Progress], None]
+
+
+def fanout_progress(*hooks: Optional[ProgressHook]) -> ProgressHook:
+    """Combine several progress hooks into one (``None`` entries are
+    skipped) — e.g. a console printer plus a streaming publisher."""
+    live = [hook for hook in hooks if hook is not None]
+
+    def fan(progress: Progress) -> None:
+        for hook in live:
+            hook(progress)
+    return fan
 
 
 def _needs_result(point: RunPoint, keep_results: bool) -> bool:

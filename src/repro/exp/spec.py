@@ -10,6 +10,12 @@ can be dispatched to a worker process or hashed into a cache key:
   :class:`RunProtocol`;
 * :class:`ExperimentSpec` — the full cartesian grid, expanded with
   :meth:`ExperimentSpec.points`.
+
+Every spec also round-trips through plain JSON — ``to_dict``/``to_json``
+and the matching ``from_dict``/``from_json`` constructors rebuild an
+equal object (same dataclass equality, same cache keys), so specs can
+cross process and *machine* boundaries as text: the ``repro.serve`` job
+service accepts exactly these dictionaries as its wire format.
 """
 
 from __future__ import annotations
@@ -19,13 +25,72 @@ import json
 from dataclasses import asdict, dataclass, field, replace
 from typing import Any, Dict, Iterable, List, Mapping, Sequence, Tuple, Union
 
-from repro.core.config import NetworkConfig, RunProtocol
+from repro.core.config import (
+    LinkConfig,
+    NetworkConfig,
+    RouterConfig,
+    RunProtocol,
+    TechConfig,
+)
 from repro.sim.topology import Topology
 from repro.sim.traffic import (
     TrafficPattern,
     make_traffic,
     validate_traffic_params,
 )
+
+# --- JSON round-trips --------------------------------------------------------
+#
+# ``dataclasses.asdict`` handles the "to" direction; the ``from``
+# direction rebuilds the nested frozen dataclasses (router/link/tech
+# inside a config, fault events inside a protocol) so that
+# ``from_dict(to_dict(x)) == x`` holds for every spec — including after
+# a trip through ``json.dumps``/``loads`` (tuples become lists on the
+# wire; the constructors re-tuple them).
+
+
+def config_to_dict(config: NetworkConfig) -> Dict[str, Any]:
+    """A :class:`NetworkConfig` as a JSON-safe nested dict."""
+    return asdict(config)
+
+
+def config_from_dict(data: Mapping[str, Any]) -> NetworkConfig:
+    """Rebuild a :class:`NetworkConfig` from :func:`config_to_dict`
+    output (or any mapping using the same field names; omitted fields
+    take their defaults)."""
+    fields = dict(data)
+    router = fields.pop("router", {})
+    link = fields.pop("link", {})
+    tech = fields.pop("tech", {})
+    return NetworkConfig(
+        router=router if isinstance(router, RouterConfig)
+        else RouterConfig(**router),
+        link=link if isinstance(link, LinkConfig) else LinkConfig(**link),
+        tech=tech if isinstance(tech, TechConfig) else TechConfig(**tech),
+        **fields)
+
+
+def protocol_to_dict(protocol: RunProtocol) -> Dict[str, Any]:
+    """A :class:`RunProtocol` (fault spec included) as a JSON-safe
+    dict."""
+    return asdict(protocol)
+
+
+def protocol_from_dict(data: Mapping[str, Any]) -> RunProtocol:
+    """Rebuild a :class:`RunProtocol` from :func:`protocol_to_dict`
+    output, reconstructing a nested fault spec and its events."""
+    from repro.faults import FaultEvent, FaultSpec
+
+    fields = dict(data)
+    faults = fields.pop("faults", None)
+    if faults is not None and not isinstance(faults, FaultSpec):
+        fault_fields = dict(faults)
+        events = tuple(
+            event if isinstance(event, FaultEvent) else FaultEvent(**event)
+            for event in fault_fields.pop("events", ()))
+        faults = FaultSpec(events=events, **fault_fields)
+    return RunProtocol(faults=faults, **fields)
+
 
 #: Bump when cached payload semantics change: invalidates every entry.
 #: 2: outcomes carry the windowed telemetry record.
@@ -66,6 +131,18 @@ class TrafficSpec:
         inner = ",".join(f"{k}={v}" for k, v in self.params)
         return f"{self.name}({inner})"
 
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-safe form: ``{"name": ..., "params": {...}}``."""
+        return {"name": self.name, "params": dict(self.params)}
+
+    @classmethod
+    def from_dict(cls, data: Union[str, Mapping[str, Any]]) -> "TrafficSpec":
+        """Rebuild from :meth:`to_dict` output; a bare traffic name is
+        accepted as shorthand for a parameterless spec."""
+        if isinstance(data, str):
+            return cls.of(data)
+        return cls.of(data["name"], **dict(data.get("params") or {}))
+
 
 @dataclass(frozen=True)
 class RunPoint:
@@ -100,6 +177,29 @@ class RunPoint:
         tag = self.label or self.config.router.kind
         return (f"{tag} {self.traffic.describe()} rate={self.rate:g} "
                 f"seed={self.protocol.seed}")
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-safe form; feeds :meth:`from_dict` and the job service."""
+        return {"config": config_to_dict(self.config),
+                "traffic": self.traffic.to_dict(),
+                "rate": self.rate,
+                "protocol": protocol_to_dict(self.protocol),
+                "label": self.label}
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "RunPoint":
+        return cls(config=config_from_dict(data["config"]),
+                   traffic=TrafficSpec.from_dict(data["traffic"]),
+                   rate=float(data["rate"]),
+                   protocol=protocol_from_dict(data.get("protocol") or {}),
+                   label=data.get("label", ""))
+
+    @classmethod
+    def from_json(cls, text: str) -> "RunPoint":
+        return cls.from_dict(json.loads(text))
 
 
 ConfigsLike = Union[NetworkConfig,
@@ -158,6 +258,33 @@ class ExperimentSpec:
     def num_points(self) -> int:
         return (len(self.configs) * len(self.traffics)
                 * len(self.seeds) * len(self.rates))
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-safe form; feeds :meth:`from_dict` and the job service."""
+        return {"configs": [[label, config_to_dict(config)]
+                            for label, config in self.configs],
+                "traffics": [t.to_dict() for t in self.traffics],
+                "rates": list(self.rates),
+                "seeds": list(self.seeds),
+                "protocol": protocol_to_dict(self.protocol)}
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ExperimentSpec":
+        return cls(
+            configs=tuple((label, config_from_dict(config))
+                          for label, config in data["configs"]),
+            traffics=tuple(TrafficSpec.from_dict(t)
+                           for t in data["traffics"]),
+            rates=tuple(float(r) for r in data["rates"]),
+            seeds=tuple(int(s) for s in data.get("seeds") or (1,)),
+            protocol=protocol_from_dict(data.get("protocol") or {}))
+
+    @classmethod
+    def from_json(cls, text: str) -> "ExperimentSpec":
+        return cls.from_dict(json.loads(text))
 
     def points(self) -> List[RunPoint]:
         """Expand the grid; rates vary innermost so each (config,

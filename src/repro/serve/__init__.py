@@ -1,0 +1,57 @@
+"""``repro.serve`` — the long-lived simulation service.
+
+Orion's value is *cheap* architectural exploration: many small
+parameterized queries over the same models.  The CLI answers each one
+in a fresh process; this package answers them from a warm server
+instead — shared in-flight work, a shared on-disk result cache, and
+sub-millisecond analytic estimates over HTTP:
+
+* :class:`~repro.serve.app.ServeApp` / :func:`~repro.serve.app.serve_forever`
+  — the asyncio HTTP service (``repro serve``): bounded priority job
+  queue with 429 backpressure, single-flight dedup on result-cache
+  keys, NDJSON progress streaming, crash-safe job journal and
+  SIGTERM-triggered graceful drain;
+* :class:`~repro.serve.client.ServeClient` — the blocking stdlib
+  client (``repro submit``): submit / wait / stream;
+* :mod:`~repro.serve.jobs` — the job JSON schema, riding the
+  :mod:`repro.exp.spec` serialization round-trips.
+
+Everything is standard library only — no new runtime dependencies.
+"""
+
+from repro.serve.app import (
+    DEFAULT_POINT_TIMEOUT,
+    ServeApp,
+    ServeConfig,
+    serve_forever,
+)
+from repro.serve.client import DEFAULT_BASE_URL, ServeClient, ServeError
+from repro.serve.jobs import (
+    DEFAULT_JOURNAL_DIR,
+    JOB_KINDS,
+    Job,
+    JobError,
+    JobJournal,
+    parse_job,
+)
+from repro.serve.metrics import ServerMetrics
+from repro.serve.queue import JobQueue, QueueFull
+
+__all__ = [
+    "DEFAULT_BASE_URL",
+    "DEFAULT_JOURNAL_DIR",
+    "DEFAULT_POINT_TIMEOUT",
+    "JOB_KINDS",
+    "Job",
+    "JobError",
+    "JobJournal",
+    "JobQueue",
+    "QueueFull",
+    "ServeApp",
+    "ServeClient",
+    "ServeConfig",
+    "ServeError",
+    "ServerMetrics",
+    "parse_job",
+    "serve_forever",
+]

@@ -1,0 +1,547 @@
+"""The asyncio HTTP simulation service (``repro serve``).
+
+One process, three layers:
+
+* an **HTTP front** on ``asyncio.start_server`` — a deliberately small
+  HTTP/1.1 implementation (request line, headers, Content-Length body,
+  ``Connection: close``) so the whole service stays stdlib-only;
+* an **event-loop core** owning all mutable state: the bounded
+  priority :class:`~repro.serve.queue.JobQueue`, the single-flight
+  dedup index, per-job event logs and the
+  :class:`~repro.serve.metrics.ServerMetrics` counters.  Every state
+  mutation happens on the loop thread — worker threads talk to it only
+  through ``call_soon_threadsafe``;
+* a **worker pool** (``ThreadPoolExecutor``, ``--workers`` wide) whose
+  threads drive the orchestrator's resilient
+  :func:`~repro.exp.orchestrator.run_points` — per-point subprocess
+  wall-clock caps, crash retries, failure isolation — against the
+  shared on-disk :class:`~repro.exp.cache.ResultCache`.  Analytic
+  ``estimate`` jobs run inline in the thread (they take milliseconds).
+
+Endpoints::
+
+    POST /v1/jobs             submit (202; 200+deduped; 400/429/503)
+    GET  /v1/jobs             all jobs, summaries
+    GET  /v1/jobs/<id>        status + result
+    GET  /v1/jobs/<id>/events NDJSON progress stream (live until done)
+    GET  /healthz             liveness + drain state
+    GET  /metrics             queue/dedup/cache/percentile counters
+
+Lifecycle: SIGTERM/SIGINT trigger a graceful drain — new submissions
+get 503, queued jobs keep dispatching until ``--drain-timeout``, then
+in-flight jobs are allowed to finish (each point is already wall-clock
+capped), journal entries for anything unfinished survive for the next
+server, and the process exits 0.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import math
+import signal
+import threading
+import time
+import uuid
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Any, Dict, Optional, Set, Tuple
+
+from repro.exp.cache import DEFAULT_CACHE_DIR, ResultCache
+from repro.exp.orchestrator import Progress, run_points
+from repro.serve.jobs import (
+    DEFAULT_JOURNAL_DIR,
+    Job,
+    JobError,
+    JobJournal,
+    parse_job,
+)
+from repro.serve.metrics import ServerMetrics
+from repro.serve.queue import JobQueue, QueueFull
+
+#: Fallback ``Retry-After`` seconds when no duration data exists yet.
+DEFAULT_RETRY_AFTER = 5
+
+#: Server-side default wall-clock cap per simulation point; payloads
+#: may override per job.  Keeps a hung point from wedging a worker (and
+#: the drain) forever.
+DEFAULT_POINT_TIMEOUT = 300.0
+
+
+@dataclass
+class ServeConfig:
+    """Everything ``repro serve`` accepts on the command line."""
+
+    host: str = "127.0.0.1"
+    port: int = 8421
+    workers: int = 2
+    queue_limit: int = 64
+    cache_dir: Optional[str] = DEFAULT_CACHE_DIR
+    journal_dir: str = DEFAULT_JOURNAL_DIR
+    drain_timeout: float = 30.0
+    point_timeout: Optional[float] = DEFAULT_POINT_TIMEOUT
+    retries: int = 0
+    processes: int = 1
+    quiet: bool = False
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise ValueError(f"workers must be >= 1, got {self.workers}")
+        if self.queue_limit < 1:
+            raise ValueError(
+                f"queue_limit must be >= 1, got {self.queue_limit}")
+        if self.drain_timeout <= 0:
+            raise ValueError(
+                f"drain_timeout must be > 0, got {self.drain_timeout}")
+        if self.point_timeout is not None and self.point_timeout <= 0:
+            raise ValueError(
+                f"point_timeout must be > 0, got {self.point_timeout}")
+        if self.retries < 0:
+            raise ValueError(f"retries must be >= 0, got {self.retries}")
+        if self.processes < 1:
+            raise ValueError(f"processes must be >= 1, got {self.processes}")
+
+
+def _finite(value: Optional[float]) -> Optional[float]:
+    """Non-finite floats become ``None`` so responses stay strict JSON."""
+    if value is None or not isinstance(value, float):
+        return value
+    return value if math.isfinite(value) else None
+
+
+def _json_safe(obj):
+    """Recursively replace NaN/inf so ``json.dumps`` emits strict JSON
+    (curl/jq choke on bare ``NaN`` tokens)."""
+    if isinstance(obj, float):
+        return _finite(obj)
+    if isinstance(obj, dict):
+        return {key: _json_safe(value) for key, value in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [_json_safe(value) for value in obj]
+    return obj
+
+
+class ServeApp:
+    """One running simulation service."""
+
+    def __init__(self, config: ServeConfig) -> None:
+        self.config = config
+        self.cache = (ResultCache(config.cache_dir)
+                      if config.cache_dir else None)
+        self.journal = JobJournal(config.journal_dir)
+        self.queue = JobQueue(config.queue_limit)
+        self.metrics = ServerMetrics()
+        self.jobs: Dict[str, Job] = {}
+        self.draining = False
+        #: Bound port, available once :attr:`ready` is set (``--port 0``
+        #: binds an ephemeral port).
+        self.port: Optional[int] = None
+        self.ready = threading.Event()
+        self._active_keys: Dict[str, Job] = {}
+        self._inflight: Dict[str, asyncio.Future] = {}
+        self._event_waiters: Set[asyncio.Future] = set()
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._wake: Optional[asyncio.Event] = None
+        self._stopped: Optional[asyncio.Future] = None
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._pool: Optional[ThreadPoolExecutor] = None
+        self._dispatch_queued = True
+
+    # --- lifecycle ----------------------------------------------------------
+
+    def _log(self, message: str) -> None:
+        if not self.config.quiet:
+            print(message, flush=True)
+
+    async def serve(self) -> int:
+        """Run until drained; returns the process exit code (0)."""
+        self._loop = asyncio.get_running_loop()
+        self._wake = asyncio.Event()
+        self._stopped = self._loop.create_future()
+        self._pool = ThreadPoolExecutor(
+            max_workers=self.config.workers,
+            thread_name_prefix="repro-serve")
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            try:
+                self._loop.add_signal_handler(signum, self._begin_drain)
+            except (NotImplementedError, RuntimeError, ValueError):
+                pass  # non-main thread or platform without signal support
+        self._recover()
+        self._server = await asyncio.start_server(
+            self._handle_client, self.config.host, self.config.port)
+        self.port = self._server.sockets[0].getsockname()[1]
+        self._log(f"serving on http://{self.config.host}:{self.port} "
+                  f"({self.config.workers} workers, queue limit "
+                  f"{self.config.queue_limit})")
+        self.ready.set()
+        dispatcher = self._loop.create_task(self._dispatch_loop())
+        self._wake.set()
+        try:
+            code = await self._stopped
+        finally:
+            dispatcher.cancel()
+            self._server.close()
+            await self._server.wait_closed()
+            self._pool.shutdown(wait=False, cancel_futures=True)
+        self._log("drain: complete, exiting 0")
+        return code
+
+    def request_drain(self) -> None:
+        """Thread-safe external drain trigger (what SIGTERM calls)."""
+        if self._loop is not None:
+            try:
+                self._loop.call_soon_threadsafe(self._begin_drain)
+            except RuntimeError:
+                pass  # loop already closed
+
+    def _begin_drain(self) -> None:
+        if self.draining:
+            return
+        self.draining = True
+        self._log(f"drain: started ({len(self.queue)} queued, "
+                  f"{len(self._inflight)} in flight, timeout "
+                  f"{self.config.drain_timeout:g}s)")
+        self._loop.create_task(self._drain())
+
+    async def _drain(self) -> None:
+        deadline = self._loop.time() + self.config.drain_timeout
+        # Phase 1: let queued jobs keep dispatching until the deadline.
+        while (self._inflight or self.queue) \
+                and self._loop.time() < deadline:
+            await asyncio.sleep(0.05)
+        # Phase 2: stop starting new work; in-flight jobs finish (each
+        # point is wall-clock capped, so this terminates).
+        self._dispatch_queued = False
+        while self._inflight:
+            await asyncio.sleep(0.05)
+        leftover = len(self.queue)
+        if leftover:
+            self._log(f"drain: {leftover} queued job(s) left journaled "
+                      f"for recovery")
+        if not self._stopped.done():
+            self._stopped.set_result(0)
+
+    def _recover(self) -> None:
+        """Re-enqueue journaled jobs from a previous (killed) server."""
+        for entry in self.journal.recover():
+            try:
+                job = parse_job(entry["payload"], entry["id"])
+            except JobError as exc:
+                self._log(f"recover: dropping journaled job "
+                          f"{entry['id']}: {exc}")
+                self.journal.discard(entry["id"])
+                continue
+            job.submitted_at = entry.get("submitted_at", job.submitted_at)
+            self.jobs[job.id] = job
+            self._active_keys.setdefault(job.key, job)
+            try:
+                self.queue.push(job)
+            except QueueFull:
+                self._log(f"recover: queue full, leaving {job.id} "
+                          f"journaled")
+                self.jobs.pop(job.id)
+                if self._active_keys.get(job.key) is job:
+                    self._active_keys.pop(job.key)
+                continue
+            self.metrics.inc("recovered")
+        if self.metrics.counters["recovered"]:
+            self._log(f"recover: re-enqueued "
+                      f"{self.metrics.counters['recovered']} journaled "
+                      f"job(s)")
+
+    # --- dispatch and execution ---------------------------------------------
+
+    async def _dispatch_loop(self) -> None:
+        while True:
+            await self._wake.wait()
+            self._wake.clear()
+            while self._dispatch_queued \
+                    and len(self._inflight) < self.config.workers:
+                job = self.queue.pop()
+                if job is None:
+                    break
+                self._start_job(job)
+
+    def _start_job(self, job: Job) -> None:
+        job.status = "running"
+        job.started_at = time.time()
+        self._publish(job, {"type": "status", "status": "running",
+                            "queue_depth": len(self.queue)})
+        future = self._loop.run_in_executor(self._pool, self._execute, job)
+        self._inflight[job.id] = future
+        future.add_done_callback(
+            lambda f, job=job: self._job_done(job, f))
+
+    def _execute(self, job: Job) -> Dict[str, Any]:
+        """Worker-thread entry: run the job, return its result dict."""
+        if job.kind == "estimate":
+            from repro.analytic import estimate
+
+            est = estimate(job.estimate["config"], job.estimate["traffic"],
+                           job.estimate["rate"], **job.estimate["params"])
+            saturation = est.saturation
+            return {"estimate": {
+                "traffic": est.traffic,
+                "rate": est.rate,
+                "avg_latency": _finite(est.avg_latency),
+                "zero_load_latency": _finite(est.zero_load_latency),
+                "avg_hops": est.avg_hops,
+                "total_power_w": est.total_power_w,
+                "power_breakdown_w": dict(est.power_breakdown_w),
+                "throughput_flits_per_cycle":
+                    est.throughput_flits_per_cycle,
+                "saturation_rate":
+                    _finite(saturation.rate) if saturation else None,
+                "is_saturated": est.is_saturated,
+            }}
+
+        options = job.options
+        point_timeout = options.get("point_timeout") \
+            or self.config.point_timeout
+        retries = options.get("retries")
+        processes = options.get("processes") or self.config.processes
+
+        def publish_progress(progress: Progress) -> None:
+            event = {"type": "progress", **progress.to_dict()}
+            try:
+                self._loop.call_soon_threadsafe(self._publish, job, event)
+            except RuntimeError:
+                pass  # loop shut down mid-job; nobody is listening
+
+        outcomes = run_points(
+            job.points,
+            processes=processes,
+            cache=self.cache,
+            on_error="record",
+            point_timeout=point_timeout,
+            retries=self.config.retries if retries is None else retries,
+            progress=publish_progress)
+        failures = sum(1 for o in outcomes if not o.ok)
+        return {
+            "num_points": len(outcomes),
+            "failures": failures,
+            "cache_hits": sum(1 for o in outcomes if o.from_cache),
+            "cycles_simulated": sum(o.total_cycles for o in outcomes
+                                    if not o.from_cache),
+            "points": [o.summary_dict() for o in outcomes],
+        }
+
+    def _job_done(self, job: Job, future: asyncio.Future) -> None:
+        """Completion bookkeeping; runs on the event loop."""
+        self._inflight.pop(job.id, None)
+        try:
+            job.result = future.result()
+            job.status = "done"
+            self.metrics.inc("completed")
+        except Exception as exc:  # noqa: BLE001 - job isolation boundary
+            job.status = "failed"
+            job.error = f"{type(exc).__name__}: {exc}"
+            self.metrics.inc("failed")
+        job.finished_at = time.time()
+        if job.started_at is not None:
+            self.metrics.observe_duration(job.finished_at - job.started_at)
+        self.journal.discard(job.id)
+        if self._active_keys.get(job.key) is job:
+            self._active_keys.pop(job.key)
+        self._publish(job, {"type": "done", "status": job.status,
+                            "error": job.error,
+                            "wall_seconds": job.wall_seconds})
+        self._wake.set()
+
+    # --- job intake ---------------------------------------------------------
+
+    def _submit(self, payload: Any) -> Tuple[int, Dict[str, Any],
+                                             Dict[str, str]]:
+        """Accept/dedup/reject one submission; returns (HTTP status,
+        body, extra headers)."""
+        self.metrics.inc("submitted")
+        if self.draining:
+            self.metrics.inc("rejected_draining")
+            return 503, {"error": "server is draining"}, {}
+        try:
+            job = parse_job(payload, uuid.uuid4().hex[:12])
+        except JobError as exc:
+            self.metrics.inc("invalid")
+            return 400, {"error": str(exc)}, {}
+        primary = self._active_keys.get(job.key)
+        if primary is not None and not primary.terminal:
+            # Single-flight: identical work is already queued or running;
+            # the caller waits on the primary job and shares its result.
+            primary.coalesced += 1
+            self.metrics.inc("deduped")
+            return 200, {"id": primary.id, "status": primary.status,
+                         "key": primary.key, "deduped": True}, {}
+        try:
+            self.queue.push(job)
+        except QueueFull:
+            self.metrics.inc("rejected_queue_full")
+            return (429, {"error": f"queue full "
+                                   f"({self.config.queue_limit} waiting)"},
+                    {"Retry-After": str(self._retry_after())})
+        self.jobs[job.id] = job
+        self._active_keys[job.key] = job
+        self.journal.record(job)
+        self.metrics.inc("accepted")
+        self._publish(job, {"type": "status", "status": "queued",
+                            "queue_depth": len(self.queue)})
+        self._wake.set()
+        return 202, {"id": job.id, "status": "queued", "key": job.key,
+                     "deduped": False,
+                     "queue_depth": len(self.queue)}, {}
+
+    def _retry_after(self) -> int:
+        """A Retry-After estimate: how long until a queue slot frees —
+        roughly one median job per worker."""
+        p50 = self.metrics.percentile(50)
+        if p50 is None:
+            return DEFAULT_RETRY_AFTER
+        estimate = p50 * (len(self.queue) + 1) / self.config.workers
+        return max(1, min(60, int(estimate + 0.5)))
+
+    # --- events -------------------------------------------------------------
+
+    def _publish(self, job: Job, event: Dict[str, Any]) -> None:
+        event = {"job": job.id, "ts": round(time.time(), 3), **event}
+        job.events.append(event)
+        for waiter in self._event_waiters:
+            if not waiter.done():
+                waiter.set_result(None)
+
+    async def _wait_event(self, timeout: float = 1.0) -> None:
+        waiter = self._loop.create_future()
+        self._event_waiters.add(waiter)
+        try:
+            await asyncio.wait_for(waiter, timeout)
+        except asyncio.TimeoutError:
+            pass
+        finally:
+            self._event_waiters.discard(waiter)
+
+    # --- HTTP front ---------------------------------------------------------
+
+    async def _handle_client(self, reader: asyncio.StreamReader,
+                             writer: asyncio.StreamWriter) -> None:
+        try:
+            request = await asyncio.wait_for(reader.readline(), 30)
+            if not request:
+                return
+            try:
+                method, target, _ = request.decode("latin-1").split(None, 2)
+            except ValueError:
+                await self._send_json(writer, 400,
+                                      {"error": "malformed request line"})
+                return
+            headers = {}
+            while True:
+                line = await asyncio.wait_for(reader.readline(), 30)
+                if line in (b"\r\n", b"\n", b""):
+                    break
+                name, _, value = line.decode("latin-1").partition(":")
+                headers[name.strip().lower()] = value.strip()
+            length = int(headers.get("content-length", 0) or 0)
+            body = await reader.readexactly(length) if length else b""
+            await self._route(method, target.split("?", 1)[0], body, writer)
+        except (asyncio.TimeoutError, asyncio.IncompleteReadError,
+                ConnectionError):
+            pass
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, RuntimeError):
+                pass
+
+    async def _route(self, method: str, path: str, body: bytes,
+                     writer: asyncio.StreamWriter) -> None:
+        if method == "POST" and path == "/v1/jobs":
+            try:
+                payload = json.loads(body or b"null")
+            except ValueError:
+                self.metrics.inc("submitted")
+                self.metrics.inc("invalid")
+                await self._send_json(writer, 400,
+                                      {"error": "body is not valid JSON"})
+                return
+            status, out, extra = self._submit(payload)
+            await self._send_json(writer, status, out, extra)
+            return
+        if method != "GET":
+            await self._send_json(writer, 405,
+                                  {"error": f"unsupported method {method}"})
+            return
+        if path == "/healthz":
+            await self._send_json(writer, 200, {
+                "status": "draining" if self.draining else "ok",
+                "queue_depth": len(self.queue),
+                "in_flight": len(self._inflight),
+            })
+        elif path == "/metrics":
+            await self._send_json(writer, 200, self.metrics.snapshot(
+                queue_depth=len(self.queue),
+                in_flight=len(self._inflight),
+                draining=self.draining, cache=self.cache))
+        elif path == "/v1/jobs":
+            await self._send_json(writer, 200, {
+                "jobs": [job.public_dict(with_result=False)
+                         for job in self.jobs.values()]})
+        elif path.startswith("/v1/jobs/"):
+            rest = path[len("/v1/jobs/"):]
+            job_id, _, tail = rest.partition("/")
+            job = self.jobs.get(job_id)
+            if job is None:
+                await self._send_json(writer, 404,
+                                      {"error": f"no such job {job_id!r}"})
+            elif tail == "":
+                await self._send_json(writer, 200, job.public_dict())
+            elif tail == "events":
+                await self._stream_events(job, writer)
+            else:
+                await self._send_json(writer, 404,
+                                      {"error": f"no such endpoint "
+                                                f"{path!r}"})
+        else:
+            await self._send_json(writer, 404,
+                                  {"error": f"no such endpoint {path!r}"})
+
+    async def _stream_events(self, job: Job,
+                             writer: asyncio.StreamWriter) -> None:
+        """NDJSON: replay the job's event log, then follow it live
+        until the job reaches a terminal status."""
+        writer.write(b"HTTP/1.1 200 OK\r\n"
+                     b"Content-Type: application/x-ndjson\r\n"
+                     b"Cache-Control: no-store\r\n"
+                     b"Connection: close\r\n\r\n")
+        sent = 0
+        while True:
+            while sent < len(job.events):
+                line = json.dumps(_json_safe(job.events[sent]),
+                                  sort_keys=True) + "\n"
+                writer.write(line.encode())
+                sent += 1
+            await writer.drain()
+            if job.terminal and sent >= len(job.events):
+                return
+            await self._wait_event()
+
+    async def _send_json(self, writer: asyncio.StreamWriter, status: int,
+                         body: Dict[str, Any],
+                         extra_headers: Optional[Dict[str, str]] = None
+                         ) -> None:
+        reasons = {200: "OK", 202: "Accepted", 400: "Bad Request",
+                   404: "Not Found", 405: "Method Not Allowed",
+                   429: "Too Many Requests", 503: "Service Unavailable"}
+        payload = json.dumps(_json_safe(body), sort_keys=True).encode()
+        head = [f"HTTP/1.1 {status} {reasons.get(status, 'Error')}",
+                "Content-Type: application/json",
+                f"Content-Length: {len(payload)}",
+                "Connection: close"]
+        for name, value in (extra_headers or {}).items():
+            head.append(f"{name}: {value}")
+        writer.write(("\r\n".join(head) + "\r\n\r\n").encode() + payload)
+        await writer.drain()
+
+
+def serve_forever(config: ServeConfig) -> int:
+    """Blocking entry point for the CLI: run one server to drain."""
+    app = ServeApp(config)
+    return asyncio.run(app.serve())

@@ -1,0 +1,161 @@
+"""Blocking stdlib client for the simulation service.
+
+:class:`ServeClient` is what scripts (and the ``repro submit`` CLI)
+use to target a warm server instead of paying a cold CLI process per
+query: submit a job payload, poll or stream it, get the result dict
+back.  One ``http.client`` connection per request — the server closes
+connections after each response, which keeps both sides trivial.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+import urllib.parse
+from typing import Any, Dict, Iterator, Optional
+
+DEFAULT_BASE_URL = "http://127.0.0.1:8421"
+
+
+class ServeError(RuntimeError):
+    """A non-2xx server response (or no response at all).
+
+    Carries the HTTP ``status`` (0 when the server was unreachable)
+    and, for 429 rejections, the server's suggested ``retry_after``
+    seconds.
+    """
+
+    def __init__(self, message: str, status: int = 0,
+                 retry_after: Optional[float] = None) -> None:
+        super().__init__(message)
+        self.status = status
+        self.retry_after = retry_after
+
+
+class ServeClient:
+    """Talk to one ``repro serve`` instance."""
+
+    def __init__(self, base_url: str = DEFAULT_BASE_URL, *,
+                 timeout: float = 30.0) -> None:
+        parsed = urllib.parse.urlsplit(base_url)
+        if parsed.scheme not in ("http", ""):
+            raise ValueError(f"only http:// servers are supported, "
+                             f"got {base_url!r}")
+        netloc = parsed.netloc or parsed.path
+        if not netloc:
+            raise ValueError(f"bad server URL {base_url!r}")
+        self.host, _, port = netloc.partition(":")
+        self.port = int(port) if port else 8421
+        self.timeout = timeout
+
+    def _connect(self) -> http.client.HTTPConnection:
+        return http.client.HTTPConnection(self.host, self.port,
+                                          timeout=self.timeout)
+
+    def _request(self, method: str, path: str,
+                 body: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
+        conn = self._connect()
+        try:
+            payload = None
+            headers = {}
+            if body is not None:
+                payload = json.dumps(body).encode()
+                headers["Content-Type"] = "application/json"
+            try:
+                conn.request(method, path, body=payload, headers=headers)
+                response = conn.getresponse()
+                data = response.read()
+            except (OSError, http.client.HTTPException) as exc:
+                raise ServeError(
+                    f"server {self.host}:{self.port} unreachable: "
+                    f"{exc}") from None
+            try:
+                out = json.loads(data) if data else {}
+            except ValueError:
+                out = {"error": data.decode(errors="replace")}
+            if response.status >= 400:
+                retry_after = response.headers.get("Retry-After")
+                raise ServeError(
+                    out.get("error", f"HTTP {response.status}"),
+                    status=response.status,
+                    retry_after=float(retry_after) if retry_after else None)
+            return out
+        finally:
+            conn.close()
+
+    # --- core calls ---------------------------------------------------------
+
+    def submit(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        """Submit one job payload; returns the acceptance dict
+        (``{"id", "status", "key", "deduped"}``).  Raises
+        :class:`ServeError` on rejection (400/429/503)."""
+        return self._request("POST", "/v1/jobs", payload)
+
+    def status(self, job_id: str) -> Dict[str, Any]:
+        """Current status + result of one job."""
+        return self._request("GET", f"/v1/jobs/{job_id}")
+
+    def jobs(self) -> Dict[str, Any]:
+        """Summaries of every job the server knows about."""
+        return self._request("GET", "/v1/jobs")
+
+    def health(self) -> Dict[str, Any]:
+        return self._request("GET", "/healthz")
+
+    def metrics(self) -> Dict[str, Any]:
+        return self._request("GET", "/metrics")
+
+    # --- conveniences -------------------------------------------------------
+
+    def wait(self, job_id: str, *, timeout: Optional[float] = None,
+             poll_interval: float = 0.2) -> Dict[str, Any]:
+        """Poll until the job reaches a terminal status; returns its
+        final status dict (with result).  Raises :class:`ServeError`
+        after ``timeout`` seconds."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            state = self.status(job_id)
+            if state.get("status") in ("done", "failed"):
+                return state
+            if deadline is not None and time.monotonic() > deadline:
+                raise ServeError(
+                    f"job {job_id} still {state.get('status')!r} after "
+                    f"{timeout:g}s")
+            time.sleep(poll_interval)
+
+    def submit_and_wait(self, payload: Dict[str, Any], *,
+                        timeout: Optional[float] = None,
+                        poll_interval: float = 0.2) -> Dict[str, Any]:
+        """Submit, then wait; deduplicated submissions transparently
+        wait on the coalesced primary job."""
+        accepted = self.submit(payload)
+        return self.wait(accepted["id"], timeout=timeout,
+                         poll_interval=poll_interval)
+
+    def stream(self, job_id: str) -> Iterator[Dict[str, Any]]:
+        """Yield the job's NDJSON progress events live, ending after
+        the terminal ``{"type": "done"}`` event."""
+        conn = self._connect()
+        try:
+            try:
+                conn.request("GET", f"/v1/jobs/{job_id}/events")
+                response = conn.getresponse()
+            except (OSError, http.client.HTTPException) as exc:
+                raise ServeError(
+                    f"server {self.host}:{self.port} unreachable: "
+                    f"{exc}") from None
+            if response.status >= 400:
+                data = response.read()
+                try:
+                    message = json.loads(data).get("error", "")
+                except ValueError:
+                    message = data.decode(errors="replace")
+                raise ServeError(message or f"HTTP {response.status}",
+                                 status=response.status)
+            for line in response:
+                line = line.strip()
+                if line:
+                    yield json.loads(line)
+        finally:
+            conn.close()

@@ -1,0 +1,400 @@
+"""Job descriptions for the simulation service: parsing, keys, journal.
+
+A *job* is one unit of server-side work, submitted as JSON.  Three
+kinds map onto the library's entry points:
+
+* ``run`` — one simulation point (``repro run``): a config, a traffic
+  spec, a rate, an optional protocol;
+* ``experiment`` — a full :class:`~repro.exp.spec.ExperimentSpec` grid
+  (``repro experiment``), executed with the orchestrator's resilient
+  ``run_points`` path;
+* ``estimate`` — a closed-form analytic estimate (``repro estimate``),
+  answered in milliseconds without simulating.
+
+The payload schema deliberately reuses the JSON round-trips of
+:mod:`repro.exp.spec`; configs may additionally be named presets
+(``"VC16"`` or ``{"preset": "VC16", "overrides": {...}}``) so clients
+do not need to ship 30-field config dicts for standard studies.
+
+Every simulation job also has a deterministic **key**: the hash of its
+run points' cache keys.  Two payloads that would simulate exactly the
+same points — regardless of field ordering or preset-vs-explicit config
+spelling — collide on the key, which is what the server's single-flight
+dedup coalesces on.
+
+:class:`JobJournal` is the crash-safety layer: accepted payloads are
+journaled under ``results/.serve/`` until their job completes, so a
+killed server recovers queued and in-flight work on restart.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Optional
+
+from repro.core.config import NetworkConfig
+from repro.core.presets import PRESETS, preset
+from repro.exp.spec import (
+    ExperimentSpec,
+    RunPoint,
+    TrafficSpec,
+    config_from_dict,
+    config_to_dict,
+    protocol_from_dict,
+)
+
+JOB_KINDS = ("run", "experiment", "estimate")
+JOB_STATUSES = ("queued", "running", "done", "failed")
+
+#: Default journal location, relative to the working directory.
+DEFAULT_JOURNAL_DIR = os.path.join("results", ".serve")
+
+
+class JobError(ValueError):
+    """A malformed job payload (maps to HTTP 400)."""
+
+
+@dataclass
+class Job:
+    """One accepted unit of work and its whole lifecycle."""
+
+    id: str
+    kind: str
+    key: str
+    payload: Dict[str, Any]
+    priority: int = 0
+    #: Expanded run points (run/experiment kinds).
+    points: List[RunPoint] = field(default_factory=list)
+    #: Parsed estimate arguments (estimate kind).
+    estimate: Optional[Dict[str, Any]] = None
+    #: Execution options: processes / point_timeout / retries.
+    options: Dict[str, Any] = field(default_factory=dict)
+    status: str = "queued"
+    submitted_at: float = 0.0
+    started_at: Optional[float] = None
+    finished_at: Optional[float] = None
+    result: Optional[Dict[str, Any]] = None
+    error: Optional[str] = None
+    #: Submissions coalesced onto this job by single-flight dedup.
+    coalesced: int = 0
+    #: Progress/status events published so far (NDJSON stream backing).
+    events: List[Dict[str, Any]] = field(default_factory=list)
+
+    @property
+    def terminal(self) -> bool:
+        return self.status in ("done", "failed")
+
+    @property
+    def wall_seconds(self) -> Optional[float]:
+        if self.started_at is None or self.finished_at is None:
+            return None
+        return self.finished_at - self.started_at
+
+    def public_dict(self, with_result: bool = True) -> Dict[str, Any]:
+        """The JSON shape of ``GET /v1/jobs/<id>``."""
+        out = {
+            "id": self.id,
+            "kind": self.kind,
+            "key": self.key,
+            "priority": self.priority,
+            "status": self.status,
+            "submitted_at": self.submitted_at,
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
+            "wall_seconds": self.wall_seconds,
+            "num_points": len(self.points),
+            "coalesced": self.coalesced,
+            "error": self.error,
+        }
+        if with_result:
+            out["result"] = self.result
+        return out
+
+
+def _resolve_config(data: Any, context: str) -> NetworkConfig:
+    """A config from a preset name, a ``{"preset": ..., "overrides":
+    {...}}`` dict, or a full :func:`config_to_dict` dict."""
+    if isinstance(data, str):
+        if data not in PRESETS:
+            raise JobError(f"{context}: unknown preset {data!r}; "
+                           f"options: {', '.join(sorted(PRESETS))}")
+        return preset(data)
+    if not isinstance(data, Mapping):
+        raise JobError(f"{context}: config must be a preset name or an "
+                       f"object, got {type(data).__name__}")
+    if "preset" in data:
+        config = _resolve_config(data["preset"], context)
+        overrides = dict(data.get("overrides") or {})
+        unknown = set(data) - {"preset", "overrides"}
+        if unknown:
+            raise JobError(f"{context}: unknown config fields "
+                           f"{sorted(unknown)}")
+        try:
+            router = overrides.pop("router", None)
+            if router:
+                config = config.with_router(**router)
+            if overrides:
+                config = config.with_(**overrides)
+        except (TypeError, ValueError) as exc:
+            raise JobError(f"{context}: bad config overrides: {exc}") \
+                from None
+        return config
+    try:
+        return config_from_dict(data)
+    except (TypeError, ValueError, KeyError) as exc:
+        raise JobError(f"{context}: bad config: {exc}") from None
+
+
+def _resolve_protocol(data: Any, context: str):
+    try:
+        return protocol_from_dict(data or {})
+    except (TypeError, ValueError, KeyError) as exc:
+        raise JobError(f"{context}: bad protocol: {exc}") from None
+
+
+def _resolve_traffic(data: Any, context: str) -> TrafficSpec:
+    try:
+        return TrafficSpec.from_dict(data)
+    except (TypeError, ValueError, KeyError) as exc:
+        raise JobError(f"{context}: bad traffic: {exc}") from None
+
+
+def _parse_options(data: Any) -> Dict[str, Any]:
+    """Validated execution options with server-side defaults filled in
+    later (``None`` means "use the server default")."""
+    if data is None:
+        data = {}
+    if not isinstance(data, Mapping):
+        raise JobError("options must be an object")
+    unknown = set(data) - {"processes", "point_timeout", "retries"}
+    if unknown:
+        raise JobError(f"unknown options {sorted(unknown)}; "
+                       f"supported: processes, point_timeout, retries")
+    options: Dict[str, Any] = {"processes": None, "point_timeout": None,
+                               "retries": None}
+    if data.get("processes") is not None:
+        processes = int(data["processes"])
+        if processes < 1:
+            raise JobError(f"options.processes must be >= 1, "
+                           f"got {processes}")
+        options["processes"] = processes
+    if data.get("point_timeout") is not None:
+        point_timeout = float(data["point_timeout"])
+        if point_timeout <= 0:
+            raise JobError(f"options.point_timeout must be > 0, "
+                           f"got {point_timeout}")
+        options["point_timeout"] = point_timeout
+    if data.get("retries") is not None:
+        retries = int(data["retries"])
+        if retries < 0:
+            raise JobError(f"options.retries must be >= 0, got {retries}")
+        options["retries"] = retries
+    return options
+
+
+def _parse_run_spec(spec: Mapping[str, Any]) -> List[RunPoint]:
+    for name in ("config", "rate"):
+        if name not in spec:
+            raise JobError(f"run spec is missing {name!r}")
+    config = _resolve_config(spec["config"], "run spec")
+    traffic = _resolve_traffic(spec.get("traffic", "uniform"), "run spec")
+    protocol = _resolve_protocol(spec.get("protocol"), "run spec")
+    try:
+        rate = float(spec["rate"])
+    except (TypeError, ValueError):
+        raise JobError(f"run spec: rate must be a number, "
+                       f"got {spec['rate']!r}") from None
+    return [RunPoint(config=config, traffic=traffic, rate=rate,
+                     protocol=protocol, label=str(spec.get("label", "")))]
+
+
+def _parse_experiment_spec(spec: Mapping[str, Any]) -> List[RunPoint]:
+    fields = dict(spec)
+    if "presets" in fields:
+        if "configs" in fields:
+            raise JobError("experiment spec: give presets or configs, "
+                           "not both")
+        fields["configs"] = [[name, name] for name in fields.pop("presets")]
+    if "configs" not in fields:
+        raise JobError("experiment spec is missing configs (or presets)")
+    try:
+        configs = tuple(
+            (str(label), _resolve_config(config, f"config {label!r}"))
+            for label, config in fields["configs"])
+    except (TypeError, ValueError) as exc:
+        if isinstance(exc, JobError):
+            raise
+        raise JobError(f"experiment spec: configs must be "
+                       f"[label, config] pairs: {exc}") from None
+    for name in ("traffics", "rates"):
+        if not fields.get(name):
+            raise JobError(f"experiment spec is missing {name!r}")
+    try:
+        experiment = ExperimentSpec(
+            configs=configs,
+            traffics=tuple(_resolve_traffic(t, "experiment spec")
+                           for t in fields["traffics"]),
+            rates=tuple(float(r) for r in fields["rates"]),
+            seeds=tuple(int(s) for s in fields.get("seeds") or (1,)),
+            protocol=_resolve_protocol(fields.get("protocol"),
+                                       "experiment spec"))
+    except JobError:
+        raise
+    except (TypeError, ValueError) as exc:
+        raise JobError(f"experiment spec: {exc}") from None
+    return experiment.points()
+
+
+def _parse_estimate_spec(spec: Mapping[str, Any]) -> Dict[str, Any]:
+    for name in ("config", "rate"):
+        if name not in spec:
+            raise JobError(f"estimate spec is missing {name!r}")
+    traffic = _resolve_traffic(spec.get("traffic", "uniform"),
+                               "estimate spec")
+    try:
+        rate = float(spec["rate"])
+    except (TypeError, ValueError):
+        raise JobError(f"estimate spec: rate must be a number, "
+                       f"got {spec['rate']!r}") from None
+    return {
+        "config": _resolve_config(spec["config"], "estimate spec"),
+        "traffic": traffic.name,
+        "params": dict(traffic.params),
+        "rate": rate,
+    }
+
+
+def _job_key(kind: str, points: List[RunPoint],
+             estimate: Optional[Dict[str, Any]]) -> str:
+    """Deterministic dedup key: identical server-side work hashes
+    identically, whatever the payload's spelling."""
+    if kind == "estimate":
+        digest = {
+            "kind": "estimate",
+            "config": config_to_dict(estimate["config"]),
+            "traffic": estimate["traffic"],
+            "params": sorted(estimate["params"].items()),
+            "rate": estimate["rate"],
+        }
+    else:
+        # Run and experiment jobs that expand to the same point set are
+        # the same work (a one-point experiment deduplicates against the
+        # equivalent run job).
+        digest = {"kind": "points",
+                  "points": sorted(p.cache_key() for p in points)}
+    blob = json.dumps(digest, sort_keys=True, default=repr)
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+def parse_job(payload: Any, job_id: str) -> Job:
+    """Validate one submitted payload into a :class:`Job`.
+
+    Raises :class:`JobError` (→ HTTP 400) with a message naming the
+    offending field on any malformed input.
+    """
+    if not isinstance(payload, Mapping):
+        raise JobError(f"job payload must be a JSON object, "
+                       f"got {type(payload).__name__}")
+    kind = payload.get("kind")
+    if kind not in JOB_KINDS:
+        raise JobError(f"unknown job kind {kind!r}; "
+                       f"options: {', '.join(JOB_KINDS)}")
+    unknown = set(payload) - {"kind", "spec", "priority", "options"}
+    if unknown:
+        raise JobError(f"unknown job fields {sorted(unknown)}")
+    spec = payload.get("spec")
+    if not isinstance(spec, Mapping):
+        raise JobError("job payload needs a 'spec' object")
+    try:
+        priority = int(payload.get("priority", 0))
+    except (TypeError, ValueError):
+        raise JobError(f"priority must be an integer, "
+                       f"got {payload.get('priority')!r}") from None
+    options = _parse_options(payload.get("options"))
+
+    points: List[RunPoint] = []
+    estimate = None
+    if kind == "run":
+        points = _parse_run_spec(spec)
+    elif kind == "experiment":
+        points = _parse_experiment_spec(spec)
+    else:
+        estimate = _parse_estimate_spec(spec)
+    return Job(id=job_id, kind=kind,
+               key=_job_key(kind, points, estimate),
+               payload=dict(payload), priority=priority,
+               points=points, estimate=estimate, options=options,
+               submitted_at=time.time())
+
+
+class JobJournal:
+    """Crash-safe record of accepted-but-unfinished jobs.
+
+    One JSON file per job under ``root``, written atomically (tmp +
+    ``os.replace``) on acceptance and unlinked on completion.  Whatever
+    is present at startup is work a previous server accepted but never
+    finished — :meth:`recover` returns it oldest-first so a restarted
+    server re-enqueues in the original arrival order.
+    """
+
+    def __init__(self, root=DEFAULT_JOURNAL_DIR) -> None:
+        self.root = Path(root)
+
+    def _path(self, job_id: str) -> Path:
+        return self.root / f"{job_id}.json"
+
+    def record(self, job: Job) -> None:
+        self.root.mkdir(parents=True, exist_ok=True)
+        path = self._path(job.id)
+        entry = {"id": job.id, "payload": job.payload,
+                 "submitted_at": job.submitted_at}
+        fd, tmp = tempfile.mkstemp(dir=self.root, prefix=f"{path.name}.tmp")
+        try:
+            with os.fdopen(fd, "w") as f:
+                json.dump(entry, f)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    def discard(self, job_id: str) -> None:
+        try:
+            self._path(job_id).unlink()
+        except OSError:
+            pass
+
+    def recover(self) -> List[Dict[str, Any]]:
+        """Journal entries oldest-first; unreadable files are dropped
+        (and removed) rather than wedging startup forever."""
+        entries = []
+        if not self.root.exists():
+            return entries
+        for path in sorted(self.root.glob("*.json"),
+                           key=lambda p: p.stat().st_mtime):
+            try:
+                with open(path) as f:
+                    entry = json.load(f)
+                if not isinstance(entry, dict) or "id" not in entry \
+                        or "payload" not in entry:
+                    raise ValueError("not a journal entry")
+            except (OSError, ValueError):
+                try:
+                    path.unlink()
+                except OSError:
+                    pass
+                continue
+            entries.append(entry)
+        return entries
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.root.glob("*.json")) \
+            if self.root.exists() else 0

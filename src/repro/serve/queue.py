@@ -1,0 +1,60 @@
+"""Bounded priority queue for accepted jobs.
+
+Higher ``priority`` runs first; ties are FIFO by arrival sequence, so
+same-priority traffic keeps submission order and a stream of
+priority-0 jobs behaves exactly like a plain queue.  The bound is the
+server's backpressure valve: :meth:`JobQueue.push` raises
+:class:`QueueFull` once ``limit`` jobs are waiting, which the HTTP
+layer turns into ``429 Too Many Requests`` + ``Retry-After``.
+
+Single-threaded by design — the queue is only touched from the server's
+event loop.  Worker threads never see it.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Iterator, List, Optional, Tuple
+
+from repro.serve.jobs import Job
+
+
+class QueueFull(Exception):
+    """The queue is at its configured limit (maps to HTTP 429)."""
+
+    def __init__(self, limit: int) -> None:
+        super().__init__(f"job queue is full ({limit} jobs waiting)")
+        self.limit = limit
+
+
+class JobQueue:
+    """Priority FIFO with a hard bound."""
+
+    def __init__(self, limit: int = 64) -> None:
+        if limit < 1:
+            raise ValueError(f"queue limit must be >= 1, got {limit}")
+        self.limit = limit
+        self._heap: List[Tuple[int, int, Job]] = []
+        self._seq = 0
+
+    def push(self, job: Job) -> None:
+        if len(self._heap) >= self.limit:
+            raise QueueFull(self.limit)
+        self._seq += 1
+        heapq.heappush(self._heap, (-job.priority, self._seq, job))
+
+    def pop(self) -> Optional[Job]:
+        """The highest-priority oldest job, or ``None`` when empty."""
+        if not self._heap:
+            return None
+        return heapq.heappop(self._heap)[2]
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)
+
+    def __iter__(self) -> Iterator[Job]:
+        """Waiting jobs in pop order (non-destructive)."""
+        return (job for _, _, job in sorted(self._heap))

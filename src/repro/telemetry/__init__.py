@@ -44,7 +44,7 @@ from repro.telemetry.io import (
     telemetry_to_csv,
     telemetry_to_jsonl,
 )
-from repro.telemetry.report import telemetry_report
+from repro.telemetry.report import telemetry_report, telemetry_summary
 
 __all__ = [
     "DEFAULT_WINDOW",
@@ -53,6 +53,7 @@ __all__ = [
     "TelemetryWindow",
     "telemetry_from_jsonl",
     "telemetry_report",
+    "telemetry_summary",
     "telemetry_to_csv",
     "telemetry_to_jsonl",
 ]

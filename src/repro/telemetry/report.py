@@ -83,6 +83,23 @@ def spans_table(record: TelemetryRecord) -> str:
     return "\n".join(lines)
 
 
+def telemetry_summary(record: TelemetryRecord) -> dict:
+    """A compact JSON-safe digest of one record — window counts,
+    energy/power totals and fault counters, without the per-window
+    series.  Small enough to embed in a job-service result or progress
+    stream where the full record would be megabytes."""
+    return {
+        "windows": record.num_windows,
+        "window_cycles": record.window,
+        "measured_cycles": record.measured_cycles,
+        "total_energy_j": record.total_energy_j(),
+        "power_breakdown_w": record.power_breakdown_w(),
+        "flits_dropped": sum(record.dropped_totals()),
+        "packets_misrouted": sum(record.misrouted_totals()),
+        "spans_s": dict(record.spans_s),
+    }
+
+
 def telemetry_report(record: TelemetryRecord, series: bool = True) -> str:
     """The full ``repro report`` rendering of one record."""
     grid = f"{record.width}x{record.height}"

@@ -1,0 +1,167 @@
+"""Tests for ResultCache.prune / stats and the ``repro cache`` CLI.
+
+A long-lived ``repro serve`` process writes into one shared cache
+forever; prune is what keeps that directory bounded.  Eviction is LRU
+by file mtime (least-recently-*stored*), so the tests backdate mtimes
+with ``os.utime`` to build deterministic age ladders.
+"""
+
+import os
+import time
+
+import pytest
+
+from repro.cli import main
+from repro.exp.cache import ResultCache
+
+
+def fill(cache, count, *, age_step_s=0.0, start="k"):
+    """Store ``count`` entries; entry i is backdated ``i * age_step_s``
+    seconds (entry 0 is the oldest).  Returns the keys, oldest first."""
+    now = time.time()
+    keys = []
+    for index in range(count):
+        key = f"{start}{index:02d}" + "0" * 12
+        cache.store(key, {"value": index})
+        if age_step_s:
+            mtime = now - (count - 1 - index) * age_step_s
+            os.utime(cache._path(key), (mtime, mtime))
+        keys.append(key)
+    return keys
+
+
+class TestPrune:
+    def test_no_criteria_is_noop(self, tmp_path):
+        cache = ResultCache(tmp_path / "c")
+        fill(cache, 3)
+        assert cache.prune() == 0
+        assert len(cache) == 3
+
+    def test_max_age_drops_only_old_entries(self, tmp_path):
+        cache = ResultCache(tmp_path / "c")
+        keys = fill(cache, 5, age_step_s=100.0)
+        removed = cache.prune(max_age_s=250.0)
+        assert removed == 2  # the two entries older than 250s
+        assert len(cache) == 3
+        for key in keys[:2]:
+            assert cache.load(key) is None
+        for key in keys[2:]:
+            assert cache.load(key) == {"value": keys.index(key)}
+
+    def test_max_entries_keeps_newest(self, tmp_path):
+        cache = ResultCache(tmp_path / "c")
+        keys = fill(cache, 6, age_step_s=10.0)
+        assert cache.prune(max_entries=2) == 4
+        assert len(cache) == 2
+        assert cache.load(keys[-1]) is not None
+        assert cache.load(keys[-2]) is not None
+        assert cache.load(keys[0]) is None
+
+    def test_lru_order_is_mtime_not_name(self, tmp_path):
+        cache = ResultCache(tmp_path / "c")
+        # Names sort one way, mtimes the other; mtime must win.
+        newer = fill(cache, 2, age_step_s=0.0, start="a")
+        older = fill(cache, 2, start="z")
+        for key in older:
+            path = cache._path(key)
+            os.utime(path, (time.time() - 1000, time.time() - 1000))
+        assert cache.prune(max_entries=2) == 2
+        for key in newer:
+            assert cache.load(key) is not None
+        for key in older:
+            assert cache.load(key) is None
+
+    def test_both_criteria_compose(self, tmp_path):
+        cache = ResultCache(tmp_path / "c")
+        fill(cache, 6, age_step_s=100.0)
+        # Age drops 2, then max_entries trims the surviving 4 to 3.
+        assert cache.prune(max_age_s=350.0, max_entries=3) == 3
+        assert len(cache) == 3
+
+    def test_max_entries_zero_empties_cache(self, tmp_path):
+        cache = ResultCache(tmp_path / "c")
+        fill(cache, 4)
+        assert cache.prune(max_entries=0) == 4
+        assert len(cache) == 0
+
+    def test_negative_arguments_rejected(self, tmp_path):
+        cache = ResultCache(tmp_path / "c")
+        with pytest.raises(ValueError, match="max_age_s"):
+            cache.prune(max_age_s=-1)
+        with pytest.raises(ValueError, match="max_entries"):
+            cache.prune(max_entries=-1)
+
+    def test_missing_root_is_empty_noop(self, tmp_path):
+        cache = ResultCache(tmp_path / "never-created")
+        assert cache.prune(max_age_s=0.0) == 0
+
+
+class TestStats:
+    def test_empty_cache(self, tmp_path):
+        cache = ResultCache(tmp_path / "c")
+        stats = cache.stats()
+        assert stats["entries"] == 0
+        assert stats["total_bytes"] == 0
+        assert stats["oldest_age_s"] is None
+        assert stats["newest_age_s"] is None
+        assert stats["hit_rate"] == 0.0
+
+    def test_counts_sizes_and_ages(self, tmp_path):
+        cache = ResultCache(tmp_path / "c")
+        keys = fill(cache, 3, age_step_s=50.0)
+        cache.load(keys[0])          # hit
+        cache.load("f" * 16)         # miss
+        stats = cache.stats()
+        assert stats["entries"] == 3
+        assert stats["total_bytes"] > 0
+        assert stats["oldest_age_s"] >= 99.0
+        assert stats["newest_age_s"] < 10.0
+        assert stats["hits"] == 1
+        assert stats["misses"] == 1
+        assert stats["hit_rate"] == 0.5
+        assert stats["root"] == str(cache.root)
+
+
+class TestCacheCli:
+    def test_stats_command(self, tmp_path, capsys):
+        cache = ResultCache(tmp_path / "c")
+        fill(cache, 2)
+        assert main(["cache", "stats",
+                     "--cache-dir", str(tmp_path / "c")]) == 0
+        out = capsys.readouterr().out
+        assert "entries" in out and "2" in out
+
+    def test_prune_requires_a_criterion(self, tmp_path, capsys):
+        code = main(["cache", "prune", "--cache-dir", str(tmp_path / "c")])
+        assert code == 2
+        assert "--max-age-s" in capsys.readouterr().err
+
+    def test_prune_by_entries(self, tmp_path, capsys):
+        cache = ResultCache(tmp_path / "c")
+        fill(cache, 5, age_step_s=10.0)
+        assert main(["cache", "prune", "--cache-dir", str(tmp_path / "c"),
+                     "--max-entries", "2"]) == 0
+        assert "pruned 3" in capsys.readouterr().out
+        assert len(ResultCache(tmp_path / "c")) == 2
+
+    def test_prune_by_age(self, tmp_path, capsys):
+        cache = ResultCache(tmp_path / "c")
+        fill(cache, 4, age_step_s=1000.0)
+        assert main(["cache", "prune", "--cache-dir", str(tmp_path / "c"),
+                     "--max-age-s", "1500"]) == 0
+        assert "pruned 2" in capsys.readouterr().out
+
+    def test_clear_command(self, tmp_path, capsys):
+        cache = ResultCache(tmp_path / "c")
+        fill(cache, 3)
+        assert main(["cache", "clear",
+                     "--cache-dir", str(tmp_path / "c")]) == 0
+        assert "cleared 3" in capsys.readouterr().out
+        assert len(ResultCache(tmp_path / "c")) == 0
+
+    def test_negative_prune_args_rejected_by_argparse(self, tmp_path,
+                                                      capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["cache", "prune", "--cache-dir", str(tmp_path / "c"),
+                  "--max-entries", "-1"])
+        assert excinfo.value.code == 2

@@ -209,9 +209,32 @@ class TestErrors:
         with pytest.raises(SystemExit):
             main(["teleport"])
 
-    def test_unknown_preset_raises(self):
-        with pytest.raises(ValueError):
-            main(["delay", "--preset", "VC9000"])
+    def test_unknown_preset_exits_nonzero(self, capsys):
+        assert main(["delay", "--preset", "VC9000"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_zero_processes_rejected_by_argparse(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["experiment", "--processes", "0"])
+        assert excinfo.value.code == 2
+        assert "must be >= 1" in capsys.readouterr().err
+
+    def test_bad_point_timeout_rejected_by_argparse(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["experiment", "--point-timeout", "0"])
+        assert excinfo.value.code == 2
+        assert "must be > 0" in capsys.readouterr().err
+
+    def test_zero_queue_limit_rejected_by_argparse(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["serve", "--queue-limit", "0"])
+        assert excinfo.value.code == 2
+        assert "must be >= 1" in capsys.readouterr().err
+
+    def test_zero_sample_rejected_by_argparse(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["run", "--sample", "0"])
+        assert excinfo.value.code == 2
 
 
 class TestExportFlags:
