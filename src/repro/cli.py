@@ -400,7 +400,11 @@ def cmd_serve(args) -> int:
         drain_timeout=args.drain_timeout,
         point_timeout=args.point_timeout,
         retries=args.retries, processes=args.job_processes,
-        quiet=args.quiet)
+        quiet=args.quiet,
+        job_ttl=args.job_ttl,
+        max_job_events=args.max_job_events,
+        cache_max_age=args.cache_max_age,
+        cache_max_entries=args.cache_max_entries)
     return serve_forever(config)
 
 
@@ -453,10 +457,58 @@ def _print_job_result(state: dict) -> None:
         print(f"  {point['describe']:<40} {body}  {status}")
 
 
+def _submit_batch(client, args) -> int:
+    """``repro submit --batch-file``: many payloads, one request."""
+    from repro.serve import ServeError
+
+    with open(args.batch_file) as f:
+        payloads = json.load(f)
+    if not isinstance(payloads, list):
+        print("error: batch file must hold a JSON list of job payloads",
+              file=sys.stderr)
+        return 2
+    try:
+        results = client.submit_many(payloads)
+    except ServeError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    bounced = 0
+    for position, entry in enumerate(results):
+        status = entry.get("http_status")
+        if status in (200, 202):
+            note = " (deduplicated)" if entry.get("deduped") else ""
+            print(f"[{position}] job {entry['id']} "
+                  f"{entry['status']}{note}")
+        else:
+            bounced += 1
+            print(f"[{position}] rejected ({status}): "
+                  f"{entry.get('error')}")
+    if args.no_wait:
+        return 1 if bounced else 0
+    failed = 0
+    for position, entry in enumerate(results):
+        if entry.get("http_status") not in (200, 202):
+            continue
+        try:
+            state = client.wait(entry["id"], timeout=args.timeout)
+        except ServeError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        print(f"[{position}] job {entry['id']} {state['status']} "
+              f"in {state.get('wall_seconds') or 0.0:.2f}s")
+        _print_job_result(state)
+        if state["status"] != "done" \
+                or (state.get("result") or {}).get("failures"):
+            failed += 1
+    return 1 if failed or bounced else 0
+
+
 def cmd_submit(args) -> int:
     from repro.serve import ServeClient, ServeError
 
     client = ServeClient(args.server, timeout=args.timeout)
+    if args.batch_file:
+        return _submit_batch(client, args)
     payload = _submit_payload(args)
     try:
         accepted = client.submit(payload)
@@ -716,6 +768,20 @@ def build_parser() -> argparse.ArgumentParser:
                    help="default crash retries per point")
     p.add_argument("--job-processes", type=_positive_int, default=1,
                    help="default worker processes within one job")
+    p.add_argument("--job-ttl", type=_positive_float, default=3600.0,
+                   metavar="SECONDS",
+                   help="keep finished jobs queryable this long before "
+                        "evicting them from memory")
+    p.add_argument("--max-job-events", type=_positive_int, default=1000,
+                   help="per-job event-log bound (oldest entries are "
+                        "trimmed first)")
+    p.add_argument("--cache-max-age", type=_positive_float, default=None,
+                   metavar="SECONDS",
+                   help="self-prune cache entries older than this "
+                        "during idle housekeeping")
+    p.add_argument("--cache-max-entries", type=_nonneg_int, default=None,
+                   help="self-prune the cache down to this many newest "
+                        "entries during idle housekeeping")
     p.add_argument("--quiet", action="store_true",
                    help="suppress lifecycle log lines")
     p.set_defaults(handler=cmd_serve)
@@ -730,6 +796,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--file", metavar="PATH",
                    help="submit a raw job payload JSON file instead of "
                         "building one from flags")
+    p.add_argument("--batch-file", metavar="PATH",
+                   help="submit a JSON file holding a list of job "
+                        "payloads in one pipelined request "
+                        "(POST /v1/jobs:batch)")
     p.add_argument("--preset", default="VC16",
                    help="configuration name(s); comma-separated for "
                         "--kind experiment")

@@ -167,6 +167,14 @@ class PowerBinding:
         """
         self.accountant.reset()
 
+    def reset_run(self) -> None:
+        """Restore construction-time state for a brand-new run
+        (simulation-context reuse): unlike :meth:`reset`, the payload
+        history is dropped too — a fresh binding starts with empty
+        wires."""
+        self._last.clear()
+        self.accountant.reset()
+
     # --- event sinks -----------------------------------------------------------
     # Each takes the node id plus enough context for activity tracking.
 
@@ -476,6 +484,13 @@ class CounterBinding(PowerBinding):
         self._zero_counters()
         self.accountant.reset()
 
+    def reset_run(self) -> None:
+        # _zero_counters zeroes the public lists IN PLACE — router hot
+        # loops hold direct references to them across resets.
+        self._zero_counters()
+        self._last.clear()
+        self.accountant.reset()
+
     # --- event sinks: one integer bump each ------------------------------------
 
     def buffer_write(self, node: int, port: int,
@@ -586,6 +601,9 @@ class NullBinding:
     data_mode = False
 
     def reset(self) -> None:
+        pass
+
+    def reset_run(self) -> None:
         pass
 
     def buffer_write(self, node: int, port: int, payload) -> None:

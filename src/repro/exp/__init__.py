@@ -33,6 +33,11 @@ from repro.exp.orchestrator import (
     run_experiment,
     run_points,
 )
+from repro.exp.pool import (
+    WorkerPool,
+    get_default_pool,
+    shutdown_default_pool,
+)
 from repro.exp.spec import (
     CACHE_SCHEMA,
     ExperimentSpec,
@@ -56,14 +61,17 @@ __all__ = [
     "ResultCache",
     "RunPoint",
     "TrafficSpec",
+    "WorkerPool",
     "config_from_dict",
     "config_to_dict",
     "protocol_from_dict",
     "protocol_to_dict",
     "fanout_progress",
+    "get_default_pool",
     "guided_rate_grid",
     "outcomes_to_sweep",
     "run_experiment",
     "run_guided_sweep",
     "run_points",
+    "shutdown_default_pool",
 ]

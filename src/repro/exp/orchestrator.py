@@ -2,10 +2,10 @@
 
 The orchestrator takes a list of :class:`RunPoint` (usually expanded
 from an :class:`ExperimentSpec`), serves whatever it can from a
-:class:`ResultCache`, fans the remaining points out over a
-``multiprocessing`` pool, and reports per-point progress (points
-done/total, cycles simulated, wall-clock per point, cache hit rate)
-through a caller-supplied hook.
+:class:`ResultCache`, fans the remaining points out over a warm
+:class:`repro.exp.pool.WorkerPool` of spawn-once worker processes, and
+reports per-point progress (points done/total, cycles simulated,
+wall-clock per point, cache hit rate) through a caller-supplied hook.
 
 Each point is failure-isolated: a :class:`DeadlockError` or
 :class:`SimulationTimeout` at one (config, traffic, rate) point is
@@ -185,12 +185,20 @@ def _needs_result(point: RunPoint, keep_results: bool) -> bool:
     return keep_results or point.protocol.monitor
 
 
-def _execute_point(point: RunPoint, keep_result: bool) -> PointOutcome:
-    """Run one point to completion, capturing failures as outcomes."""
+def _execute_point(point: RunPoint, keep_result: bool,
+                   context=None) -> PointOutcome:
+    """Run one point to completion, capturing failures as outcomes.
+
+    ``context`` is an optional :class:`~repro.sim.engine.SimulationContext`
+    whose constructed network graph is reset and reused instead of
+    rebuilt — bit-identical to fresh construction, and only offered for
+    points that do not carry live references out of the run
+    (``keep_result=False``).
+    """
     start = time.perf_counter()
     topo = topology_for(point.config)
     traffic = point.traffic.build(topo, point.rate, point.protocol.seed)
-    sim = Simulation(point.config, traffic, point.protocol)
+    sim = Simulation(point.config, traffic, point.protocol, context=context)
     try:
         result = sim.run()
     except (DeadlockError, SimulationTimeout) as exc:
@@ -222,7 +230,7 @@ def _execute_point(point: RunPoint, keep_result: bool) -> PointOutcome:
 
 def _execute_resilient(point: RunPoint, keep_result: bool,
                        retries: int, backoff: float,
-                       capture: bool) -> PointOutcome:
+                       capture: bool, context=None) -> PointOutcome:
     """Run one point, retrying unexpected worker crashes.
 
     Simulation-level failures (deadlock, timeout, watchdog statuses)
@@ -237,7 +245,7 @@ def _execute_resilient(point: RunPoint, keep_result: bool,
         attempt += 1
         start = time.perf_counter()
         try:
-            outcome = _execute_point(point, keep_result)
+            outcome = _execute_point(point, keep_result, context=context)
             outcome.attempts = attempt
             return outcome
         except Exception as exc:  # noqa: BLE001 - crash isolation boundary
@@ -256,67 +264,10 @@ def _execute_resilient(point: RunPoint, keep_result: bool,
 
 
 def _pool_point(payload) -> PointOutcome:
-    """Module-level pool worker (must be picklable)."""
+    """Module-level worker entry for the serial path (and a stable,
+    picklable target tests can call directly)."""
     point, keep_result, retries, backoff, capture = payload
     return _execute_resilient(point, keep_result, retries, backoff, capture)
-
-
-def _queue_point(payload, queue) -> None:
-    """Subprocess entry for the per-point timeout path."""
-    queue.put(_pool_point(payload))
-
-
-def _dispatch_with_timeout(pending: Sequence[int], payloads: Sequence[tuple],
-                           processes: int, timeout: float,
-                           finish: Callable[[int, PointOutcome], None]
-                           ) -> None:
-    """Run each pending point in its own subprocess with a wall-clock
-    cap.
-
-    A point that exceeds ``timeout`` seconds is terminated and recorded
-    as ``status="timeout"``; a worker that dies without reporting (OOM
-    kill, segfault) becomes ``status="crashed"``.  At most ``processes``
-    workers run at once, and results are collected in submission order
-    so ``finish`` sees the same ordering as the other dispatch paths.
-    """
-    import multiprocessing
-
-    ctx = multiprocessing.get_context()
-    window: List[tuple] = []  # (index, point, process, queue, deadline)
-
-    def reap(entry) -> None:
-        index, point, proc, queue, deadline = entry
-        proc.join(max(0.0, deadline - time.monotonic()))
-        if proc.is_alive():
-            proc.terminate()
-            proc.join()
-            outcome = PointOutcome(
-                point=point, ok=False, status="timeout",
-                error=f"TimeoutError: point exceeded {timeout:g}s "
-                      f"wall-clock",
-                wall_seconds=timeout,
-            )
-        elif queue.empty():
-            outcome = PointOutcome(
-                point=point, ok=False, status="crashed",
-                error=f"RuntimeError: worker exited with code "
-                      f"{proc.exitcode}",
-            )
-        else:
-            outcome = queue.get()
-        queue.close()
-        finish(index, outcome)
-
-    for index, payload in zip(pending, payloads):
-        if len(window) >= max(1, processes):
-            reap(window.pop(0))
-        queue = ctx.SimpleQueue()
-        proc = ctx.Process(target=_queue_point, args=(payload, queue))
-        proc.start()
-        window.append((index, payload[0], proc, queue,
-                       time.monotonic() + timeout))
-    while window:
-        reap(window.pop(0))
 
 
 def run_points(points: Sequence[RunPoint], *,
@@ -327,17 +278,24 @@ def run_points(points: Sequence[RunPoint], *,
                on_error: str = "record",
                point_timeout: Optional[float] = None,
                retries: int = 0,
-               retry_backoff: float = 0.25) -> List[PointOutcome]:
+               retry_backoff: float = 0.25,
+               pool: Optional[object] = None) -> List[PointOutcome]:
     """Execute run points, in order, with caching and parallelism.
 
     ``on_error="record"`` isolates per-point failures; ``"raise"``
     re-raises the first one (after caching it, so a resumed sweep does
     not recompute the doomed point).
 
-    ``point_timeout`` caps each point's wall-clock seconds by running it
-    in a dedicated subprocess (terminated on expiry, recorded as
-    ``status="timeout"``).  ``retries`` re-runs a point whose worker
-    crashed with an unexpected exception, sleeping
+    Parallel work (``processes > 1``), wall-clock capped work
+    (``point_timeout``), or an explicitly supplied ``pool`` all dispatch
+    onto a warm :class:`repro.exp.pool.WorkerPool` of spawn-once worker
+    processes (the shared default pool unless ``pool`` is given) that
+    reuse simulation contexts across points sharing a structural
+    (config, protocol) pair.  A point that exceeds ``point_timeout``
+    wall-clock seconds has its worker killed and is recorded as
+    ``status="timeout"``; the worker is respawned warm for the rest of
+    the batch.  ``retries`` re-runs a point whose worker crashed with an
+    unexpected exception (or died outright), sleeping
     ``retry_backoff * 2**(attempt-1)`` seconds between attempts.
     """
     if on_error not in ("record", "raise"):
@@ -397,23 +355,31 @@ def run_points(points: Sequence[RunPoint], *,
         else:
             pending.append(index)
 
-    capture = on_error == "record"
-    payloads = [(points[i], _needs_result(points[i], keep_results),
-                 retries, retry_backoff, capture)
-                for i in pending]
-    if point_timeout is not None and pending:
-        _dispatch_with_timeout(pending, payloads, processes, point_timeout,
-                               finish)
-    elif processes > 1 and len(pending) > 1:
-        import multiprocessing
+    use_pool = bool(pending) and (
+        pool is not None
+        or point_timeout is not None
+        or (processes > 1 and len(pending) > 1)
+    )
+    if use_pool:
+        from repro.exp.pool import get_default_pool
 
-        with multiprocessing.Pool(min(processes, len(pending))) as pool:
-            for index, outcome in zip(pending,
-                                      pool.imap(_pool_point, payloads)):
-                finish(index, outcome)
+        # Workers always capture crashes as outcomes; the ``finish``
+        # closure above applies the ``on_error`` policy parent-side.
+        payloads = [(points[i], _needs_result(points[i], keep_results),
+                     retries, retry_backoff, True)
+                    for i in pending]
+        workers = max(1, min(processes, len(pending)))
+        active = pool if pool is not None else get_default_pool(workers)
+        active.run(list(zip(pending, payloads)),
+                   point_timeout=point_timeout,
+                   retries=retries, retry_backoff=retry_backoff,
+                   max_workers=workers, finish=finish)
     else:
-        for index, payload in zip(pending, payloads):
-            finish(index, _pool_point(payload))
+        capture = on_error == "record"
+        for index in pending:
+            finish(index, _pool_point(
+                (points[index], _needs_result(points[index], keep_results),
+                 retries, retry_backoff, capture)))
     return outcomes
 
 
@@ -523,11 +489,14 @@ def run_experiment(spec: Union[ExperimentSpec, Sequence[RunPoint]], *,
                    on_error: str = "record",
                    point_timeout: Optional[float] = None,
                    retries: int = 0,
-                   retry_backoff: float = 0.25) -> ExperimentResult:
+                   retry_backoff: float = 0.25,
+                   pool: Optional[object] = None) -> ExperimentResult:
     """Run a whole experiment grid (or explicit point list).
 
     ``cache`` may be a :class:`ResultCache`, a directory path, or
-    ``None`` to disable caching.
+    ``None`` to disable caching.  ``pool`` routes execution through an
+    existing :class:`repro.exp.pool.WorkerPool` instead of the shared
+    default one.
     """
     points = spec.points() if isinstance(spec, ExperimentSpec) else list(spec)
     if isinstance(cache, str):
@@ -536,6 +505,7 @@ def run_experiment(spec: Union[ExperimentSpec, Sequence[RunPoint]], *,
     outcomes = run_points(points, processes=processes, cache=cache,
                           keep_results=keep_results, progress=progress,
                           on_error=on_error, point_timeout=point_timeout,
-                          retries=retries, retry_backoff=retry_backoff)
+                          retries=retries, retry_backoff=retry_backoff,
+                          pool=pool)
     return ExperimentResult(outcomes=outcomes,
                             wall_seconds=time.perf_counter() - start)

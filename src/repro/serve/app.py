@@ -13,14 +13,25 @@ One process, three layers:
   through ``call_soon_threadsafe``;
 * a **worker pool** (``ThreadPoolExecutor``, ``--workers`` wide) whose
   threads drive the orchestrator's resilient
-  :func:`~repro.exp.orchestrator.run_points` — per-point subprocess
-  wall-clock caps, crash retries, failure isolation — against the
-  shared on-disk :class:`~repro.exp.cache.ResultCache`.  Analytic
-  ``estimate`` jobs run inline in the thread (they take milliseconds).
+  :func:`~repro.exp.orchestrator.run_points` — per-point wall-clock
+  caps, crash retries, failure isolation — against the shared on-disk
+  :class:`~repro.exp.cache.ResultCache` and one shared warm
+  :class:`~repro.exp.pool.WorkerPool` of spawn-once simulation
+  processes (so repeat jobs skip process spawn and reuse constructed
+  simulation contexts).  Analytic ``estimate`` jobs run inline in the
+  thread (they take milliseconds).
+
+Memory stays bounded over a long-lived server: terminal jobs are
+evicted ``--job-ttl`` seconds after finishing, per-job event logs keep
+only the newest ``--max-job-events`` entries, and the result cache
+self-prunes to ``--cache-max-age`` / ``--cache-max-entries`` during the
+periodic housekeeping pass.
 
 Endpoints::
 
     POST /v1/jobs             submit (202; 200+deduped; 400/429/503)
+    POST /v1/jobs:batch       submit many in one request (200 + per-
+                              entry http_status)
     GET  /v1/jobs             all jobs, summaries
     GET  /v1/jobs/<id>        status + result
     GET  /v1/jobs/<id>/events NDJSON progress stream (live until done)
@@ -49,6 +60,7 @@ from typing import Any, Dict, Optional, Set, Tuple
 
 from repro.exp.cache import DEFAULT_CACHE_DIR, ResultCache
 from repro.exp.orchestrator import Progress, run_points
+from repro.exp.pool import WorkerPool
 from repro.serve.jobs import (
     DEFAULT_JOURNAL_DIR,
     Job,
@@ -83,6 +95,20 @@ class ServeConfig:
     retries: int = 0
     processes: int = 1
     quiet: bool = False
+    #: Seconds a terminal (done/failed) job stays queryable in memory
+    #: before the housekeeping pass evicts it.
+    job_ttl: float = 3600.0
+    #: Per-job event-log bound: the newest this many events are kept;
+    #: older ones are trimmed and counted in ``trimmed_events``.
+    max_job_events: int = 1000
+    #: Result-cache pruning policy applied by the idle housekeeping
+    #: pass: entries older than ``cache_max_age`` seconds and entries
+    #: beyond the newest ``cache_max_entries`` are evicted.  ``None``
+    #: disables that bound.
+    cache_max_age: Optional[float] = None
+    cache_max_entries: Optional[int] = None
+    #: Seconds between housekeeping passes (TTL eviction + cache prune).
+    housekeeping_interval: float = 30.0
 
     def __post_init__(self) -> None:
         if self.workers < 1:
@@ -100,6 +126,22 @@ class ServeConfig:
             raise ValueError(f"retries must be >= 0, got {self.retries}")
         if self.processes < 1:
             raise ValueError(f"processes must be >= 1, got {self.processes}")
+        if self.job_ttl <= 0:
+            raise ValueError(f"job_ttl must be > 0, got {self.job_ttl}")
+        if self.max_job_events < 2:
+            # The bound must at least hold a status event and the
+            # terminal "done" event.
+            raise ValueError(f"max_job_events must be >= 2, "
+                             f"got {self.max_job_events}")
+        if self.cache_max_age is not None and self.cache_max_age < 0:
+            raise ValueError(f"cache_max_age must be >= 0, "
+                             f"got {self.cache_max_age}")
+        if self.cache_max_entries is not None and self.cache_max_entries < 0:
+            raise ValueError(f"cache_max_entries must be >= 0, "
+                             f"got {self.cache_max_entries}")
+        if self.housekeeping_interval <= 0:
+            raise ValueError(f"housekeeping_interval must be > 0, "
+                             f"got {self.housekeeping_interval}")
 
 
 def _finite(value: Optional[float]) -> Optional[float]:
@@ -146,6 +188,11 @@ class ServeApp:
         self._server: Optional[asyncio.AbstractServer] = None
         self._pool: Optional[ThreadPoolExecutor] = None
         self._dispatch_queued = True
+        #: One warm simulation worker pool shared by every job: spawned
+        #: once, reused across requests, so repeat fan-outs skip both
+        #: process spawn and network construction.  Sized so each serve
+        #: worker thread can use its full per-job parallelism.
+        self.pool = WorkerPool(config.workers * config.processes)
 
     # --- lifecycle ----------------------------------------------------------
 
@@ -175,14 +222,17 @@ class ServeApp:
                   f"{self.config.queue_limit})")
         self.ready.set()
         dispatcher = self._loop.create_task(self._dispatch_loop())
+        housekeeper = self._loop.create_task(self._housekeeping_loop())
         self._wake.set()
         try:
             code = await self._stopped
         finally:
             dispatcher.cancel()
+            housekeeper.cancel()
             self._server.close()
             await self._server.wait_closed()
             self._pool.shutdown(wait=False, cancel_futures=True)
+            self.pool.close()
         self._log("drain: complete, exiting 0")
         return code
 
@@ -248,6 +298,45 @@ class ServeApp:
             self._log(f"recover: re-enqueued "
                       f"{self.metrics.counters['recovered']} journaled "
                       f"job(s)")
+
+    # --- housekeeping -------------------------------------------------------
+
+    async def _housekeeping_loop(self) -> None:
+        """Periodic idle maintenance: evict expired terminal jobs from
+        memory and self-prune the on-disk result cache.
+
+        Runs as its own task so the dispatch loop can keep blocking on
+        its wake event; each pass is cheap (a dict scan) with the cache
+        prune — file I/O — pushed to the default executor."""
+        while True:
+            await asyncio.sleep(self.config.housekeeping_interval)
+            self.housekeep()
+            if self.cache is not None and (
+                    self.config.cache_max_age is not None
+                    or self.config.cache_max_entries is not None):
+                removed = await self._loop.run_in_executor(
+                    None, self.cache.prune, self.config.cache_max_age,
+                    self.config.cache_max_entries)
+                if removed:
+                    self.metrics.inc("cache_pruned", removed)
+                    self._log(f"housekeeping: pruned {removed} cache "
+                              f"entr{'y' if removed == 1 else 'ies'}")
+
+    def housekeep(self, now: Optional[float] = None) -> int:
+        """Evict terminal jobs older than ``job_ttl``; returns the
+        count evicted.  (Split out from the loop so tests can drive it
+        synchronously.)"""
+        now = time.time() if now is None else now
+        doomed = [job_id for job_id, job in self.jobs.items()
+                  if job.terminal and job.finished_at is not None
+                  and now - job.finished_at >= self.config.job_ttl]
+        for job_id in doomed:
+            self.jobs.pop(job_id, None)
+        if doomed:
+            self.metrics.inc("evicted_jobs", len(doomed))
+            self._log(f"housekeeping: evicted {len(doomed)} expired "
+                      f"job(s)")
+        return len(doomed)
 
     # --- dispatch and execution ---------------------------------------------
 
@@ -315,7 +404,8 @@ class ServeApp:
             on_error="record",
             point_timeout=point_timeout,
             retries=self.config.retries if retries is None else retries,
-            progress=publish_progress)
+            progress=publish_progress,
+            pool=self.pool)
         failures = sum(1 for o in outcomes if not o.ok)
         return {
             "num_points": len(outcomes),
@@ -389,6 +479,38 @@ class ServeApp:
                      "deduped": False,
                      "queue_depth": len(self.queue)}, {}
 
+    def _submit_batch(self, payload: Any) -> Tuple[int, Dict[str, Any],
+                                                   Dict[str, str]]:
+        """Accept many submissions in one request (``POST
+        /v1/jobs:batch``).
+
+        Each entry goes through the exact single-submission path —
+        validation, dedup, queue bounds, metrics — and gets its own
+        per-entry ``http_status`` in the response, so one bad or bounced
+        entry never poisons its neighbours.  The response is 200 as long
+        as the batch itself was well-formed."""
+        if not isinstance(payload, dict) or \
+                not isinstance(payload.get("jobs"), list):
+            self.metrics.inc("submitted")
+            self.metrics.inc("invalid")
+            return 400, {"error": "batch payload needs a 'jobs' list"}, {}
+        results = []
+        accepted = deduped = rejected = 0
+        retry_after: Dict[str, str] = {}
+        for entry in payload["jobs"]:
+            status, out, extra = self._submit(entry)
+            if status == 202:
+                accepted += 1
+            elif status == 200:
+                deduped += 1
+            else:
+                rejected += 1
+            retry_after.update(extra)
+            results.append({**out, "http_status": status})
+        return (200, {"jobs": results, "accepted": accepted,
+                      "deduped": deduped, "rejected": rejected},
+                retry_after)
+
     def _retry_after(self) -> int:
         """A Retry-After estimate: how long until a queue slot frees —
         roughly one median job per worker."""
@@ -403,6 +525,9 @@ class ServeApp:
     def _publish(self, job: Job, event: Dict[str, Any]) -> None:
         event = {"job": job.id, "ts": round(time.time(), 3), **event}
         job.events.append(event)
+        trimmed = job.trim_events(self.config.max_job_events)
+        if trimmed:
+            self.metrics.inc("trimmed_events", trimmed)
         for waiter in self._event_waiters:
             if not waiter.done():
                 waiter.set_result(None)
@@ -453,7 +578,7 @@ class ServeApp:
 
     async def _route(self, method: str, path: str, body: bytes,
                      writer: asyncio.StreamWriter) -> None:
-        if method == "POST" and path == "/v1/jobs":
+        if method == "POST" and path in ("/v1/jobs", "/v1/jobs:batch"):
             try:
                 payload = json.loads(body or b"null")
             except ValueError:
@@ -462,7 +587,9 @@ class ServeApp:
                 await self._send_json(writer, 400,
                                       {"error": "body is not valid JSON"})
                 return
-            status, out, extra = self._submit(payload)
+            intake = (self._submit_batch if path.endswith(":batch")
+                      else self._submit)
+            status, out, extra = intake(payload)
             await self._send_json(writer, status, out, extra)
             return
         if method != "GET":
@@ -479,7 +606,8 @@ class ServeApp:
             await self._send_json(writer, 200, self.metrics.snapshot(
                 queue_depth=len(self.queue),
                 in_flight=len(self._inflight),
-                draining=self.draining, cache=self.cache))
+                draining=self.draining, cache=self.cache,
+                pool=self.pool))
         elif path == "/v1/jobs":
             await self._send_json(writer, 200, {
                 "jobs": [job.public_dict(with_result=False)
@@ -506,20 +634,26 @@ class ServeApp:
     async def _stream_events(self, job: Job,
                              writer: asyncio.StreamWriter) -> None:
         """NDJSON: replay the job's event log, then follow it live
-        until the job reaches a terminal status."""
+        until the job reaches a terminal status.
+
+        The cursor is an absolute sequence number, so the size bound
+        trimming old events under a live follower skips the trimmed
+        span instead of replaying or reordering anything."""
         writer.write(b"HTTP/1.1 200 OK\r\n"
                      b"Content-Type: application/x-ndjson\r\n"
                      b"Cache-Control: no-store\r\n"
                      b"Connection: close\r\n\r\n")
         sent = 0
         while True:
-            while sent < len(job.events):
-                line = json.dumps(_json_safe(job.events[sent]),
-                                  sort_keys=True) + "\n"
+            sent = max(sent, job.events_base)
+            while sent - job.events_base < len(job.events):
+                line = json.dumps(
+                    _json_safe(job.events[sent - job.events_base]),
+                    sort_keys=True) + "\n"
                 writer.write(line.encode())
                 sent += 1
             await writer.drain()
-            if job.terminal and sent >= len(job.events):
+            if job.terminal and sent - job.events_base >= len(job.events):
                 return
             await self._wait_event()
 

@@ -13,7 +13,7 @@ import http.client
 import json
 import time
 import urllib.parse
-from typing import Any, Dict, Iterator, Optional
+from typing import Any, Dict, Iterator, List, Optional
 
 DEFAULT_BASE_URL = "http://127.0.0.1:8421"
 
@@ -91,6 +91,19 @@ class ServeClient:
         (``{"id", "status", "key", "deduped"}``).  Raises
         :class:`ServeError` on rejection (400/429/503)."""
         return self._request("POST", "/v1/jobs", payload)
+
+    def submit_many(self, payloads: List[Dict[str, Any]]
+                    ) -> List[Dict[str, Any]]:
+        """Submit many payloads in one pipelined request
+        (``POST /v1/jobs:batch``) instead of one round-trip each.
+
+        Returns one acceptance dict per payload, in order, each with an
+        ``http_status`` field (202 accepted, 200 deduped, 400/429/503
+        bounced) — a bounced entry never raises, so callers can retry
+        just the rejects."""
+        out = self._request("POST", "/v1/jobs:batch",
+                            {"jobs": list(payloads)})
+        return out.get("jobs", [])
 
     def status(self, job_id: str) -> Dict[str, Any]:
         """Current status + result of one job."""

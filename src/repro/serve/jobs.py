@@ -84,11 +84,30 @@ class Job:
     #: Submissions coalesced onto this job by single-flight dedup.
     coalesced: int = 0
     #: Progress/status events published so far (NDJSON stream backing).
+    #: The list is bounded server-side: old entries are trimmed from the
+    #: front and ``events_base`` advances, so ``events[i]`` is the event
+    #: with absolute sequence number ``events_base + i``.
     events: List[Dict[str, Any]] = field(default_factory=list)
+    #: Absolute sequence number of ``events[0]`` (> 0 once the size
+    #: bound has trimmed the front of the log).
+    events_base: int = 0
 
     @property
     def terminal(self) -> bool:
         return self.status in ("done", "failed")
+
+    def trim_events(self, max_events: int) -> int:
+        """Bound the event log to its newest ``max_events`` entries;
+        returns how many were dropped.  Stream cursors are absolute
+        sequence numbers, so trimming never replays or reorders events
+        for a live follower — it can only create a gap for a follower
+        that fell further behind than the bound."""
+        drop = len(self.events) - max_events
+        if drop <= 0:
+            return 0
+        del self.events[:drop]
+        self.events_base += drop
+        return drop
 
     @property
     def wall_seconds(self) -> Optional[float]:
@@ -111,6 +130,8 @@ class Job:
             "num_points": len(self.points),
             "coalesced": self.coalesced,
             "error": self.error,
+            "num_events": self.events_base + len(self.events),
+            "events_trimmed": self.events_base,
         }
         if with_result:
             out["result"] = self.result

@@ -25,6 +25,9 @@ COUNTERS = (
     "recovered",            # re-enqueued from the journal at startup
     "completed",            # finished with status "done"
     "failed",               # finished with status "failed"
+    "evicted_jobs",         # terminal jobs dropped after their TTL
+    "trimmed_events",       # event-log entries trimmed by the size bound
+    "cache_pruned",         # result-cache entries removed by idle pruning
 )
 
 
@@ -52,7 +55,7 @@ class ServerMetrics:
         return ordered[int(rank)]
 
     def snapshot(self, *, queue_depth: int, in_flight: int,
-                 draining: bool, cache=None) -> Dict[str, object]:
+                 draining: bool, cache=None, pool=None) -> Dict[str, object]:
         """The ``GET /metrics`` body."""
         out: Dict[str, object] = {
             "uptime_seconds": time.time() - self.started_at,
@@ -68,4 +71,7 @@ class ServerMetrics:
             out["cache_hits"] = cache.hits
             out["cache_misses"] = cache.misses
             out["cache_hit_rate"] = cache.hit_rate
+        if pool is not None:
+            out.update({f"pool_{name}": value
+                        for name, value in pool.stats().items()})
         return out

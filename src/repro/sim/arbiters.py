@@ -46,6 +46,17 @@ class Arbiter:
         hot loops call this when only one requester is active."""
         raise NotImplementedError
 
+    def reset(self) -> None:
+        """Restore construction-time priority state in place.
+
+        Part of the simulation-context reuse contract
+        (:meth:`repro.sim.network.Network.reset`): after ``reset()`` the
+        arbiter must be grant-for-grant indistinguishable from a freshly
+        constructed instance, without reallocating any state that hot
+        call sites may have cached (notably ``_fstamp``).
+        """
+        raise NotImplementedError
+
     def _check(self, requests: Sequence[int]) -> None:
         for r in requests:
             if not 0 <= r < self.size:
@@ -100,6 +111,11 @@ class MatrixArbiter(Arbiter):
                 pri[j][request] = True
         return request
 
+    def reset(self) -> None:
+        for i, row in enumerate(self._pri):
+            for j in range(self.size):
+                row[j] = i < j
+
 
 class FastMatrixArbiter(Arbiter):
     """Drop-in replacement for :class:`MatrixArbiter` with O(1) grants.
@@ -144,6 +160,11 @@ class FastMatrixArbiter(Arbiter):
         self._next += 1
         return request
 
+    def reset(self) -> None:
+        # In place: router hot loops alias this list through ``_fstamp``.
+        self._stamp[:] = range(self.size)
+        self._next = self.size
+
 
 class RoundRobinArbiter(Arbiter):
     """Rotating-priority arbiter: the pointer moves past each winner."""
@@ -171,6 +192,9 @@ class RoundRobinArbiter(Arbiter):
             )
         self._pointer = (request + 1) % self.size
         return request
+
+    def reset(self) -> None:
+        self._pointer = 0
 
 
 class QueuingArbiter(Arbiter):
@@ -219,6 +243,10 @@ class QueuingArbiter(Arbiter):
         self._queue.popleft()
         self._queued.discard(request)
         return request
+
+    def reset(self) -> None:
+        self._queue.clear()
+        self._queued.clear()
 
 
 ARBITER_KINDS = {

@@ -109,29 +109,33 @@ class SimulationResult:
         return [energy * scale for energy in self.accountant.spatial_map()]
 
 
-class Simulation:
-    """One network + one workload, run to the paper's completion rule."""
+class SimulationContext:
+    """A constructed network + power binding, reusable across runs.
 
-    def __init__(self, config: NetworkConfig, traffic: TrafficPattern,
-                 protocol: Optional[RunProtocol] = None,
-                 **overrides) -> None:
-        """``overrides`` accepts any :class:`RunProtocol` field as a
-        deprecated per-run keyword (``None`` meaning "not given"); new
-        code passes one ``protocol`` instead."""
-        protocol = resolve_protocol(protocol, **overrides)
-        self.protocol = protocol
-        self.traffic = traffic
-        self.warmup_cycles = protocol.warmup_cycles
-        self.sample_packets = protocol.sample_packets
-        self.max_cycles = protocol.max_cycles
-        self.watchdog_cycles = protocol.watchdog_cycles
-        self.audit_every = protocol.audit_every
+    Construction of the simulation graph — topology wiring, router and
+    arbiter allocation, technology and power-model precomputation — is a
+    fixed cost independent of the workload.  Grid points that differ
+    only in injection rate, seed or traffic pattern can therefore share
+    one constructed graph: build a context once per
+    :func:`structural_key` and pass it to :class:`Simulation` for each
+    point.  The context resets itself (:meth:`Network.reset`) before
+    every run after the first, which is bit-identical to fresh
+    construction (pinned by tests/test_pool.py).
+
+    Not safe for points that carry live object references out of the
+    run: ``protocol.monitor`` results hold the shared network, and
+    callers keeping ``result.accountant`` would see it zeroed by the
+    next reuse — such points must construct fresh (the worker pool gates
+    them out).
+    """
+
+    def __init__(self, config: NetworkConfig,
+                 protocol: RunProtocol) -> None:
+        self.config = config
+        self.key = structural_key(config, protocol)
         if protocol.collect_power:
-            self.accountant = EnergyAccountant(config.num_nodes)
-            # The sparse kernel defers average-mode energy into integer
-            # event counters converted to joules at finalization; data
-            # mode needs per-payload Hamming distances, so it keeps the
-            # per-event deposit path.
+            self.accountant: Optional[EnergyAccountant] = \
+                EnergyAccountant(config.num_nodes)
             if protocol.kernel == "sparse" and \
                     config.activity_mode == "average":
                 self.binding = CounterBinding(config, self.accountant)
@@ -142,6 +146,76 @@ class Simulation:
             self.binding = NullBinding()
         self.network = Network(config, self.binding,
                                kernel=protocol.kernel)
+        self._used = False
+
+    def acquire(self) -> "SimulationContext":
+        """Hand the context to one run, resetting first when reused."""
+        if self._used:
+            self.network.reset()
+        self._used = True
+        return self
+
+
+def structural_key(config: NetworkConfig, protocol: RunProtocol) -> tuple:
+    """The parts of (config, protocol) that determine graph construction.
+
+    Everything else — seed, rate, traffic, warm-up/sample lengths,
+    watchdogs, faults, telemetry — only parameterises the run, so
+    points agreeing on this key can share one
+    :class:`SimulationContext`.
+    """
+    return (config, protocol.kernel, protocol.collect_power)
+
+
+class Simulation:
+    """One network + one workload, run to the paper's completion rule."""
+
+    def __init__(self, config: NetworkConfig, traffic: TrafficPattern,
+                 protocol: Optional[RunProtocol] = None,
+                 context: Optional[SimulationContext] = None,
+                 **overrides) -> None:
+        """``overrides`` accepts any :class:`RunProtocol` field as a
+        deprecated per-run keyword (``None`` meaning "not given"); new
+        code passes one ``protocol`` instead.  ``context`` supplies a
+        prebuilt (and reusable) network/binding graph in place of fresh
+        construction; it must have been built for a matching
+        :func:`structural_key`."""
+        protocol = resolve_protocol(protocol, **overrides)
+        self.protocol = protocol
+        self.traffic = traffic
+        self.warmup_cycles = protocol.warmup_cycles
+        self.sample_packets = protocol.sample_packets
+        self.max_cycles = protocol.max_cycles
+        self.watchdog_cycles = protocol.watchdog_cycles
+        self.audit_every = protocol.audit_every
+        if context is not None:
+            if context.key != structural_key(config, protocol):
+                raise ValueError(
+                    "simulation context was built for a different "
+                    "structural (config, protocol) pair"
+                )
+            context.acquire()
+            self.accountant = context.accountant
+            self.binding = context.binding
+            self.network = context.network
+        elif protocol.collect_power:
+            self.accountant = EnergyAccountant(config.num_nodes)
+            # The sparse kernel defers average-mode energy into integer
+            # event counters converted to joules at finalization; data
+            # mode needs per-payload Hamming distances, so it keeps the
+            # per-event deposit path.
+            if protocol.kernel == "sparse" and \
+                    config.activity_mode == "average":
+                self.binding = CounterBinding(config, self.accountant)
+            else:
+                self.binding = PowerBinding(config, self.accountant)
+            self.network = Network(config, self.binding,
+                                   kernel=protocol.kernel)
+        else:
+            self.accountant = None
+            self.binding = NullBinding()
+            self.network = Network(config, self.binding,
+                                   kernel=protocol.kernel)
         self.config = config
         if protocol.monitor:
             from repro.sim.monitor import NetworkMonitor

@@ -92,6 +92,13 @@ class Channel:
         """Whether a flit is currently in flight."""
         return self._flit is not None
 
+    def reset(self) -> None:
+        """Drop in-flight traffic and zero lifetime counters, leaving
+        the notifier wiring intact (simulation-context reuse)."""
+        self._flit = None
+        self._credits = []
+        self.flits_sent = 0
+
 
 class BaseRouter:
     """Common state and wiring for all router microarchitectures."""
@@ -269,6 +276,23 @@ class BaseRouter:
         shadows (called by :meth:`repro.sim.network.Network.audit`).
         Subclasses with extra maintained state override and raise on
         mismatch."""
+
+    def reset(self) -> None:
+        """Restore construction-time dynamic state in place, keeping all
+        wiring (channels, eject, network back-reference, sparse phase
+        bindings and counter-list aliases).
+
+        Subclasses extend this with their buffer/allocator state; after
+        ``reset()`` the router must behave cycle-for-cycle like a freshly
+        constructed one (the contract :meth:`Network.reset` builds on).
+        """
+        self.thaw()
+        self.moved_flits = 0
+        self.now = 0
+        self._pending_in = 0
+        self._pending_credit = 0
+        self._buffered = 0
+        self._faulted_out = 0
 
     # --- fault handling --------------------------------------------------------
 

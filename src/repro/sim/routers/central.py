@@ -192,3 +192,19 @@ class CentralBufferRouter(BaseRouter):
 
     def buffered_flits(self) -> int:
         return sum(len(f) for f in self.fifos) + self.occupancy
+
+    def reset(self) -> None:
+        super().reset()
+        for fifo in self.fifos:
+            fifo.clear()
+        for queue in self.out_queues:
+            queue.clear()
+        self._open_records.clear()
+        self.occupancy = 0
+        for port in range(self.PORTS):
+            if self.out_credits[port] is not None:
+                self.out_credits[port] = self.depth
+        self.write_arbiter.reset()
+        self.read_arbiter.reset()
+        self._write_grants = []
+        self._read_grants = []

@@ -947,6 +947,37 @@ class VCRouter(BaseRouter):
         return sum(len(vc.fifo)
                    for port in self.vcs for vc in port)
 
+    def reset(self) -> None:
+        super().reset()
+        for port_vcs in self.vcs:
+            for vc in port_vcs:
+                vc.fifo.clear()
+                vc.active = False
+                vc.out_port = None
+                vc.out_vc = None
+        for port in range(self.PORTS):
+            self._sa_mask[port] = 0
+            self._va_mask[port] = 0
+            owners = self.out_vc_owner[port]
+            for v in range(self.num_vcs):
+                owners[v] = None
+            credits = self.out_credits[port]
+            if credits is not None:
+                for v in range(self.num_vcs):
+                    credits[v] = self.vc_depth
+        self._sa_ports = 0
+        self._va_ports = 0
+        for arbiter in self.switch_arbiters:
+            arbiter.reset()
+        for arbiter in self.local_arbiters:
+            arbiter.reset()
+        for per_port in self.vc_arbiters:
+            for arbiter in per_port:
+                arbiter.reset()
+        self._st_grants = []
+        self._inject_vc = None
+        self._inject_rr = 0
+
     def check_invariants(self) -> None:
         for port in range(self.PORTS):
             sa = va = 0

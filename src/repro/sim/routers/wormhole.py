@@ -148,3 +148,15 @@ class WormholeRouter(BaseRouter):
 
     def buffered_flits(self) -> int:
         return sum(len(f) for f in self.fifos)
+
+    def reset(self) -> None:
+        super().reset()
+        for fifo in self.fifos:
+            fifo.clear()
+        for port in range(self.PORTS):
+            self.out_owner[port] = None
+            self.in_conn[port] = None
+            if self.out_credits[port] is not None:
+                self.out_credits[port] = self.depth
+        for arbiter in self.arbiters:
+            arbiter.reset()

@@ -1,0 +1,313 @@
+"""Warm worker-pool suite: equivalence, context reuse and chaos.
+
+The pool's contract is that fan-out through it is *observationally
+identical* to the serial path: same outcomes, in submission order, with
+latency and flit counts exactly equal and energy bit-identical.  This
+file pins that contract across router kinds, kernels and faulted runs,
+pins ``Network.reset()`` context reuse against fresh construction, and
+exercises the pool's failure modes (worker death mid-chunk, per-point
+timeouts) against a dedicated pool whose stats make the recovery
+visible.
+"""
+
+import multiprocessing
+import os
+
+import pytest
+
+from repro.core.config import RunProtocol
+from repro.exp import RunPoint, TrafficSpec, WorkerPool, run_points
+from repro.faults import parse_fault_specs
+from repro.sim.engine import Simulation, SimulationContext
+from repro.sim.topology import topology_for
+from repro.sim.traffic import (
+    TRAFFIC_REGISTRY,
+    TrafficParam,
+    UniformRandomTraffic,
+    register_traffic,
+)
+
+from tests.conftest import small_config
+
+FAST = RunProtocol(warmup_cycles=100, sample_packets=40)
+
+
+def _points(kinds=("wormhole",), kernels=("sparse",), rates=(0.05, 0.10),
+            seeds=(1, 2), faults=None):
+    points = []
+    for kind in kinds:
+        for kernel in kernels:
+            for rate in rates:
+                for seed in seeds:
+                    protocol = RunProtocol(
+                        warmup_cycles=100, sample_packets=40, seed=seed,
+                        kernel=kernel, faults=faults)
+                    points.append(RunPoint(
+                        config=small_config(kind),
+                        traffic=TrafficSpec("uniform"),
+                        rate=rate, protocol=protocol,
+                        label=f"{kind}-{kernel}"))
+    return points
+
+
+def _assert_outcomes_identical(serial, pooled):
+    assert len(serial) == len(pooled)
+    for left, right in zip(serial, pooled):
+        assert left.point.describe() == right.point.describe()
+        assert left.status == right.status
+        assert left.ok == right.ok
+        # Latency, cycle and flit-level figures must be exactly equal.
+        assert left.avg_latency == right.avg_latency
+        assert left.throughput_flits_per_cycle == \
+            right.throughput_flits_per_cycle
+        assert left.total_cycles == right.total_cycles
+        assert left.flits_dropped == right.flits_dropped
+        assert left.packets_misrouted == right.packets_misrouted
+        # Energy is a float sum over identical event sequences.
+        assert left.total_power_w == pytest.approx(
+            right.total_power_w, rel=1e-12)
+        for component, watts in left.breakdown_w.items():
+            assert right.breakdown_w[component] == \
+                pytest.approx(watts, rel=1e-12)
+
+
+# --- pool vs serial equivalence ----------------------------------------------
+
+
+@pytest.mark.parametrize("kind", ["wormhole", "vc", "central"])
+def test_pool_matches_serial(kind):
+    points = _points(kinds=(kind,))
+    serial = run_points(points, processes=1)
+    pool = WorkerPool(2)
+    try:
+        pooled = run_points(points, processes=2, pool=pool)
+    finally:
+        pool.close()
+    _assert_outcomes_identical(serial, pooled)
+
+
+def test_pool_matches_serial_both_kernels():
+    points = _points(kernels=("dense", "sparse"))
+    serial = run_points(points, processes=1)
+    pooled = run_points(points, processes=2)
+    _assert_outcomes_identical(serial, pooled)
+
+
+def test_pool_matches_serial_with_faults():
+    faults = parse_fault_specs([
+        "link_kill:node=5,port=east,at=120",
+        "router_freeze:node=6,at=150,for=60",
+    ])
+    points = _points(rates=(0.08,), seeds=(1, 2, 3), faults=faults)
+    serial = run_points(points, processes=1)
+    pooled = run_points(points, processes=2)
+    _assert_outcomes_identical(serial, pooled)
+    # The scenario must actually have perturbed the fabric, or the
+    # equivalence above proves nothing about faulted runs.
+    assert any(o.flits_dropped or o.packets_misrouted for o in serial)
+
+
+def test_pool_outcomes_arrive_in_submission_order():
+    points = _points(rates=(0.12, 0.03, 0.09, 0.06), seeds=(1,))
+    outcomes = run_points(points, processes=2)
+    assert [o.point.rate for o in outcomes] == [p.rate for p in points]
+
+
+def test_pool_keep_results_carries_full_result():
+    points = _points(rates=(0.05,), seeds=(1, 2))
+    outcomes = run_points(points, processes=2, keep_results=True)
+    for outcome in outcomes:
+        assert outcome.result is not None
+        assert outcome.result.avg_latency == outcome.avg_latency
+
+
+# --- context reuse vs fresh construction -------------------------------------
+
+
+@pytest.mark.parametrize("kernel", ["dense", "sparse"])
+@pytest.mark.parametrize("kind", ["wormhole", "vc", "central"])
+def test_context_reuse_matches_fresh(kind, kernel):
+    """One reused context must reproduce fresh-construction results
+    bit-for-bit across a sequence of (rate, seed) workloads."""
+    config = small_config(kind)
+    protocol = RunProtocol(warmup_cycles=100, sample_packets=40,
+                           kernel=kernel)
+    topo = topology_for(config)
+    context = SimulationContext(config, protocol)
+    for rate, seed in [(0.05, 1), (0.10, 2), (0.05, 3)]:
+        proto = RunProtocol(warmup_cycles=100, sample_packets=40,
+                            kernel=kernel, seed=seed)
+        fresh = Simulation(
+            config, UniformRandomTraffic(topo, rate, seed=seed),
+            proto).run()
+        reused = Simulation(
+            config, UniformRandomTraffic(topo, rate, seed=seed),
+            proto, context=context).run()
+        assert reused.avg_latency == fresh.avg_latency
+        assert reused.total_cycles == fresh.total_cycles
+        assert reused.flits_ejected == fresh.flits_ejected
+        assert reused.total_energy_j == pytest.approx(
+            fresh.total_energy_j, rel=1e-12)
+
+
+def test_context_reuse_matches_fresh_with_faults():
+    """Faulted and healthy runs interleaved on one context: the reset
+    must clear fault state (dead links, frozen routers) completely."""
+    config = small_config("wormhole")
+    protocol = RunProtocol(warmup_cycles=100, sample_packets=40)
+    topo = topology_for(config)
+    context = SimulationContext(config, protocol)
+    faults = parse_fault_specs(["link_kill:node=5,port=east,at=120"])
+    schedule = [(0.08, 1, faults), (0.08, 1, None), (0.08, 2, faults)]
+    for rate, seed, fault_spec in schedule:
+        proto = RunProtocol(warmup_cycles=100, sample_packets=40,
+                            seed=seed, faults=fault_spec)
+        fresh = Simulation(
+            config, UniformRandomTraffic(topo, rate, seed=seed),
+            proto).run()
+        reused = Simulation(
+            config, UniformRandomTraffic(topo, rate, seed=seed),
+            proto, context=context).run()
+        assert reused.avg_latency == fresh.avg_latency
+        assert reused.flits_dropped == fresh.flits_dropped
+        assert reused.total_energy_j == pytest.approx(
+            fresh.total_energy_j, rel=1e-12)
+
+
+def test_context_rejects_mismatched_structure():
+    config = small_config("wormhole")
+    context = SimulationContext(config, FAST)
+    other = small_config("vc")
+    with pytest.raises(ValueError):
+        Simulation(other, UniformRandomTraffic(topology_for(other), 0.05),
+                   FAST, context=context)
+
+
+# --- chaos: worker death and timeouts ----------------------------------------
+
+
+class _ExitOnceTraffic(UniformRandomTraffic):
+    """Hard-kills the worker on first construction (marker file records
+    the burn), succeeds after — models a crash mid-chunk that a respawn
+    plus one retry must absorb."""
+
+    def __init__(self, topo, rate, seed=1, marker=""):
+        if marker and not os.path.exists(marker):
+            open(marker, "w").close()
+            os._exit(17)
+        super().__init__(topo, rate, seed=seed)
+
+
+class _SleepTraffic(UniformRandomTraffic):
+    """Sleeps forever on construction — a runaway point for the
+    timeout path."""
+
+    def __init__(self, topo, rate, seed=1):
+        import time
+        while True:
+            time.sleep(0.5)
+
+
+@pytest.fixture
+def pool_traffic():
+    registered = []
+    specs = [("pool_exit_once", _ExitOnceTraffic,
+              [TrafficParam("marker", str, "")]),
+             ("pool_sleep", _SleepTraffic, [])]
+    for name, cls, params in specs:
+        if name not in TRAFFIC_REGISTRY:
+            register_traffic(name, cls, params=params,
+                             description="pool chaos pattern")
+            registered.append(name)
+    yield
+    for name in registered:
+        TRAFFIC_REGISTRY.pop(name, None)
+
+
+fork_only = pytest.mark.skipif(
+    "fork" not in multiprocessing.get_all_start_methods(),
+    reason="pool workers require the fork start method")
+
+
+@fork_only
+@pytest.mark.chaos
+def test_worker_killed_mid_chunk_respawns_and_retries(pool_traffic,
+                                                      tmp_path):
+    marker = str(tmp_path / "burned")
+    config = small_config("wormhole")
+    points = [
+        RunPoint(config=config, traffic=TrafficSpec("uniform"),
+                 rate=0.05, protocol=FAST),
+        RunPoint(config=config,
+                 traffic=TrafficSpec.of("pool_exit_once", marker=marker),
+                 rate=0.05, protocol=FAST),
+        RunPoint(config=config, traffic=TrafficSpec("uniform"),
+                 rate=0.10, protocol=FAST),
+    ]
+    pool = WorkerPool(2)
+    try:
+        outcomes = run_points(points, processes=2, retries=1,
+                              retry_backoff=0.05, pool=pool)
+        stats = pool.stats()
+    finally:
+        pool.close()
+    assert [o.status for o in outcomes] == ["ok", "ok", "ok"]
+    # The flaky point burned one hard attempt (worker death) before
+    # succeeding on the respawned worker.
+    assert outcomes[1].attempts == 2
+    assert stats["respawns"] >= 1
+
+
+@fork_only
+@pytest.mark.chaos
+def test_runaway_point_times_out_through_pool(pool_traffic):
+    config = small_config("wormhole")
+    points = [
+        RunPoint(config=config, traffic=TrafficSpec("uniform"),
+                 rate=0.05, protocol=FAST),
+        RunPoint(config=config, traffic=TrafficSpec.of("pool_sleep"),
+                 rate=0.05, protocol=FAST),
+        RunPoint(config=config, traffic=TrafficSpec("uniform"),
+                 rate=0.10, protocol=FAST),
+    ]
+    pool = WorkerPool(2)
+    try:
+        outcomes = run_points(points, processes=2, point_timeout=0.5,
+                              pool=pool)
+        stats = pool.stats()
+    finally:
+        pool.close()
+    assert [o.status for o in outcomes] == ["ok", "timeout", "ok"]
+    assert "wall-clock" in outcomes[1].error
+    assert outcomes[1].wall_seconds == pytest.approx(0.5)
+    assert stats["timeouts"] >= 1
+
+
+@fork_only
+def test_pool_survives_reuse_across_batches(pool_traffic):
+    """One pool, several sequential batches: contexts stay warm, stats
+    accumulate, results stay correct."""
+    pool = WorkerPool(2)
+    try:
+        first = run_points(_points(rates=(0.05,), seeds=(1, 2)),
+                           processes=2, pool=pool)
+        second = run_points(_points(rates=(0.10,), seeds=(1, 2)),
+                            processes=2, pool=pool)
+        stats = pool.stats()
+    finally:
+        pool.close()
+    assert all(o.status == "ok" for o in first + second)
+    assert stats["tasks_completed"] == len(first) + len(second)
+    assert stats["respawns"] == 0
+
+
+def test_pool_stats_and_close_idempotent():
+    pool = WorkerPool(2)
+    stats = pool.stats()
+    assert set(stats) == {"workers", "workers_alive", "tasks_completed",
+                          "respawns", "timeouts"}
+    pool.close()
+    pool.close()  # second close is a no-op
+    assert pool.closed
+    with pytest.raises(RuntimeError):
+        pool.run([(0, (None, False, 0, 0.25, True))])

@@ -515,3 +515,112 @@ class TestSigtermSubprocess:
         assert 0 <= finished <= 4
         for entry in leftover:
             parse_job(entry["payload"], entry["id"])  # recoverable
+
+
+class TestBatchAndHousekeeping:
+    def test_batch_submit_mixed_entries(self, start_server):
+        """One batch with good, duplicate and bad entries: per-entry
+        http_status, no cross-poisoning, correct tallies."""
+        server = start_server()
+        client = server.client
+        good = run_payload(0.02, label="batch0")
+        out = client.submit_many([good, good, {"kind": "nonsense"}])
+        assert len(out) == 3
+        assert out[0]["http_status"] == 202
+        # Same payload → single-flight dedup onto the first entry's job.
+        assert out[1]["http_status"] in (200, 202)
+        assert out[1]["id"] == out[0]["id"]
+        assert out[2]["http_status"] == 400
+        assert "error" in out[2]
+        final = client.wait(out[0]["id"], timeout=120)
+        assert final["status"] == "done"
+        metrics = client.metrics()
+        assert metrics["submitted"] >= 3
+        assert metrics["invalid"] >= 1
+
+    def test_batch_rejects_non_list_body(self, start_server):
+        server = start_server()
+        client = server.client
+        with pytest.raises(ServeError) as err:
+            client._request("POST", "/v1/jobs:batch", {"jobs": "nope"})
+        assert err.value.status == 400
+
+    def test_terminal_jobs_evicted_after_ttl(self, start_server):
+        server = start_server(job_ttl=10.0)
+        client = server.client
+        final = client.submit_and_wait(run_payload(0.02, label="ttl"),
+                                       timeout=120)
+        app = server.app
+        job_id = final["id"]
+        assert app.housekeep(now=time.time() + 5.0) == 0
+        assert job_id in app.jobs
+        assert app.housekeep(now=time.time() + 11.0) == 1
+        assert job_id not in app.jobs
+        assert client.metrics()["evicted_jobs"] == 1
+        with pytest.raises(ServeError) as err:
+            client.status(job_id)
+        assert err.value.status == 404
+
+    def test_running_jobs_never_evicted(self, start_server):
+        server = start_server(workers=1, job_ttl=0.001)
+        client = server.client
+        accepted = client.submit(run_payload(0.02, label="live"))
+        wait_until_running(client, accepted["id"])
+        server.app.housekeep(now=time.time() + 3600.0)
+        final = client.wait(accepted["id"], timeout=120)
+        assert final["status"] == "done"
+
+    def test_event_log_bounded_and_stream_survives(self, start_server):
+        server = start_server(max_job_events=3)
+        client = server.client
+        accepted = client.submit(experiment_payload(
+            [0.02, 0.025, 0.03, 0.035], label="bounded"))
+        final = client.wait(accepted["id"], timeout=120)
+        # 1 queued + 1 running + 4 progress + 1 done published, only the
+        # newest 3 retained.
+        assert final["num_events"] == 7
+        assert final["events_trimmed"] == 4
+        assert client.metrics()["trimmed_events"] >= 4
+        # A late stream replays only the retained tail, still ending
+        # with the terminal done event.
+        events = list(client.stream(accepted["id"]))
+        assert len(events) == 3
+        assert events[-1]["type"] == "done"
+
+    def test_housekeeping_prunes_result_cache(self, tmp_path,
+                                              start_server):
+        server = start_server(cache_max_entries=1,
+                              housekeeping_interval=0.2)
+        client = server.client
+        client.submit_and_wait(run_payload(0.02, label="p0"), timeout=120)
+        client.submit_and_wait(run_payload(0.03, label="p1"), timeout=120)
+        deadline = time.monotonic() + 15
+        while time.monotonic() < deadline:
+            if server.app.cache.stats()["entries"] <= 1:
+                break
+            time.sleep(0.1)
+        assert server.app.cache.stats()["entries"] <= 1
+        assert client.metrics()["cache_pruned"] >= 1
+
+    def test_metrics_expose_pool_stats(self, start_server):
+        server = start_server()
+        client = server.client
+        client.submit_and_wait(run_payload(0.02, label="pooled"),
+                               timeout=120)
+        metrics = client.metrics()
+        assert metrics["pool_workers"] >= 1
+        assert metrics["pool_tasks_completed"] >= 1
+
+    def test_serve_config_validates_new_knobs(self, tmp_path):
+        base = dict(port=0, cache_dir=str(tmp_path / "c"),
+                    journal_dir=str(tmp_path / "j"), quiet=True)
+        with pytest.raises(ValueError):
+            ServeConfig(job_ttl=0.0, **base)
+        with pytest.raises(ValueError):
+            ServeConfig(max_job_events=1, **base)
+        with pytest.raises(ValueError):
+            ServeConfig(cache_max_age=-1.0, **base)
+        with pytest.raises(ValueError):
+            ServeConfig(cache_max_entries=-1, **base)
+        with pytest.raises(ValueError):
+            ServeConfig(housekeeping_interval=0.0, **base)
