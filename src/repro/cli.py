@@ -390,7 +390,7 @@ def cmd_validate(args) -> int:
 
 
 def cmd_serve(args) -> int:
-    from repro.serve import ServeConfig, serve_forever
+    from repro.serve import ServeConfig, serve_forever, serve_sharded
 
     config = ServeConfig(
         host=args.host, port=args.port, workers=args.workers,
@@ -404,8 +404,26 @@ def cmd_serve(args) -> int:
         job_ttl=args.job_ttl,
         max_job_events=args.max_job_events,
         cache_max_age=args.cache_max_age,
-        cache_max_entries=args.cache_max_entries)
+        cache_max_entries=args.cache_max_entries,
+        pool_idle_timeout=args.pool_idle_timeout)
+    if args.shards > 1:
+        return serve_sharded(config, args.shards,
+                             probe_interval=args.probe_interval)
     return serve_forever(config)
+
+
+def cmd_gateway(args) -> int:
+    from repro.serve import GatewayConfig, gateway_forever
+
+    config = GatewayConfig(
+        host=args.host, port=args.port,
+        backends=tuple(args.backend),
+        replicas=args.replicas,
+        probe_interval=args.probe_interval,
+        backend_timeout=args.backend_timeout,
+        drain_timeout=args.drain_timeout,
+        quiet=args.quiet)
+    return gateway_forever(config)
 
 
 def _submit_payload(args) -> dict:
@@ -507,6 +525,22 @@ def cmd_submit(args) -> int:
     from repro.serve import ServeClient, ServeError
 
     client = ServeClient(args.server, timeout=args.timeout)
+    if args.cancel:
+        try:
+            out = client.cancel(args.cancel)
+        except ServeError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        print(f"job {out['id']} {out['status']}")
+        if args.no_wait or out["status"] == "cancelled":
+            return 0
+        try:
+            state = client.wait(out["id"], timeout=args.timeout)
+        except ServeError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        print(f"job {out['id']} {state['status']}")
+        return 0 if state["status"] == "cancelled" else 1
     if args.batch_file:
         return _submit_batch(client, args)
     payload = _submit_payload(args)
@@ -552,6 +586,7 @@ def cmd_cache(args) -> int:
         stats = cache.stats()
         print(f"cache: {stats['root']}")
         print(f"  entries:     {stats['entries']}")
+        print(f"  legacy:      {stats['legacy_entries']}")
         print(f"  total bytes: {stats['total_bytes']}")
         for name in ("oldest_age_s", "newest_age_s"):
             age = stats[name]
@@ -567,6 +602,11 @@ def cmd_cache(args) -> int:
                               max_entries=args.max_entries)
         removed += cache.sweep_stale_tmp()
         print(f"pruned {removed} entries; {len(cache)} remain")
+        return 0
+    if args.cache_command == "migrate":
+        moved = cache.migrate()
+        print(f"migrated {moved} legacy entries into the "
+              f"content-addressed layout")
         return 0
     # clear
     removed = cache.clear()
@@ -782,9 +822,44 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--cache-max-entries", type=_nonneg_int, default=None,
                    help="self-prune the cache down to this many newest "
                         "entries during idle housekeeping")
+    p.add_argument("--pool-idle-timeout", type=_positive_float,
+                   default=None, metavar="SECONDS",
+                   help="reap idle simulation workers after this long "
+                        "(a floor of one warm worker always survives)")
+    p.add_argument("--shards", type=_positive_int, default=1,
+                   help="run N shard servers behind a consistent-hash "
+                        "gateway on --port (1 = single server)")
+    p.add_argument("--probe-interval", type=_positive_float, default=2.0,
+                   metavar="SECONDS",
+                   help="gateway health-probe interval (--shards > 1)")
     p.add_argument("--quiet", action="store_true",
                    help="suppress lifecycle log lines")
     p.set_defaults(handler=cmd_serve)
+
+    p = sub.add_parser(
+        "gateway",
+        help="front existing 'repro serve' shards with a "
+             "consistent-hash routing gateway")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=_nonneg_int, default=8421,
+                   help="TCP port (0 binds an ephemeral port)")
+    p.add_argument("--backend", action="append", required=True,
+                   metavar="HOST:PORT",
+                   help="one shard address (repeatable)")
+    p.add_argument("--replicas", type=_positive_int, default=64,
+                   help="virtual points per shard on the hash ring")
+    p.add_argument("--probe-interval", type=_positive_float, default=2.0,
+                   metavar="SECONDS",
+                   help="health-probe interval per shard")
+    p.add_argument("--backend-timeout", type=_positive_float,
+                   default=30.0, metavar="SECONDS",
+                   help="per-request timeout talking to a shard")
+    p.add_argument("--drain-timeout", type=_positive_float, default=30.0,
+                   metavar="SECONDS",
+                   help="per-shard graceful-drain budget on SIGTERM")
+    p.add_argument("--quiet", action="store_true",
+                   help="suppress lifecycle log lines")
+    p.set_defaults(handler=cmd_gateway)
 
     p = sub.add_parser(
         "submit",
@@ -799,7 +874,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--batch-file", metavar="PATH",
                    help="submit a JSON file holding a list of job "
                         "payloads in one pipelined request "
-                        "(POST /v1/jobs:batch)")
+                        "(POST /v2/jobs:batch)")
+    p.add_argument("--cancel", metavar="JOB_ID",
+                   help="cancel a queued or running job instead of "
+                        "submitting (DELETE /v2/jobs/<id>)")
     p.add_argument("--preset", default="VC16",
                    help="configuration name(s); comma-separated for "
                         "--kind experiment")
@@ -831,7 +909,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(handler=cmd_submit)
 
     p = sub.add_parser("cache", help="result-cache maintenance")
-    p.add_argument("cache_command", choices=("stats", "prune", "clear"))
+    p.add_argument("cache_command",
+                   choices=("stats", "prune", "clear", "migrate"))
     p.add_argument("--cache-dir", default="results/.cache")
     p.add_argument("--max-age-s", type=_positive_float, default=None,
                    help="prune: drop entries older than this many "

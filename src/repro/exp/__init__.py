@@ -28,6 +28,7 @@ from repro.exp.orchestrator import (
     ExperimentResult,
     PointOutcome,
     Progress,
+    RunCancelled,
     fanout_progress,
     outcomes_to_sweep,
     run_experiment,
@@ -59,6 +60,7 @@ __all__ = [
     "PointOutcome",
     "Progress",
     "ResultCache",
+    "RunCancelled",
     "RunPoint",
     "TrafficSpec",
     "WorkerPool",

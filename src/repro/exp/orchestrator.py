@@ -42,6 +42,17 @@ _ERROR_TYPES = {
 }
 
 
+class RunCancelled(RuntimeError):
+    """The caller cancelled an in-flight ``run_points`` call.
+
+    Raised out of :func:`run_points` when its ``cancel_event`` fires:
+    in-flight pool workers are killed and respawned warm (the same
+    mechanism as a ``point_timeout`` expiry) and unstarted points are
+    abandoned.  The ``repro.serve`` job service maps this onto the
+    terminal ``"cancelled"`` job status.
+    """
+
+
 @dataclass
 class PointOutcome:
     """What one run point produced: a summary, or a recorded failure."""
@@ -279,7 +290,8 @@ def run_points(points: Sequence[RunPoint], *,
                point_timeout: Optional[float] = None,
                retries: int = 0,
                retry_backoff: float = 0.25,
-               pool: Optional[object] = None) -> List[PointOutcome]:
+               pool: Optional[object] = None,
+               cancel_event: Optional[object] = None) -> List[PointOutcome]:
     """Execute run points, in order, with caching and parallelism.
 
     ``on_error="record"`` isolates per-point failures; ``"raise"``
@@ -297,6 +309,11 @@ def run_points(points: Sequence[RunPoint], *,
     the batch.  ``retries`` re-runs a point whose worker crashed with an
     unexpected exception (or died outright), sleeping
     ``retry_backoff * 2**(attempt-1)`` seconds between attempts.
+
+    ``cancel_event`` (a ``threading.Event``) aborts the call early:
+    once set, in-flight pool workers are killed and respawned (the
+    ``point_timeout`` mechanism), unstarted points never run, and
+    :class:`RunCancelled` is raised.
     """
     if on_error not in ("record", "raise"):
         raise ValueError(f"on_error must be 'record' or 'raise', "
@@ -373,10 +390,13 @@ def run_points(points: Sequence[RunPoint], *,
         active.run(list(zip(pending, payloads)),
                    point_timeout=point_timeout,
                    retries=retries, retry_backoff=retry_backoff,
-                   max_workers=workers, finish=finish)
+                   max_workers=workers, finish=finish,
+                   cancel_event=cancel_event)
     else:
         capture = on_error == "record"
         for index in pending:
+            if cancel_event is not None and cancel_event.is_set():
+                raise RunCancelled("run cancelled before completion")
             finish(index, _pool_point(
                 (points[index], _needs_result(points[index], keep_results),
                  retries, retry_backoff, capture)))
@@ -490,7 +510,8 @@ def run_experiment(spec: Union[ExperimentSpec, Sequence[RunPoint]], *,
                    point_timeout: Optional[float] = None,
                    retries: int = 0,
                    retry_backoff: float = 0.25,
-                   pool: Optional[object] = None) -> ExperimentResult:
+                   pool: Optional[object] = None,
+                   cancel_event: Optional[object] = None) -> ExperimentResult:
     """Run a whole experiment grid (or explicit point list).
 
     ``cache`` may be a :class:`ResultCache`, a directory path, or
@@ -506,6 +527,6 @@ def run_experiment(spec: Union[ExperimentSpec, Sequence[RunPoint]], *,
                           keep_results=keep_results, progress=progress,
                           on_error=on_error, point_timeout=point_timeout,
                           retries=retries, retry_backoff=retry_backoff,
-                          pool=pool)
+                          pool=pool, cancel_event=cancel_event)
     return ExperimentResult(outcomes=outcomes,
                             wall_seconds=time.perf_counter() - start)

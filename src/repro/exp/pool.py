@@ -39,7 +39,11 @@ import time
 from collections import OrderedDict, deque
 from typing import Callable, Deque, Dict, List, Optional, Sequence, Tuple
 
-from repro.exp.orchestrator import PointOutcome, _execute_resilient
+from repro.exp.orchestrator import (
+    PointOutcome,
+    RunCancelled,
+    _execute_resilient,
+)
 from repro.sim.engine import SimulationContext, structural_key
 from repro.sim.traffic import TRAFFIC_REGISTRY
 
@@ -190,12 +194,16 @@ class _Batch:
 
     def __init__(self, indices: Sequence[int], payloads: Sequence[tuple],
                  point_timeout: Optional[float], retries: int,
-                 backoff: float, max_workers: int) -> None:
+                 backoff: float, max_workers: int,
+                 cancel_event: Optional[threading.Event] = None) -> None:
         self.indices = list(indices)
         self.point_timeout = point_timeout
         self.retries = retries
         self.backoff = backoff
         self.max_workers = max(1, max_workers)
+        #: External abort switch: once set, the dispatcher kills this
+        #: batch's in-flight workers and aborts with RunCancelled.
+        self.cancel_event = cancel_event
         self.cond = threading.Condition()
         self.results: List[Optional[PointOutcome]] = [None] * len(payloads)
         self.completed = 0
@@ -232,7 +240,7 @@ class _Worker:
     """Parent-side handle on one worker process."""
 
     __slots__ = ("process", "conn", "tasks", "begun", "deadline", "last_msg",
-                 "batch")
+                 "batch", "idle_since")
 
     def __init__(self, process, conn) -> None:
         self.process = process
@@ -243,6 +251,9 @@ class _Worker:
         self.deadline: Optional[float] = None
         self.last_msg = time.monotonic()
         self.batch: Optional[_Batch] = None
+        #: Monotonic time this worker last went idle (None while busy);
+        #: what ``idle_timeout_s`` reaping measures against.
+        self.idle_since: Optional[float] = time.monotonic()
 
 
 class WorkerPool:
@@ -254,14 +265,24 @@ class WorkerPool:
     """
 
     def __init__(self, processes: int = 1, *,
-                 heartbeat_timeout: float = 30.0) -> None:
+                 heartbeat_timeout: float = 30.0,
+                 idle_timeout_s: Optional[float] = None) -> None:
         if processes < 1:
             raise ValueError(f"processes must be >= 1, got {processes}")
         if heartbeat_timeout <= 0:
             raise ValueError(f"heartbeat_timeout must be positive, "
                              f"got {heartbeat_timeout}")
+        if idle_timeout_s is not None and idle_timeout_s <= 0:
+            raise ValueError(f"idle_timeout_s must be positive, "
+                             f"got {idle_timeout_s}")
         self._size = processes
         self.heartbeat_timeout = heartbeat_timeout
+        #: Elasticity: a worker idle longer than this is reaped (its
+        #: process shut down and dropped from the pool), never shrinking
+        #: below a floor of one warm worker.  The pool re-grows to its
+        #: target size lazily on the next ``run`` call.  ``None``
+        #: disables reaping.
+        self.idle_timeout_s = idle_timeout_s
         self._lock = threading.Lock()
         self._workers: List[_Worker] = []
         self._batches: List[_Batch] = []
@@ -272,6 +293,8 @@ class WorkerPool:
         self.tasks_completed = 0
         self.respawns = 0
         self.timeouts = 0
+        self.reaped = 0
+        self.cancelled_batches = 0
 
     # --- lifecycle -----------------------------------------------------------
 
@@ -292,15 +315,22 @@ class WorkerPool:
                 self._size = max(self._size, processes)
 
     def stats(self) -> Dict[str, int]:
-        """Lifetime pool counters (JSON-safe)."""
+        """Lifetime pool counters (JSON-safe).  ``workers`` is the
+        number of live worker processes right now — after idle reaping
+        it can sit below ``workers_target`` until demand re-grows the
+        pool."""
         with self._lock:
+            spawned = len(self._workers)
             alive = sum(1 for w in self._workers if w.process.is_alive())
         return {
-            "workers": self._size,
+            "workers": spawned,
+            "workers_target": self._size,
             "workers_alive": alive,
             "tasks_completed": self.tasks_completed,
             "respawns": self.respawns,
             "timeouts": self.timeouts,
+            "reaped": self.reaped,
+            "cancelled_batches": self.cancelled_batches,
         }
 
     def close(self, join_timeout: float = 5.0) -> None:
@@ -360,7 +390,8 @@ class WorkerPool:
             retries: int = 0,
             retry_backoff: float = 0.25,
             max_workers: Optional[int] = None,
-            finish: Callable[[int, PointOutcome], None] = None) -> None:
+            finish: Callable[[int, PointOutcome], None] = None,
+            cancel_event: Optional[threading.Event] = None) -> None:
         """Execute ``(index, payload)`` tasks on the pool.
 
         Blocks until every task completes, calling ``finish(index,
@@ -368,7 +399,9 @@ class WorkerPool:
         ordering).  ``max_workers`` caps how many pool workers this
         batch may occupy at once, so concurrent callers share fairly.
         A ``finish`` that raises cancels the batch's unassigned tasks
-        and propagates.
+        and propagates.  Setting ``cancel_event`` mid-run kills the
+        batch's in-flight workers (respawned warm — the point_timeout
+        mechanism) and raises :class:`RunCancelled` here.
         """
         if not tasks:
             return
@@ -376,7 +409,8 @@ class WorkerPool:
         batch = _Batch([index for index, _ in tasks],
                        [payload for _, payload in tasks],
                        point_timeout, retries, retry_backoff,
-                       max_workers or self._size)
+                       max_workers or self._size,
+                       cancel_event=cancel_event)
         with self._lock:
             if self._closed:
                 raise RuntimeError("worker pool is closed")
@@ -406,6 +440,7 @@ class WorkerPool:
 
         try:
             while not self._stop.is_set():
+                self._service_cancellations()
                 self._assign_work()
                 with self._lock:
                     workers = list(self._workers)
@@ -430,6 +465,7 @@ class WorkerPool:
                             now - worker.last_msg > self.heartbeat_timeout:
                         self._kill_process(worker)
                         self._handle_death(worker)
+                self._reap_idle(time.monotonic())
         except Exception as exc:  # noqa: BLE001 - fail loudly, not silently
             with self._lock:
                 batches, self._batches = self._batches, []
@@ -437,6 +473,57 @@ class WorkerPool:
                 batch.abort(RuntimeError(
                     f"pool dispatcher died: {type(exc).__name__}: {exc}"))
             raise
+
+    def _service_cancellations(self) -> None:
+        """Abort batches whose cancel event fired: kill (and respawn
+        warm) every worker holding one of their chunks — the same
+        mechanism as a ``point_timeout`` expiry — and wake the waiting
+        ``run`` call with :class:`RunCancelled`."""
+        with self._lock:
+            batches = list(self._batches)
+            workers = list(self._workers)
+        for batch in batches:
+            if batch.cancelled or batch.cancel_event is None \
+                    or not batch.cancel_event.is_set():
+                continue
+            batch.ready.clear()
+            batch.abort(RunCancelled("run cancelled"))
+            self.cancelled_batches += 1
+            for worker in workers:
+                if worker.batch is not batch:
+                    continue
+                self._kill_process(worker)
+                worker.tasks = deque()
+                self._release_batch(worker)
+                self._respawn(worker)
+
+    def _reap_idle(self, now: float) -> None:
+        """Shrink the pool: shut down workers idle past
+        ``idle_timeout_s``, never below a floor of one warm worker."""
+        if self.idle_timeout_s is None:
+            return
+        doomed: List[_Worker] = []
+        with self._lock:
+            for worker in list(self._workers):
+                if len(self._workers) - len(doomed) <= 1:
+                    break  # floor: keep one warm worker
+                if worker.tasks or worker.idle_since is None:
+                    continue
+                if now - worker.idle_since < self.idle_timeout_s:
+                    continue
+                doomed.append(worker)
+            for worker in doomed:
+                self._workers.remove(worker)
+            self.reaped += len(doomed)
+        for worker in doomed:
+            try:
+                worker.conn.send(None)
+            except OSError:
+                pass
+            try:
+                worker.conn.close()
+            except OSError:
+                pass
 
     def _assign_work(self) -> None:
         now = time.monotonic()
@@ -456,6 +543,7 @@ class WorkerPool:
             worker.batch = batch
             worker.tasks.extend(chunk)
             worker.last_msg = now
+            worker.idle_since = None
             try:
                 worker.conn.send([(t.payload, t.kind_entry) for t in chunk])
             except (OSError, ValueError):
@@ -510,6 +598,7 @@ class WorkerPool:
                     self.tasks_completed += 1
                     if not worker.tasks:
                         self._release_batch(worker)
+                        worker.idle_since = now
                 # "hb" only refreshes last_msg.
         except (EOFError, OSError):
             pass  # the liveness pass handles the death
@@ -549,6 +638,7 @@ class WorkerPool:
         worker.deadline = None
         worker.last_msg = time.monotonic()
         worker.batch = None
+        worker.idle_since = worker.last_msg
         self.respawns += 1
 
     def _handle_death(self, worker: _Worker) -> None:

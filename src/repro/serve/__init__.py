@@ -11,8 +11,14 @@ sub-millisecond analytic estimates over HTTP:
   queue with 429 backpressure, single-flight dedup on result-cache
   keys, NDJSON progress streaming, crash-safe job journal and
   SIGTERM-triggered graceful drain;
+* :class:`~repro.serve.shard.GatewayApp` /
+  :func:`~repro.serve.shard.serve_sharded` — the consistent-hash shard
+  gateway (``repro serve --shards N`` / ``repro gateway``): routes
+  every job to its home shard by dedup key, retries idempotent submits
+  around dead shards, aggregates fleet health and metrics;
 * :class:`~repro.serve.client.ServeClient` — the blocking stdlib
-  client (``repro submit``): submit / wait / stream;
+  client (``repro submit``): submit / wait / stream / cancel, speaking
+  the ``/v2/`` API with typed errors;
 * :mod:`~repro.serve.jobs` — the job JSON schema, riding the
   :mod:`repro.exp.spec` serialization round-trips.
 
@@ -25,7 +31,14 @@ from repro.serve.app import (
     ServeConfig,
     serve_forever,
 )
-from repro.serve.client import DEFAULT_BASE_URL, ServeClient, ServeError
+from repro.serve.client import (
+    DEFAULT_BASE_URL,
+    JobNotFound,
+    JobRejected,
+    ServeClient,
+    ServeError,
+    ShardUnavailable,
+)
 from repro.serve.jobs import (
     DEFAULT_JOURNAL_DIR,
     JOB_KINDS,
@@ -36,22 +49,39 @@ from repro.serve.jobs import (
 )
 from repro.serve.metrics import ServerMetrics
 from repro.serve.queue import JobQueue, QueueFull
+from repro.serve.shard import (
+    GatewayApp,
+    GatewayConfig,
+    ShardRing,
+    ShardSupervisor,
+    gateway_forever,
+    serve_sharded,
+)
 
 __all__ = [
     "DEFAULT_BASE_URL",
     "DEFAULT_JOURNAL_DIR",
     "DEFAULT_POINT_TIMEOUT",
+    "GatewayApp",
+    "GatewayConfig",
     "JOB_KINDS",
     "Job",
     "JobError",
     "JobJournal",
+    "JobNotFound",
     "JobQueue",
+    "JobRejected",
     "QueueFull",
     "ServeApp",
+    "ShardUnavailable",
     "ServeClient",
     "ServeConfig",
     "ServeError",
     "ServerMetrics",
+    "ShardRing",
+    "ShardSupervisor",
+    "gateway_forever",
     "parse_job",
     "serve_forever",
+    "serve_sharded",
 ]

@@ -27,16 +27,26 @@ only the newest ``--max-job-events`` entries, and the result cache
 self-prunes to ``--cache-max-age`` / ``--cache-max-entries`` during the
 periodic housekeeping pass.
 
-Endpoints::
+Endpoints (v2 is the native API)::
 
-    POST /v1/jobs             submit (202; 200+deduped; 400/429/503)
-    POST /v1/jobs:batch       submit many in one request (200 + per-
-                              entry http_status)
-    GET  /v1/jobs             all jobs, summaries
-    GET  /v1/jobs/<id>        status + result
-    GET  /v1/jobs/<id>/events NDJSON progress stream (live until done)
-    GET  /healthz             liveness + drain state
-    GET  /metrics             queue/dedup/cache/percentile counters
+    POST   /v2/jobs             submit (202; 200+deduped; 400/429/503)
+    POST   /v2/jobs:batch       submit many in one request (200 + per-
+                                entry http_status)
+    GET    /v2/jobs             all jobs, summaries
+    GET    /v2/jobs/<id>        status + result
+    GET    /v2/jobs/<id>/events NDJSON progress stream (live until done)
+    DELETE /v2/jobs/<id>        cancel (queued: immediate; running:
+                                kill-and-respawn the workers holding it)
+    GET    /healthz             liveness + drain state
+    GET    /metrics             queue/dedup/cache/percentile counters
+
+Every non-2xx v2 response body is the uniform error envelope
+``{"error": {"code", "message", "retryable"}}`` so clients branch on a
+machine-readable code instead of parsing prose.  The ``/v1/`` endpoints
+remain as thin adapters over the same handlers — identical success
+bodies, errors flattened back to the legacy ``{"error": "<message>"}``
+shape — and every v1 response carries a ``Deprecation`` header naming
+the successor.
 
 Lifecycle: SIGTERM/SIGINT trigger a graceful drain — new submissions
 get 503, queued jobs keep dispatching until ``--drain-timeout``, then
@@ -59,7 +69,7 @@ from dataclasses import dataclass
 from typing import Any, Dict, Optional, Set, Tuple
 
 from repro.exp.cache import DEFAULT_CACHE_DIR, ResultCache
-from repro.exp.orchestrator import Progress, run_points
+from repro.exp.orchestrator import Progress, RunCancelled, run_points
 from repro.exp.pool import WorkerPool
 from repro.serve.jobs import (
     DEFAULT_JOURNAL_DIR,
@@ -78,6 +88,30 @@ DEFAULT_RETRY_AFTER = 5
 #: may override per job.  Keeps a hung point from wedging a worker (and
 #: the drain) forever.
 DEFAULT_POINT_TIMEOUT = 300.0
+
+#: ``Deprecation`` response-header value stamped on every ``/v1/``
+#: response (the draft-RFC header shape: a flag plus the successor).
+V1_DEPRECATION = 'version="v1"; successor="/v2/"'
+
+
+def error_body(code: str, message: str,
+               retryable: bool = False) -> Dict[str, Any]:
+    """The uniform v2 error envelope every non-2xx response carries."""
+    return {"error": {"code": code, "message": message,
+                      "retryable": retryable}}
+
+
+def _legacy_body(body: Dict[str, Any]) -> Dict[str, Any]:
+    """Flatten a v2 error envelope back to the v1 ``{"error": "<msg>"}``
+    shape (success bodies and batch entries pass through recursively)."""
+    out = dict(body)
+    err = out.get("error")
+    if isinstance(err, dict):
+        out["error"] = err.get("message", "")
+    if isinstance(out.get("jobs"), list):
+        out["jobs"] = [_legacy_body(entry) if isinstance(entry, dict)
+                       else entry for entry in out["jobs"]]
+    return out
 
 
 @dataclass
@@ -109,6 +143,10 @@ class ServeConfig:
     cache_max_entries: Optional[int] = None
     #: Seconds between housekeeping passes (TTL eviction + cache prune).
     housekeeping_interval: float = 30.0
+    #: Idle simulation workers are reaped after this many seconds
+    #: (``None`` keeps the pool at full size forever; a floor of one
+    #: warm worker always survives).
+    pool_idle_timeout: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.workers < 1:
@@ -142,6 +180,9 @@ class ServeConfig:
         if self.housekeeping_interval <= 0:
             raise ValueError(f"housekeeping_interval must be > 0, "
                              f"got {self.housekeeping_interval}")
+        if self.pool_idle_timeout is not None and self.pool_idle_timeout <= 0:
+            raise ValueError(f"pool_idle_timeout must be > 0, "
+                             f"got {self.pool_idle_timeout}")
 
 
 def _finite(value: Optional[float]) -> Optional[float]:
@@ -192,7 +233,8 @@ class ServeApp:
         #: once, reused across requests, so repeat fan-outs skip both
         #: process spawn and network construction.  Sized so each serve
         #: worker thread can use its full per-job parallelism.
-        self.pool = WorkerPool(config.workers * config.processes)
+        self.pool = WorkerPool(config.workers * config.processes,
+                               idle_timeout_s=config.pool_idle_timeout)
 
     # --- lifecycle ----------------------------------------------------------
 
@@ -353,6 +395,7 @@ class ServeApp:
 
     def _start_job(self, job: Job) -> None:
         job.status = "running"
+        job.cancel_event = threading.Event()
         job.started_at = time.time()
         self._publish(job, {"type": "status", "status": "running",
                             "queue_depth": len(self.queue)})
@@ -405,7 +448,8 @@ class ServeApp:
             point_timeout=point_timeout,
             retries=self.config.retries if retries is None else retries,
             progress=publish_progress,
-            pool=self.pool)
+            pool=self.pool,
+            cancel_event=job.cancel_event)
         failures = sum(1 for o in outcomes if not o.ok)
         return {
             "num_points": len(outcomes),
@@ -423,6 +467,10 @@ class ServeApp:
             job.result = future.result()
             job.status = "done"
             self.metrics.inc("completed")
+        except RunCancelled:
+            job.status = "cancelled"
+            job.error = "cancelled by client"
+            self.metrics.inc("cancelled_jobs")
         except Exception as exc:  # noqa: BLE001 - job isolation boundary
             job.status = "failed"
             job.error = f"{type(exc).__name__}: {exc}"
@@ -447,12 +495,13 @@ class ServeApp:
         self.metrics.inc("submitted")
         if self.draining:
             self.metrics.inc("rejected_draining")
-            return 503, {"error": "server is draining"}, {}
+            return 503, error_body("draining", "server is draining",
+                                   retryable=True), {}
         try:
             job = parse_job(payload, uuid.uuid4().hex[:12])
         except JobError as exc:
             self.metrics.inc("invalid")
-            return 400, {"error": str(exc)}, {}
+            return 400, error_body("invalid_job", str(exc)), {}
         primary = self._active_keys.get(job.key)
         if primary is not None and not primary.terminal:
             # Single-flight: identical work is already queued or running;
@@ -465,9 +514,11 @@ class ServeApp:
             self.queue.push(job)
         except QueueFull:
             self.metrics.inc("rejected_queue_full")
-            return (429, {"error": f"queue full "
-                                   f"({self.config.queue_limit} waiting)"},
-                    {"Retry-After": str(self._retry_after())})
+            return (429, error_body(
+                "queue_full",
+                f"queue full ({self.config.queue_limit} waiting)",
+                retryable=True),
+                {"Retry-After": str(self._retry_after())})
         self.jobs[job.id] = job
         self._active_keys[job.key] = job
         self.journal.record(job)
@@ -493,7 +544,8 @@ class ServeApp:
                 not isinstance(payload.get("jobs"), list):
             self.metrics.inc("submitted")
             self.metrics.inc("invalid")
-            return 400, {"error": "batch payload needs a 'jobs' list"}, {}
+            return 400, error_body("invalid_batch",
+                                   "batch payload needs a 'jobs' list"), {}
         results = []
         accepted = deduped = rejected = 0
         retry_after: Dict[str, str] = {}
@@ -510,6 +562,45 @@ class ServeApp:
         return (200, {"jobs": results, "accepted": accepted,
                       "deduped": deduped, "rejected": rejected},
                 retry_after)
+
+    def _cancel(self, job_id: str) -> Tuple[int, Dict[str, Any],
+                                            Dict[str, str]]:
+        """Cancel one job (``DELETE /v2/jobs/<id>``).
+
+        Queued jobs cancel immediately (pulled straight out of the
+        queue); running jobs cancel cooperatively — the job's cancel
+        event trips the worker pool's kill-and-respawn path (the same
+        mechanism as ``point_timeout``), and the job turns terminal
+        once the executing thread observes :class:`RunCancelled`.
+        Cancelling an already-cancelled job is an idempotent success;
+        cancelling a done/failed job is a 409."""
+        job = self.jobs.get(job_id)
+        if job is None:
+            return 404, error_body("job_not_found",
+                                   f"no such job {job_id!r}"), {}
+        if job.status == "cancelled":
+            return 200, {"id": job.id, "status": "cancelled"}, {}
+        if job.terminal:
+            return 409, error_body(
+                "job_already_finished",
+                f"job {job_id} already {job.status}"), {}
+        if job.status == "queued":
+            self.queue.remove(job.id)
+            job.status = "cancelled"
+            job.error = "cancelled by client"
+            job.finished_at = time.time()
+            self.journal.discard(job.id)
+            if self._active_keys.get(job.key) is job:
+                self._active_keys.pop(job.key)
+            self.metrics.inc("cancelled_jobs")
+            self._publish(job, {"type": "done", "status": "cancelled",
+                                "error": job.error, "wall_seconds": None})
+            return 200, {"id": job.id, "status": "cancelled"}, {}
+        # Running: flag it and let _job_done finish the bookkeeping.
+        if job.cancel_event is not None:
+            job.cancel_event.set()
+        self._publish(job, {"type": "status", "status": "cancelling"})
+        return 202, {"id": job.id, "status": "cancelling"}, {}
 
     def _retry_after(self) -> int:
         """A Retry-After estimate: how long until a queue slot frees —
@@ -554,7 +645,8 @@ class ServeApp:
                 method, target, _ = request.decode("latin-1").split(None, 2)
             except ValueError:
                 await self._send_json(writer, 400,
-                                      {"error": "malformed request line"})
+                                      error_body("bad_request",
+                                                 "malformed request line"))
                 return
             headers = {}
             while True:
@@ -578,71 +670,106 @@ class ServeApp:
 
     async def _route(self, method: str, path: str, body: bytes,
                      writer: asyncio.StreamWriter) -> None:
-        if method == "POST" and path in ("/v1/jobs", "/v1/jobs:batch"):
+        """Dispatch one request.
+
+        ``/v2/`` is the native surface; ``/v1/`` routes through the
+        same handlers, then flattens error envelopes to the legacy
+        shape and stamps the ``Deprecation`` header.  ``/healthz`` and
+        ``/metrics`` are unversioned."""
+        legacy = path.startswith("/v1/")
+        extra: Dict[str, str] = {"Deprecation": V1_DEPRECATION} \
+            if legacy else {}
+
+        async def send(status: int, out: Dict[str, Any],
+                       headers: Optional[Dict[str, str]] = None) -> None:
+            if legacy:
+                out = _legacy_body(out)
+            await self._send_json(writer, status, out,
+                                  {**extra, **(headers or {})})
+
+        if legacy:
+            route = "/v2/" + path[len("/v1/"):]
+        else:
+            route = path
+        if method == "POST" and route in ("/v2/jobs", "/v2/jobs:batch"):
             try:
                 payload = json.loads(body or b"null")
             except ValueError:
                 self.metrics.inc("submitted")
                 self.metrics.inc("invalid")
-                await self._send_json(writer, 400,
-                                      {"error": "body is not valid JSON"})
+                await send(400, error_body("invalid_json",
+                                           "body is not valid JSON"))
                 return
-            intake = (self._submit_batch if path.endswith(":batch")
+            intake = (self._submit_batch if route.endswith(":batch")
                       else self._submit)
-            status, out, extra = intake(payload)
-            await self._send_json(writer, status, out, extra)
+            status, out, headers = intake(payload)
+            await send(status, out, headers)
+            return
+        if method == "DELETE":
+            if route.startswith("/v2/jobs/"):
+                job_id = route[len("/v2/jobs/"):]
+                if "/" not in job_id:
+                    status, out, headers = self._cancel(job_id)
+                    await send(status, out, headers)
+                    return
+            await send(404, error_body("not_found",
+                                       f"no such endpoint {path!r}"))
             return
         if method != "GET":
-            await self._send_json(writer, 405,
-                                  {"error": f"unsupported method {method}"})
+            await send(405, error_body("method_not_allowed",
+                                       f"unsupported method {method}"))
             return
-        if path == "/healthz":
-            await self._send_json(writer, 200, {
+        if route == "/healthz":
+            await send(200, {
                 "status": "draining" if self.draining else "ok",
                 "queue_depth": len(self.queue),
                 "in_flight": len(self._inflight),
             })
-        elif path == "/metrics":
-            await self._send_json(writer, 200, self.metrics.snapshot(
+        elif route == "/metrics":
+            await send(200, self.metrics.snapshot(
                 queue_depth=len(self.queue),
                 in_flight=len(self._inflight),
                 draining=self.draining, cache=self.cache,
                 pool=self.pool))
-        elif path == "/v1/jobs":
-            await self._send_json(writer, 200, {
+        elif route == "/v2/jobs":
+            await send(200, {
                 "jobs": [job.public_dict(with_result=False)
                          for job in self.jobs.values()]})
-        elif path.startswith("/v1/jobs/"):
-            rest = path[len("/v1/jobs/"):]
+        elif route.startswith("/v2/jobs/"):
+            rest = route[len("/v2/jobs/"):]
             job_id, _, tail = rest.partition("/")
             job = self.jobs.get(job_id)
             if job is None:
-                await self._send_json(writer, 404,
-                                      {"error": f"no such job {job_id!r}"})
+                await send(404, error_body("job_not_found",
+                                           f"no such job {job_id!r}"))
             elif tail == "":
-                await self._send_json(writer, 200, job.public_dict())
+                await send(200, job.public_dict())
             elif tail == "events":
-                await self._stream_events(job, writer)
+                await self._stream_events(job, writer, extra)
             else:
-                await self._send_json(writer, 404,
-                                      {"error": f"no such endpoint "
-                                                f"{path!r}"})
+                await send(404, error_body("not_found",
+                                           f"no such endpoint {path!r}"))
         else:
-            await self._send_json(writer, 404,
-                                  {"error": f"no such endpoint {path!r}"})
+            await send(404, error_body("not_found",
+                                       f"no such endpoint {path!r}"))
 
     async def _stream_events(self, job: Job,
-                             writer: asyncio.StreamWriter) -> None:
+                             writer: asyncio.StreamWriter,
+                             extra_headers: Optional[Dict[str, str]] = None
+                             ) -> None:
         """NDJSON: replay the job's event log, then follow it live
         until the job reaches a terminal status.
 
         The cursor is an absolute sequence number, so the size bound
         trimming old events under a live follower skips the trimmed
         span instead of replaying or reordering anything."""
-        writer.write(b"HTTP/1.1 200 OK\r\n"
-                     b"Content-Type: application/x-ndjson\r\n"
-                     b"Cache-Control: no-store\r\n"
-                     b"Connection: close\r\n\r\n")
+        head = ["HTTP/1.1 200 OK",
+                "Content-Type: application/x-ndjson",
+                "Cache-Control: no-store",
+                "Connection: close"]
+        for name, value in (extra_headers or {}).items():
+            head.append(f"{name}: {value}")
+        writer.write(("\r\n".join(head) + "\r\n\r\n").encode())
         sent = 0
         while True:
             sent = max(sent, job.events_base)
@@ -663,7 +790,9 @@ class ServeApp:
                          ) -> None:
         reasons = {200: "OK", 202: "Accepted", 400: "Bad Request",
                    404: "Not Found", 405: "Method Not Allowed",
-                   429: "Too Many Requests", 503: "Service Unavailable"}
+                   409: "Conflict", 429: "Too Many Requests",
+                   500: "Internal Server Error", 502: "Bad Gateway",
+                   503: "Service Unavailable"}
         payload = json.dumps(_json_safe(body), sort_keys=True).encode()
         head = [f"HTTP/1.1 {status} {reasons.get(status, 'Error')}",
                 "Content-Type: application/json",

@@ -2,9 +2,13 @@
 
 :class:`ServeClient` is what scripts (and the ``repro submit`` CLI)
 use to target a warm server instead of paying a cold CLI process per
-query: submit a job payload, poll or stream it, get the result dict
-back.  One ``http.client`` connection per request — the server closes
-connections after each response, which keeps both sides trivial.
+query: submit a job payload, poll or stream it, cancel it, get the
+result dict back.  Speaks the native ``/v2/`` API — uniform error
+envelopes become the typed exceptions :class:`JobRejected`,
+:class:`JobNotFound` and :class:`ShardUnavailable` (all subclasses of
+:class:`ServeError`, so existing broad handlers keep working).  One
+``http.client`` connection per request — the server closes connections
+after each response, which keeps both sides trivial.
 """
 
 from __future__ import annotations
@@ -21,16 +25,63 @@ DEFAULT_BASE_URL = "http://127.0.0.1:8421"
 class ServeError(RuntimeError):
     """A non-2xx server response (or no response at all).
 
-    Carries the HTTP ``status`` (0 when the server was unreachable)
-    and, for 429 rejections, the server's suggested ``retry_after``
-    seconds.
+    Carries the HTTP ``status`` (0 when the server was unreachable),
+    the machine-readable v2 error ``code``, whether the server marked
+    the failure ``retryable``, and, for 429 rejections, the suggested
+    ``retry_after`` seconds.  The typed subclasses below are what the
+    client actually raises for the common cases; catching plain
+    :class:`ServeError` still catches everything.
     """
 
     def __init__(self, message: str, status: int = 0,
-                 retry_after: Optional[float] = None) -> None:
+                 retry_after: Optional[float] = None,
+                 code: str = "", retryable: bool = False) -> None:
         super().__init__(message)
         self.status = status
         self.retry_after = retry_after
+        self.code = code
+        self.retryable = retryable
+
+
+class JobRejected(ServeError):
+    """The server refused a submission (400 invalid, 429 queue full,
+    503 draining)."""
+
+
+class JobNotFound(ServeError):
+    """No job with that id (404) — evicted after its TTL, cancelled
+    away, or never accepted."""
+
+
+class ShardUnavailable(ServeError):
+    """A gateway could not reach any live shard for this key (502/503
+    with code ``shard_unavailable``); always retryable."""
+
+
+def _classify(message: str, status: int,
+              retry_after: Optional[float],
+              code: str, retryable: bool) -> ServeError:
+    """The right typed exception for one error response."""
+    if code == "shard_unavailable":
+        cls = ShardUnavailable
+    elif status == 404:
+        cls = JobNotFound
+    elif status in (400, 409, 429, 503):
+        cls = JobRejected
+    else:
+        cls = ServeError
+    return cls(message, status=status, retry_after=retry_after,
+               code=code, retryable=retryable)
+
+
+def _parse_error(out: Dict[str, Any], status: int) -> tuple:
+    """(message, code, retryable) from a v2 envelope, tolerating the
+    legacy flat ``{"error": "<msg>"}`` shape from old servers."""
+    err = out.get("error")
+    if isinstance(err, dict):
+        return (err.get("message") or f"HTTP {status}",
+                err.get("code") or "", bool(err.get("retryable")))
+    return (err or f"HTTP {status}", "", False)
 
 
 class ServeClient:
@@ -76,10 +127,12 @@ class ServeClient:
                 out = {"error": data.decode(errors="replace")}
             if response.status >= 400:
                 retry_after = response.headers.get("Retry-After")
-                raise ServeError(
-                    out.get("error", f"HTTP {response.status}"),
-                    status=response.status,
-                    retry_after=float(retry_after) if retry_after else None)
+                message, code, retryable = _parse_error(
+                    out, response.status)
+                raise _classify(
+                    message, response.status,
+                    float(retry_after) if retry_after else None,
+                    code, retryable)
             return out
         finally:
             conn.close()
@@ -89,8 +142,8 @@ class ServeClient:
     def submit(self, payload: Dict[str, Any]) -> Dict[str, Any]:
         """Submit one job payload; returns the acceptance dict
         (``{"id", "status", "key", "deduped"}``).  Raises
-        :class:`ServeError` on rejection (400/429/503)."""
-        return self._request("POST", "/v1/jobs", payload)
+        :class:`JobRejected` on rejection (400/429/503)."""
+        return self._request("POST", "/v2/jobs", payload)
 
     def submit_many(self, payloads: List[Dict[str, Any]]
                     ) -> List[Dict[str, Any]]:
@@ -101,17 +154,27 @@ class ServeClient:
         ``http_status`` field (202 accepted, 200 deduped, 400/429/503
         bounced) — a bounced entry never raises, so callers can retry
         just the rejects."""
-        out = self._request("POST", "/v1/jobs:batch",
+        out = self._request("POST", "/v2/jobs:batch",
                             {"jobs": list(payloads)})
         return out.get("jobs", [])
 
     def status(self, job_id: str) -> Dict[str, Any]:
         """Current status + result of one job."""
-        return self._request("GET", f"/v1/jobs/{job_id}")
+        return self._request("GET", f"/v2/jobs/{job_id}")
 
     def jobs(self) -> Dict[str, Any]:
         """Summaries of every job the server knows about."""
-        return self._request("GET", "/v1/jobs")
+        return self._request("GET", "/v2/jobs")
+
+    def cancel(self, job_id: str) -> Dict[str, Any]:
+        """Cancel one job (``DELETE /v2/jobs/<id>``).
+
+        Queued jobs cancel immediately (``{"status": "cancelled"}``);
+        running jobs return ``{"status": "cancelling"}`` and turn
+        terminal shortly after — :meth:`wait` observes the final
+        ``"cancelled"``.  Raises :class:`JobNotFound` for unknown ids
+        and :class:`JobRejected` (409) for already-finished jobs."""
+        return self._request("DELETE", f"/v2/jobs/{job_id}")
 
     def health(self) -> Dict[str, Any]:
         return self._request("GET", "/healthz")
@@ -129,7 +192,7 @@ class ServeClient:
         deadline = None if timeout is None else time.monotonic() + timeout
         while True:
             state = self.status(job_id)
-            if state.get("status") in ("done", "failed"):
+            if state.get("status") in ("done", "failed", "cancelled"):
                 return state
             if deadline is not None and time.monotonic() > deadline:
                 raise ServeError(
@@ -152,7 +215,7 @@ class ServeClient:
         conn = self._connect()
         try:
             try:
-                conn.request("GET", f"/v1/jobs/{job_id}/events")
+                conn.request("GET", f"/v2/jobs/{job_id}/events")
                 response = conn.getresponse()
             except (OSError, http.client.HTTPException) as exc:
                 raise ServeError(
@@ -161,11 +224,13 @@ class ServeClient:
             if response.status >= 400:
                 data = response.read()
                 try:
-                    message = json.loads(data).get("error", "")
+                    out = json.loads(data)
                 except ValueError:
-                    message = data.decode(errors="replace")
-                raise ServeError(message or f"HTTP {response.status}",
-                                 status=response.status)
+                    out = {"error": data.decode(errors="replace")}
+                message, code, retryable = _parse_error(
+                    out, response.status)
+                raise _classify(message, response.status, None,
+                                code, retryable)
             for line in response:
                 line = line.strip()
                 if line:

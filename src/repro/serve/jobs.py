@@ -50,7 +50,7 @@ from repro.exp.spec import (
 )
 
 JOB_KINDS = ("run", "experiment", "estimate")
-JOB_STATUSES = ("queued", "running", "done", "failed")
+JOB_STATUSES = ("queued", "running", "done", "failed", "cancelled")
 
 #: Default journal location, relative to the working directory.
 DEFAULT_JOURNAL_DIR = os.path.join("results", ".serve")
@@ -92,9 +92,13 @@ class Job:
     #: bound has trimmed the front of the log).
     events_base: int = 0
 
+    #: Set once a client cancels the job; the execution path polls it
+    #: (queued jobs never get one — they are dequeued directly).
+    cancel_event: Optional[Any] = field(default=None, repr=False)
+
     @property
     def terminal(self) -> bool:
-        return self.status in ("done", "failed")
+        return self.status in ("done", "failed", "cancelled")
 
     def trim_events(self, max_events: int) -> int:
         """Bound the event log to its newest ``max_events`` entries;

@@ -25,6 +25,7 @@ COUNTERS = (
     "recovered",            # re-enqueued from the journal at startup
     "completed",            # finished with status "done"
     "failed",               # finished with status "failed"
+    "cancelled_jobs",       # cancelled via DELETE /v2/jobs/<id>
     "evicted_jobs",         # terminal jobs dropped after their TTL
     "trimmed_events",       # event-log entries trimmed by the size bound
     "cache_pruned",         # result-cache entries removed by idle pruning

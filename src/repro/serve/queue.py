@@ -49,6 +49,17 @@ class JobQueue:
             return None
         return heapq.heappop(self._heap)[2]
 
+    def remove(self, job_id: str) -> Optional[Job]:
+        """Pull one waiting job out of the queue by id (cancellation);
+        returns it, or ``None`` if it is not waiting.  O(n) + re-heapify
+        — fine for a queue bounded at tens of entries."""
+        for index, (_, _, job) in enumerate(self._heap):
+            if job.id == job_id:
+                self._heap.pop(index)
+                heapq.heapify(self._heap)
+                return job
+        return None
+
     def __len__(self) -> int:
         return len(self._heap)
 

@@ -1,0 +1,982 @@
+"""Horizontal scale-out for the simulation service: the shard gateway.
+
+One :class:`GatewayApp` fronts a fleet of ordinary ``repro serve``
+backends ("shards").  Every job is routed by **consistent-hashing its
+single-flight dedup key** onto the ring of live shards, so each key has
+exactly one home shard and fleet-wide deduplication falls out of the
+existing per-server dedup for free: two clients submitting identical
+work through the gateway always land on the same shard, where the
+second coalesces onto the first.
+
+The store stays **shared-nothing**: each shard owns a private
+content-addressed result cache (``<cache-dir>/shard-<i>``), and because
+routing is stable by key, a key's cached result always lives on its
+home shard — no cross-shard locking, no shared filesystem contention.
+
+Failure handling:
+
+* a dead shard (connection refused, timeout, or a failed health probe)
+  is marked down and its key range rehashes onto the next live shard on
+  the ring;
+* submits are idempotent — the payload is just re-posted to the new
+  home shard, where dedup absorbs any duplicate — so the gateway
+  retries them transparently;
+* jobs already routed to the dead shard are resubmitted to their new
+  home shard and the old job id is **aliased** to the new one, so
+  clients polling the old id keep working and zero accepted jobs are
+  lost;
+* the probe loop keeps probing dead shards and re-admits them when
+  they come back (their key ranges rehash home again).
+
+Topology entry points:
+
+* ``repro serve --shards N`` → :func:`serve_sharded` spawns N shard
+  subprocesses on ephemeral ports (via :class:`ShardSupervisor`) and
+  runs the gateway in front of them; SIGTERM drains shard-by-shard.
+* ``repro gateway --backend host:port ...`` → :func:`gateway_forever`
+  fronts externally-managed shards.
+
+Everything is standard library only, same as the rest of the service.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import bisect
+import hashlib
+import json
+import os
+import re
+import signal
+import subprocess
+import sys
+import threading
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+from repro.serve.app import (
+    V1_DEPRECATION,
+    ServeConfig,
+    _json_safe,
+    _legacy_body,
+    error_body,
+)
+from repro.serve.jobs import JobError, parse_job
+
+#: Statuses after which a routed job never needs failover resubmission.
+TERMINAL_STATUSES = ("done", "failed", "cancelled")
+
+#: Gateway-level counters reported at the top of ``GET /metrics``.
+GATEWAY_COUNTERS = (
+    "gw_submitted",        # submissions received by the gateway
+    "gw_invalid",          # bounced 400 at the gateway (bad payload)
+    "gw_routed",           # submissions forwarded to a shard
+    "gw_retried_submits",  # submits replayed after a dead-shard error
+    "gw_failover_jobs",    # routed jobs resubmitted off a dead shard
+    "gw_rejected_no_shard",   # bounced 503: no live shard at all
+    "gw_rejected_draining",   # bounced 503 during gateway drain
+    "gw_shards_down",      # times a shard was marked unhealthy
+    "gw_shards_recovered",  # times a dead shard was re-admitted
+)
+
+
+class ShardRing:
+    """Consistent-hash ring over shard addresses.
+
+    Each backend owns ``replicas`` pseudo-random points on a 64-bit
+    ring; a key routes to the first backend point clockwise from the
+    key's own hash.  Adding or removing one backend therefore only
+    remaps the key ranges adjacent to its points (~1/N of the keyspace)
+    instead of reshuffling everything, which is what keeps dedup and
+    cache locality intact across shard failures and recoveries.
+    """
+
+    def __init__(self, backends, replicas: int = 64) -> None:
+        self.backends: Tuple[str, ...] = tuple(dict.fromkeys(backends))
+        if not self.backends:
+            raise ValueError("ring needs at least one backend")
+        if replicas < 1:
+            raise ValueError(f"replicas must be >= 1, got {replicas}")
+        self.replicas = replicas
+        self._points: List[Tuple[int, str]] = sorted(
+            (self._hash(f"{backend}#{replica}"), backend)
+            for backend in self.backends
+            for replica in range(replicas))
+
+    @staticmethod
+    def _hash(text: str) -> int:
+        digest = hashlib.sha256(text.encode()).digest()
+        return int.from_bytes(digest[:8], "big")
+
+    def route(self, key: str,
+              live: Optional[List[str]] = None) -> Optional[str]:
+        """The home backend for ``key`` among ``live`` (default: all);
+        ``None`` when no allowed backend exists."""
+        allowed = set(self.backends if live is None else live) \
+            & set(self.backends)
+        if not allowed:
+            return None
+        start = bisect.bisect_right(self._points, (self._hash(key), ""))
+        count = len(self._points)
+        for step in range(count):
+            _, backend = self._points[(start + step) % count]
+            if backend in allowed:
+                return backend
+        return None
+
+    def preference(self, key: str) -> List[str]:
+        """Every backend in failover order for ``key`` (the home shard
+        first, then each next-clockwise distinct backend)."""
+        start = bisect.bisect_right(self._points, (self._hash(key), ""))
+        count = len(self._points)
+        ordered: List[str] = []
+        for step in range(count):
+            _, backend = self._points[(start + step) % count]
+            if backend not in ordered:
+                ordered.append(backend)
+        return ordered
+
+
+@dataclass
+class GatewayConfig:
+    """Everything ``repro gateway`` accepts on the command line."""
+
+    host: str = "127.0.0.1"
+    port: int = 8421
+    backends: Tuple[str, ...] = ()
+    #: Virtual points per backend on the hash ring.
+    replicas: int = 64
+    #: Seconds between health probes of every backend (the probe is
+    #: also what re-admits a recovered shard).
+    probe_interval: float = 2.0
+    #: Per-request timeout talking to a backend.
+    backend_timeout: float = 30.0
+    #: Seconds each spawned shard gets to drain on shutdown.
+    drain_timeout: float = 30.0
+    quiet: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.backends:
+            raise ValueError("gateway needs at least one backend")
+        if self.replicas < 1:
+            raise ValueError(f"replicas must be >= 1, got {self.replicas}")
+        if self.probe_interval <= 0:
+            raise ValueError(f"probe_interval must be > 0, "
+                             f"got {self.probe_interval}")
+        if self.backend_timeout <= 0:
+            raise ValueError(f"backend_timeout must be > 0, "
+                             f"got {self.backend_timeout}")
+        if self.drain_timeout <= 0:
+            raise ValueError(f"drain_timeout must be > 0, "
+                             f"got {self.drain_timeout}")
+
+
+async def _read_head(reader: asyncio.StreamReader,
+                     timeout: float) -> Tuple[int, Dict[str, str]]:
+    """Status code + lower-cased headers of one backend response."""
+    line = await asyncio.wait_for(reader.readline(), timeout)
+    try:
+        status = int(line.split()[1])
+    except (IndexError, ValueError):
+        raise ConnectionError(f"bad status line {line!r}") from None
+    headers: Dict[str, str] = {}
+    while True:
+        line = await asyncio.wait_for(reader.readline(), timeout)
+        if line in (b"\r\n", b"\n", b""):
+            break
+        name, _, value = line.decode("latin-1").partition(":")
+        headers[name.strip().lower()] = value.strip()
+    return status, headers
+
+
+class GatewayApp:
+    """One running shard gateway."""
+
+    def __init__(self, config: GatewayConfig,
+                 supervisor: Optional["ShardSupervisor"] = None) -> None:
+        self.config = config
+        self.supervisor = supervisor
+        self.ring = ShardRing(config.backends, config.replicas)
+        self.alive: Dict[str, bool] = {b: True for b in config.backends}
+        #: Last successful health snapshot per backend.
+        self.shard_health: Dict[str, Dict[str, Any]] = {}
+        #: job id → routing record: backend, key, payload, terminal.
+        self.routes: Dict[str, Dict[str, Any]] = {}
+        #: old job id → replacement id after a failover resubmission.
+        self.aliases: Dict[str, str] = {}
+        self.counters: Dict[str, int] = dict.fromkeys(GATEWAY_COUNTERS, 0)
+        self.draining = False
+        self.port: Optional[int] = None
+        self.ready = threading.Event()
+        self.started_at = time.time()
+        self._failing: Set[str] = set()
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._stopped: Optional[asyncio.Future] = None
+        self._server: Optional[asyncio.AbstractServer] = None
+
+    # --- lifecycle ----------------------------------------------------------
+
+    def _log(self, message: str) -> None:
+        if not self.config.quiet:
+            print(message, flush=True)
+
+    async def serve(self) -> int:
+        """Run until drained; returns the process exit code (0)."""
+        self._loop = asyncio.get_running_loop()
+        self._stopped = self._loop.create_future()
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            try:
+                self._loop.add_signal_handler(signum, self._begin_drain)
+            except (NotImplementedError, RuntimeError, ValueError):
+                pass
+        self._server = await asyncio.start_server(
+            self._handle_client, self.config.host, self.config.port)
+        self.port = self._server.sockets[0].getsockname()[1]
+        self._log(f"gateway on http://{self.config.host}:{self.port} "
+                  f"({len(self.config.backends)} shard(s): "
+                  f"{', '.join(self.config.backends)})")
+        self.ready.set()
+        prober = self._loop.create_task(self._probe_loop())
+        try:
+            code = await self._stopped
+        finally:
+            prober.cancel()
+            self._server.close()
+            await self._server.wait_closed()
+        self._log("gateway: drain complete, exiting 0")
+        return code
+
+    def request_drain(self) -> None:
+        """Thread-safe external drain trigger (what SIGTERM calls)."""
+        if self._loop is not None:
+            try:
+                self._loop.call_soon_threadsafe(self._begin_drain)
+            except RuntimeError:
+                pass
+
+    def _begin_drain(self) -> None:
+        if self.draining:
+            return
+        self.draining = True
+        self._log("gateway: drain started")
+        self._loop.create_task(self._drain())
+
+    async def _drain(self) -> None:
+        """Shard-by-shard drain: each spawned shard gets a SIGTERM and
+        its full drain budget *sequentially*, so at most one shard's
+        worth of capacity is gone at a time while the fleet empties."""
+        if self.supervisor is not None:
+            for shard in self.supervisor.shards:
+                self._log(f"gateway: draining shard-{shard.index} "
+                          f"({shard.backend})")
+                await self._loop.run_in_executor(
+                    None, shard.stop, self.config.drain_timeout)
+        if not self._stopped.done():
+            self._stopped.set_result(0)
+
+    # --- backend I/O --------------------------------------------------------
+
+    async def _call(self, backend: str, method: str, path: str,
+                    payload: Optional[Any] = None
+                    ) -> Tuple[int, Dict[str, str], Any]:
+        """One JSON request/response round-trip with a backend."""
+        host, _, port = backend.rpartition(":")
+        timeout = self.config.backend_timeout
+        reader, writer = await asyncio.wait_for(
+            asyncio.open_connection(host, int(port)), timeout)
+        try:
+            body = b"" if payload is None else json.dumps(payload).encode()
+            head = [f"{method} {path} HTTP/1.1", f"Host: {backend}",
+                    "Connection: close"]
+            if body:
+                head += ["Content-Type: application/json",
+                         f"Content-Length: {len(body)}"]
+            writer.write(("\r\n".join(head) + "\r\n\r\n").encode() + body)
+            await writer.drain()
+            status, headers = await _read_head(reader, timeout)
+            length = int(headers.get("content-length", 0) or 0)
+            data = await asyncio.wait_for(
+                reader.readexactly(length) if length else reader.read(),
+                timeout)
+            try:
+                out = json.loads(data) if data else {}
+            except ValueError:
+                out = {"error": data.decode(errors="replace")}
+            return status, headers, out
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, RuntimeError):
+                pass
+
+    def _live(self) -> List[str]:
+        return [b for b in self.config.backends if self.alive.get(b)]
+
+    async def _mark_down(self, backend: str) -> None:
+        """Flag one backend unhealthy and fail its routed jobs over to
+        their next live home shard.  Idempotent and re-entrancy-safe —
+        a failover already in progress is not restarted."""
+        if self.alive.get(backend):
+            self.alive[backend] = False
+            self.counters["gw_shards_down"] += 1
+            self._log(f"gateway: shard {backend} is down; rehashing its "
+                      f"key range")
+        if backend in self._failing:
+            return
+        self._failing.add(backend)
+        try:
+            await self._failover(backend)
+        finally:
+            self._failing.discard(backend)
+
+    async def _failover(self, backend: str) -> None:
+        """Resubmit every non-terminal job routed to ``backend`` to its
+        new home shard, aliasing old ids to the replacements."""
+        doomed = [(job_id, route)
+                  for job_id, route in list(self.routes.items())
+                  if route["backend"] == backend
+                  and not route["terminal"]]
+        moved = 0
+        for job_id, route in doomed:
+            if route["backend"] != backend or route["terminal"]:
+                continue  # another pass already moved it
+            status, out, _ = await self._submit_via(
+                route["payload"], route["key"], record=False)
+            if status not in (200, 202) or not isinstance(out, dict) \
+                    or not out.get("id"):
+                continue  # no live shard; the probe loop will retry
+            new_id = out["id"]
+            new_backend = out["_backend"]
+            route["backend"] = new_backend
+            self.counters["gw_failover_jobs"] += 1
+            moved += 1
+            if new_id != job_id:
+                self.aliases[job_id] = new_id
+                self.routes[new_id] = {"backend": new_backend,
+                                       "key": route["key"],
+                                       "payload": route["payload"],
+                                       "terminal": False}
+        if doomed:
+            self._log(f"gateway: resubmitted {moved}/{len(doomed)} "
+                      f"job(s) off {backend}")
+
+    async def _probe_loop(self) -> None:
+        """Detect silent shard death and re-admit recovered shards."""
+        while True:
+            await asyncio.sleep(self.config.probe_interval)
+            for backend in self.config.backends:
+                try:
+                    status, _, health = await self._call(
+                        backend, "GET", "/healthz")
+                except (OSError, asyncio.TimeoutError, ConnectionError):
+                    status, health = 0, None
+                if status == 200 and isinstance(health, dict):
+                    self.shard_health[backend] = health
+                    if not self.alive.get(backend):
+                        self.alive[backend] = True
+                        self.counters["gw_shards_recovered"] += 1
+                        self._log(f"gateway: shard {backend} recovered; "
+                                  f"re-admitted to the ring")
+                elif self.alive.get(backend):
+                    await self._mark_down(backend)
+
+    # --- request handlers ---------------------------------------------------
+
+    async def _submit_via(self, payload: Any, key: str, *,
+                          record: bool = True
+                          ) -> Tuple[int, Dict[str, Any], Dict[str, str]]:
+        """Route one parsed submission to its home shard, retrying on
+        the next live shard when the home shard is dead (the submit is
+        idempotent: the shard's dedup absorbs any duplicate)."""
+        tried: Set[str] = set()
+        while True:
+            live = [b for b in self._live() if b not in tried]
+            backend = self.ring.route(key, live=live)
+            if backend is None:
+                self.counters["gw_rejected_no_shard"] += 1
+                return 503, error_body(
+                    "shard_unavailable",
+                    "no live shard can take this job",
+                    retryable=True), {}
+            try:
+                status, headers, out = await self._call(
+                    backend, "POST", "/v2/jobs", payload)
+            except (OSError, asyncio.TimeoutError, ConnectionError):
+                tried.add(backend)
+                self.counters["gw_retried_submits"] += 1
+                await self._mark_down(backend)
+                continue
+            if isinstance(out, dict) and out.get("id"):
+                out["_backend"] = backend
+                if record:
+                    self.routes[out["id"]] = {
+                        "backend": backend, "key": key,
+                        "payload": payload, "terminal": False}
+                    self.counters["gw_routed"] += 1
+            extra = {"X-Repro-Shard": backend}
+            if headers.get("retry-after"):
+                extra["Retry-After"] = headers["retry-after"]
+            return status, out, extra
+
+    async def _submit(self, payload: Any
+                      ) -> Tuple[int, Dict[str, Any], Dict[str, str]]:
+        self.counters["gw_submitted"] += 1
+        if self.draining:
+            self.counters["gw_rejected_draining"] += 1
+            return 503, error_body("draining", "gateway is draining",
+                                   retryable=True), {}
+        try:
+            key = parse_job(payload, "route").key
+        except JobError as exc:
+            self.counters["gw_invalid"] += 1
+            return 400, error_body("invalid_job", str(exc)), {}
+        status, out, extra = await self._submit_via(payload, key)
+        if isinstance(out, dict):
+            out.pop("_backend", None)
+        return status, out, extra
+
+    async def _submit_batch(self, payload: Any
+                            ) -> Tuple[int, Dict[str, Any],
+                                       Dict[str, str]]:
+        """Fan one batch out across the fleet: each entry routes by its
+        own key, entries forward concurrently, the response keeps the
+        submission order (mirroring the single-server batch shape)."""
+        if not isinstance(payload, dict) or \
+                not isinstance(payload.get("jobs"), list):
+            self.counters["gw_submitted"] += 1
+            self.counters["gw_invalid"] += 1
+            return 400, error_body("invalid_batch",
+                                   "batch payload needs a 'jobs' list"), {}
+        gate = asyncio.Semaphore(16)
+
+        async def one(entry: Any) -> Tuple[int, Dict[str, Any]]:
+            async with gate:
+                status, out, _ = await self._submit(entry)
+            if isinstance(out, dict):
+                out.pop("_backend", None)
+            return status, out
+
+        outcomes = await asyncio.gather(
+            *(one(entry) for entry in payload["jobs"]))
+        results = []
+        accepted = deduped = rejected = 0
+        for status, out in outcomes:
+            if status == 202:
+                accepted += 1
+            elif status == 200:
+                deduped += 1
+            else:
+                rejected += 1
+            results.append({**out, "http_status": status})
+        return (200, {"jobs": results, "accepted": accepted,
+                      "deduped": deduped, "rejected": rejected}, {})
+
+    def _resolve(self, job_id: str
+                 ) -> Tuple[str, Optional[Dict[str, Any]]]:
+        """Follow failover aliases to the live id + routing record."""
+        seen: Set[str] = set()
+        while job_id in self.aliases and job_id not in seen:
+            seen.add(job_id)
+            job_id = self.aliases[job_id]
+        return job_id, self.routes.get(job_id)
+
+    async def _proxy_job(self, method: str, job_id: str, tail: str = ""
+                         ) -> Tuple[int, Dict[str, Any], Dict[str, str]]:
+        """Proxy one per-job request (status/cancel) to its home shard,
+        failing the job over first if its shard died."""
+        for _ in range(len(self.config.backends) + 1):
+            final_id, route = self._resolve(job_id)
+            if route is None:
+                return await self._search_job(method, final_id, tail)
+            backend = route["backend"]
+            if not self.alive.get(backend):
+                await self._mark_down(backend)
+                if self._resolve(job_id)[0] == final_id:
+                    break  # nowhere to fail over to
+                continue
+            path = f"/v2/jobs/{final_id}" + (f"/{tail}" if tail else "")
+            try:
+                status, _, out = await self._call(backend, method, path)
+            except (OSError, asyncio.TimeoutError, ConnectionError):
+                await self._mark_down(backend)
+                continue
+            if status == 200 and isinstance(out, dict) \
+                    and out.get("status") in TERMINAL_STATUSES:
+                route["terminal"] = True
+            return status, out, {"X-Repro-Shard": backend}
+        return 503, error_body("shard_unavailable",
+                               f"no live shard holds job {job_id!r}",
+                               retryable=True), {}
+
+    async def _search_job(self, method: str, job_id: str, tail: str
+                          ) -> Tuple[int, Dict[str, Any], Dict[str, str]]:
+        """A job the gateway has no route for (submitted directly to a
+        shard, or the gateway restarted): ask every live shard."""
+        path = f"/v2/jobs/{job_id}" + (f"/{tail}" if tail else "")
+        for backend in self._live():
+            try:
+                status, _, out = await self._call(backend, method, path)
+            except (OSError, asyncio.TimeoutError, ConnectionError):
+                await self._mark_down(backend)
+                continue
+            if status != 404:
+                return status, out, {"X-Repro-Shard": backend}
+        return 404, error_body("job_not_found",
+                               f"no such job {job_id!r}"), {}
+
+    async def _list_jobs(self) -> Tuple[int, Dict[str, Any],
+                                        Dict[str, str]]:
+        jobs: List[Dict[str, Any]] = []
+        for backend in self._live():
+            try:
+                status, _, out = await self._call(backend, "GET",
+                                                  "/v2/jobs")
+            except (OSError, asyncio.TimeoutError, ConnectionError):
+                await self._mark_down(backend)
+                continue
+            if status == 200 and isinstance(out, dict):
+                for job in out.get("jobs", ()):
+                    jobs.append({**job, "shard": backend})
+        return 200, {"jobs": jobs}, {}
+
+    def _healthz(self) -> Dict[str, Any]:
+        shards = {}
+        for backend in self.config.backends:
+            entry: Dict[str, Any] = {
+                "alive": bool(self.alive.get(backend)),
+                **{k: v for k, v in
+                   self.shard_health.get(backend, {}).items()},
+            }
+            if self.supervisor is not None:
+                entry["pid"] = self.supervisor.pid_of(backend)
+            shards[backend] = entry
+        return {
+            "status": "draining" if self.draining else "ok",
+            "role": "gateway",
+            "shards": shards,
+            "shards_alive": len(self._live()),
+            "shards_total": len(self.config.backends),
+        }
+
+    async def _metrics(self) -> Dict[str, Any]:
+        """Fleet metrics: gateway counters at the top, every shard's
+        snapshot under ``shards``, and an ``aggregate`` that sums the
+        counters/gauges (percentiles and rates take the fleet max)."""
+        snapshots: Dict[str, Dict[str, Any]] = {}
+        for backend in self._live():
+            try:
+                status, _, out = await self._call(backend, "GET",
+                                                  "/metrics")
+            except (OSError, asyncio.TimeoutError, ConnectionError):
+                await self._mark_down(backend)
+                continue
+            if status == 200 and isinstance(out, dict):
+                snapshots[backend] = out
+        aggregate: Dict[str, Any] = {}
+        maxed = re.compile(r"^(wall_seconds_p\d+|uptime_seconds"
+                           r"|cache_hit_rate)$")
+        for snap in snapshots.values():
+            for name, value in snap.items():
+                if isinstance(value, bool) or \
+                        not isinstance(value, (int, float)):
+                    continue
+                if maxed.match(name):
+                    current = aggregate.get(name)
+                    aggregate[name] = value if current is None \
+                        else max(current, value)
+                else:
+                    aggregate[name] = aggregate.get(name, 0) + value
+        return {
+            "role": "gateway",
+            "uptime_seconds": time.time() - self.started_at,
+            **self.counters,
+            "shards_alive": len(self._live()),
+            "shards_total": len(self.config.backends),
+            "aggregate": aggregate,
+            "shards": snapshots,
+        }
+
+    # --- HTTP front ---------------------------------------------------------
+
+    async def _handle_client(self, reader: asyncio.StreamReader,
+                             writer: asyncio.StreamWriter) -> None:
+        try:
+            request = await asyncio.wait_for(reader.readline(), 30)
+            if not request:
+                return
+            try:
+                method, target, _ = request.decode("latin-1").split(None, 2)
+            except ValueError:
+                await self._send_json(writer, 400,
+                                      error_body("bad_request",
+                                                 "malformed request line"))
+                return
+            headers = {}
+            while True:
+                line = await asyncio.wait_for(reader.readline(), 30)
+                if line in (b"\r\n", b"\n", b""):
+                    break
+                name, _, value = line.decode("latin-1").partition(":")
+                headers[name.strip().lower()] = value.strip()
+            length = int(headers.get("content-length", 0) or 0)
+            body = await reader.readexactly(length) if length else b""
+            await self._route(method, target.split("?", 1)[0], body,
+                              writer)
+        except (asyncio.TimeoutError, asyncio.IncompleteReadError,
+                ConnectionError):
+            pass
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, RuntimeError):
+                pass
+
+    async def _route(self, method: str, path: str, body: bytes,
+                     writer: asyncio.StreamWriter) -> None:
+        legacy = path.startswith("/v1/")
+        extra: Dict[str, str] = {"Deprecation": V1_DEPRECATION} \
+            if legacy else {}
+
+        async def send(status: int, out: Dict[str, Any],
+                       headers: Optional[Dict[str, str]] = None) -> None:
+            if legacy:
+                out = _legacy_body(out)
+            await self._send_json(writer, status, out,
+                                  {**extra, **(headers or {})})
+
+        route = "/v2/" + path[len("/v1/"):] if legacy else path
+        if method == "POST" and route in ("/v2/jobs", "/v2/jobs:batch"):
+            try:
+                payload = json.loads(body or b"null")
+            except ValueError:
+                self.counters["gw_submitted"] += 1
+                self.counters["gw_invalid"] += 1
+                await send(400, error_body("invalid_json",
+                                           "body is not valid JSON"))
+                return
+            intake = (self._submit_batch if route.endswith(":batch")
+                      else self._submit)
+            status, out, headers = await intake(payload)
+            await send(status, out, headers)
+            return
+        if method == "DELETE":
+            if route.startswith("/v2/jobs/"):
+                job_id = route[len("/v2/jobs/"):]
+                if "/" not in job_id:
+                    status, out, headers = await self._proxy_job(
+                        "DELETE", job_id)
+                    await send(status, out, headers)
+                    return
+            await send(404, error_body("not_found",
+                                       f"no such endpoint {path!r}"))
+            return
+        if method != "GET":
+            await send(405, error_body("method_not_allowed",
+                                       f"unsupported method {method}"))
+            return
+        if route == "/healthz":
+            await send(200, self._healthz())
+        elif route == "/metrics":
+            await send(200, await self._metrics())
+        elif route == "/v2/jobs":
+            status, out, headers = await self._list_jobs()
+            await send(status, out, headers)
+        elif route.startswith("/v2/jobs/"):
+            rest = route[len("/v2/jobs/"):]
+            job_id, _, tail = rest.partition("/")
+            if tail == "":
+                status, out, headers = await self._proxy_job("GET",
+                                                             job_id)
+                await send(status, out, headers)
+            elif tail == "events":
+                await self._stream_proxy(job_id, writer, extra)
+            else:
+                await send(404, error_body("not_found",
+                                           f"no such endpoint {path!r}"))
+        else:
+            await send(404, error_body("not_found",
+                                       f"no such endpoint {path!r}"))
+
+    async def _stream_proxy(self, job_id: str,
+                            writer: asyncio.StreamWriter,
+                            extra: Dict[str, str]) -> None:
+        """Proxy one NDJSON event stream from the job's home shard.
+
+        A shard death mid-stream truncates the stream (the client
+        re-requests and lands on the failover shard); a dead shard at
+        request time fails over first like any other per-job call."""
+        for _ in range(len(self.config.backends) + 1):
+            final_id, route = self._resolve(job_id)
+            backend = route["backend"] if route else None
+            if route is not None and not self.alive.get(backend):
+                await self._mark_down(backend)
+                if self._resolve(job_id)[0] == final_id:
+                    break
+                continue
+            if route is None:
+                candidates = self._live()
+            else:
+                candidates = [backend]
+            streamed = False
+            for candidate in candidates:
+                host, _, port = candidate.rpartition(":")
+                try:
+                    b_reader, b_writer = await asyncio.wait_for(
+                        asyncio.open_connection(host, int(port)),
+                        self.config.backend_timeout)
+                except (OSError, asyncio.TimeoutError):
+                    await self._mark_down(candidate)
+                    continue
+                try:
+                    b_writer.write(
+                        (f"GET /v2/jobs/{final_id}/events HTTP/1.1\r\n"
+                         f"Host: {candidate}\r\n"
+                         f"Connection: close\r\n\r\n").encode())
+                    await b_writer.drain()
+                    status, b_headers = await _read_head(
+                        b_reader, self.config.backend_timeout)
+                    if status != 200:
+                        if route is None and status == 404:
+                            continue  # try the next shard
+                        length = int(b_headers.get("content-length", 0)
+                                     or 0)
+                        data = await b_reader.readexactly(length) \
+                            if length else b""
+                        try:
+                            out = json.loads(data) if data else {}
+                        except ValueError:
+                            out = error_body("bad_gateway",
+                                             data.decode(errors="replace"))
+                        await self._send_json(
+                            writer, status, out,
+                            {**extra, "X-Repro-Shard": candidate})
+                        return
+                    head = ["HTTP/1.1 200 OK",
+                            "Content-Type: application/x-ndjson",
+                            "Cache-Control: no-store",
+                            f"X-Repro-Shard: {candidate}",
+                            "Connection: close"]
+                    for name, value in extra.items():
+                        head.append(f"{name}: {value}")
+                    writer.write(("\r\n".join(head) + "\r\n\r\n").encode())
+                    streamed = True
+                    while True:
+                        chunk = await b_reader.read(4096)
+                        if not chunk:
+                            return
+                        writer.write(chunk)
+                        await writer.drain()
+                except (OSError, asyncio.TimeoutError, ConnectionError):
+                    if streamed:
+                        return  # truncated mid-stream; client retries
+                    await self._mark_down(candidate)
+                    continue
+                finally:
+                    try:
+                        b_writer.close()
+                        await b_writer.wait_closed()
+                    except (ConnectionError, RuntimeError):
+                        pass
+            if route is None:
+                await self._send_json(
+                    writer, 404,
+                    {**error_body("job_not_found",
+                                  f"no such job {job_id!r}")}, extra)
+                return
+        await self._send_json(
+            writer, 503,
+            error_body("shard_unavailable",
+                       f"no live shard holds job {job_id!r}",
+                       retryable=True), extra)
+
+    async def _send_json(self, writer: asyncio.StreamWriter, status: int,
+                         body: Dict[str, Any],
+                         extra_headers: Optional[Dict[str, str]] = None
+                         ) -> None:
+        reasons = {200: "OK", 202: "Accepted", 400: "Bad Request",
+                   404: "Not Found", 405: "Method Not Allowed",
+                   409: "Conflict", 429: "Too Many Requests",
+                   500: "Internal Server Error", 502: "Bad Gateway",
+                   503: "Service Unavailable"}
+        payload = json.dumps(_json_safe(body), sort_keys=True).encode()
+        head = [f"HTTP/1.1 {status} {reasons.get(status, 'Error')}",
+                "Content-Type: application/json",
+                f"Content-Length: {len(payload)}",
+                "Connection: close"]
+        for name, value in (extra_headers or {}).items():
+            head.append(f"{name}: {value}")
+        writer.write(("\r\n".join(head) + "\r\n\r\n").encode() + payload)
+        await writer.drain()
+
+
+# --- shard supervision ------------------------------------------------------
+
+_SERVING_RE = re.compile(r"serving on http://([^\s/]+)")
+
+
+class ShardProc:
+    """One spawned ``repro serve`` subprocess and its log pump."""
+
+    def __init__(self, index: int, process: subprocess.Popen,
+                 quiet: bool) -> None:
+        self.index = index
+        self.process = process
+        self.quiet = quiet
+        self.backend: Optional[str] = None
+        self.ready = threading.Event()
+        self._thread = threading.Thread(
+            target=self._pump, name=f"shard-{index}-log", daemon=True)
+        self._thread.start()
+
+    def _pump(self) -> None:
+        """Forward shard log lines (prefixed) and capture the bound
+        address from the startup banner."""
+        try:
+            for line in self.process.stdout:
+                line = line.rstrip("\n")
+                if self.backend is None:
+                    match = _SERVING_RE.search(line)
+                    if match:
+                        self.backend = match.group(1)
+                        self.ready.set()
+                if not self.quiet:
+                    print(f"[shard-{self.index}] {line}", flush=True)
+        finally:
+            self.ready.set()  # EOF: the shard died or drained
+
+    @property
+    def pid(self) -> int:
+        return self.process.pid
+
+    def stop(self, drain_timeout: float) -> None:
+        """SIGTERM the shard and wait out its graceful drain; escalate
+        to SIGKILL only if the drain budget expires."""
+        if self.process.poll() is not None:
+            return
+        self.process.terminate()
+        try:
+            self.process.wait(drain_timeout + 5.0)
+        except subprocess.TimeoutExpired:
+            self.process.kill()
+            self.process.wait(5.0)
+
+
+class ShardSupervisor:
+    """Spawn and manage N shard subprocesses on ephemeral ports."""
+
+    def __init__(self, config: ServeConfig, count: int) -> None:
+        if count < 1:
+            raise ValueError(f"shards must be >= 1, got {count}")
+        self.config = config
+        self.count = count
+        self.shards: List[ShardProc] = []
+
+    def _shard_argv(self, index: int) -> List[str]:
+        config = self.config
+        argv = [sys.executable, "-m", "repro", "serve",
+                "--host", config.host, "--port", "0",
+                "--workers", str(config.workers),
+                "--queue-limit", str(config.queue_limit),
+                "--journal-dir",
+                os.path.join(config.journal_dir, f"shard-{index}"),
+                "--drain-timeout", str(config.drain_timeout),
+                "--retries", str(config.retries),
+                "--job-processes", str(config.processes),
+                "--job-ttl", str(config.job_ttl),
+                "--max-job-events", str(config.max_job_events)]
+        if config.cache_dir:
+            argv += ["--cache-dir",
+                     os.path.join(config.cache_dir, f"shard-{index}")]
+        else:
+            argv += ["--no-cache"]
+        if config.point_timeout is not None:
+            argv += ["--point-timeout", str(config.point_timeout)]
+        if config.cache_max_age is not None:
+            argv += ["--cache-max-age", str(config.cache_max_age)]
+        if config.cache_max_entries is not None:
+            argv += ["--cache-max-entries",
+                     str(config.cache_max_entries)]
+        if config.pool_idle_timeout is not None:
+            argv += ["--pool-idle-timeout",
+                     str(config.pool_idle_timeout)]
+        return argv
+
+    def start(self, timeout: float = 30.0) -> List[str]:
+        """Spawn every shard and return their ``host:port`` addresses
+        (parsed from each shard's startup banner)."""
+        import repro
+
+        env = dict(os.environ)
+        package_root = str(Path(repro.__file__).resolve().parent.parent)
+        env["PYTHONPATH"] = package_root + (
+            os.pathsep + env["PYTHONPATH"]
+            if env.get("PYTHONPATH") else "")
+        for index in range(self.count):
+            process = subprocess.Popen(
+                self._shard_argv(index), env=env,
+                stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+                text=True)
+            self.shards.append(ShardProc(index, process,
+                                         self.config.quiet))
+        deadline = time.monotonic() + timeout
+        for shard in self.shards:
+            remaining = max(0.1, deadline - time.monotonic())
+            if not shard.ready.wait(remaining) or shard.backend is None:
+                self.shutdown()
+                raise RuntimeError(
+                    f"shard-{shard.index} failed to start within "
+                    f"{timeout:g}s")
+        return [shard.backend for shard in self.shards]
+
+    def pid_of(self, backend: str) -> Optional[int]:
+        for shard in self.shards:
+            if shard.backend == backend:
+                return shard.pid
+        return None
+
+    def shutdown(self) -> None:
+        """Hard stop every shard that is still alive (safety net for
+        abnormal gateway exits; the graceful path is the gateway's
+        shard-by-shard drain)."""
+        for shard in self.shards:
+            if shard.process.poll() is None:
+                shard.process.kill()
+        for shard in self.shards:
+            try:
+                shard.process.wait(5.0)
+            except subprocess.TimeoutExpired:
+                pass
+
+
+# --- entry points -----------------------------------------------------------
+
+def gateway_forever(config: GatewayConfig,
+                    supervisor: Optional[ShardSupervisor] = None) -> int:
+    """Blocking entry for ``repro gateway``: front existing shards."""
+    app = GatewayApp(config, supervisor=supervisor)
+    return asyncio.run(app.serve())
+
+
+def serve_sharded(config: ServeConfig, shards: int, *,
+                  probe_interval: float = 2.0,
+                  replicas: int = 64) -> int:
+    """Blocking entry for ``repro serve --shards N``: spawn N shard
+    servers on ephemeral ports, then run the gateway in front of them
+    on ``config.host:config.port``."""
+    supervisor = ShardSupervisor(config, shards)
+    try:
+        backends = supervisor.start()
+        gateway = GatewayConfig(
+            host=config.host, port=config.port,
+            backends=tuple(backends),
+            replicas=replicas,
+            probe_interval=probe_interval,
+            drain_timeout=config.drain_timeout,
+            quiet=config.quiet)
+        return gateway_forever(gateway, supervisor=supervisor)
+    finally:
+        supervisor.shutdown()

@@ -191,7 +191,7 @@ class TestCaching:
         cache = ResultCache(tmp_path / "cache")
         pts = [point()]
         run_points(pts, cache=cache)
-        entry = next((tmp_path / "cache").glob("*/*.pkl"))
+        entry = next((tmp_path / "cache").glob("objects/*/*/*.pkl"))
         entry.write_bytes(b"not a pickle")
         redone = run_points(pts, cache=cache)
         assert not redone[0].from_cache and redone[0].ok
@@ -202,7 +202,7 @@ class TestCaching:
         cache = ResultCache(tmp_path / "cache")
         pts = [point()]
         run_points(pts, cache=cache)
-        entry = next((tmp_path / "cache").glob("*/*.pkl"))
+        entry = next((tmp_path / "cache").glob("objects/*/*/*.pkl"))
         entry.write_bytes(b"\x80\x04garbage")
         cache.misses = 0
         with caplog.at_level(logging.WARNING, logger="repro.exp.cache"):

@@ -7,6 +7,7 @@ journal recovery, and a subprocess SIGTERM graceful-drain check.
 """
 
 import asyncio
+import http.client
 import json
 import os
 import signal
@@ -23,7 +24,9 @@ from repro.serve import (
     Job,
     JobError,
     JobJournal,
+    JobNotFound,
     JobQueue,
+    JobRejected,
     QueueFull,
     ServeApp,
     ServeClient,
@@ -611,6 +614,16 @@ class TestBatchAndHousekeeping:
         assert metrics["pool_workers"] >= 1
         assert metrics["pool_tasks_completed"] >= 1
 
+    def test_serve_config_validates_pool_idle_timeout(self, tmp_path):
+        base = dict(port=0, cache_dir=str(tmp_path / "c"),
+                    journal_dir=str(tmp_path / "j"), quiet=True)
+        with pytest.raises(ValueError):
+            ServeConfig(pool_idle_timeout=0.0, **base)
+        with pytest.raises(ValueError):
+            ServeConfig(pool_idle_timeout=-5.0, **base)
+        assert ServeConfig(pool_idle_timeout=60.0,
+                           **base).pool_idle_timeout == 60.0
+
     def test_serve_config_validates_new_knobs(self, tmp_path):
         base = dict(port=0, cache_dir=str(tmp_path / "c"),
                     journal_dir=str(tmp_path / "j"), quiet=True)
@@ -624,3 +637,146 @@ class TestBatchAndHousekeeping:
             ServeConfig(cache_max_entries=-1, **base)
         with pytest.raises(ValueError):
             ServeConfig(housekeeping_interval=0.0, **base)
+
+
+# --- v2 API surface: envelopes, adapters, cancellation -----------------------
+
+def raw_request(port, method, path, body=None):
+    """One raw HTTP round-trip, returning (status, headers, parsed body) —
+    used where the client would hide the wire shape we're asserting on."""
+    conn = http.client.HTTPConnection("127.0.0.1", port, timeout=30)
+    try:
+        payload = json.dumps(body).encode() if body is not None else None
+        headers = {"Content-Type": "application/json"} if payload else {}
+        conn.request(method, path, body=payload, headers=headers)
+        response = conn.getresponse()
+        data = response.read()
+        return (response.status, dict(response.getheaders()),
+                json.loads(data) if data else {})
+    finally:
+        conn.close()
+
+
+class TestV2Envelope:
+    def test_v2_errors_carry_the_uniform_envelope(self, start_server):
+        server = start_server()
+        port = server.app.port
+        status, _, out = raw_request(port, "POST", "/v2/jobs",
+                                     {"kind": "run", "spec": {"rate": 1}})
+        assert status == 400
+        err = out["error"]
+        assert err["code"] == "invalid_job"
+        assert "config" in err["message"]
+        assert err["retryable"] is False
+        status, _, out = raw_request(port, "GET", "/v2/jobs/nope")
+        assert status == 404
+        assert out["error"]["code"] == "job_not_found"
+
+    def test_v1_adapter_flattens_errors_and_marks_deprecation(
+            self, start_server):
+        server = start_server()
+        port = server.app.port
+        status, headers, out = raw_request(port, "GET", "/v1/jobs/nope")
+        assert status == 404
+        assert isinstance(out["error"], str)  # legacy flat shape
+        assert "Deprecation" in headers
+        assert "/v2/" in headers["Deprecation"]
+        # The native surface carries neither.
+        status, headers, out = raw_request(port, "GET", "/v2/jobs")
+        assert status == 200
+        assert "Deprecation" not in headers
+
+    def test_v1_and_v2_success_bodies_match(self, start_server):
+        server = start_server()
+        port = server.app.port
+        _, _, accepted = raw_request(port, "POST", "/v1/jobs",
+                                     estimate_payload(0.04))
+        server.client.wait(accepted["id"], timeout=60)
+        _, _, via_v1 = raw_request(port, "GET",
+                                   f"/v1/jobs/{accepted['id']}")
+        _, _, via_v2 = raw_request(port, "GET",
+                                   f"/v2/jobs/{accepted['id']}")
+        assert via_v1 == via_v2  # adapters only rewrite *error* bodies
+
+    def test_client_raises_typed_exceptions(self, start_server):
+        server = start_server()
+        client = server.client
+        with pytest.raises(JobNotFound) as not_found:
+            client.status("ghost")
+        assert not_found.value.status == 404
+        assert not_found.value.code == "job_not_found"
+        with pytest.raises(JobRejected) as rejected:
+            client.submit({"kind": "run", "spec": {"rate": 0.03}})
+        assert rejected.value.status == 400
+        assert rejected.value.code == "invalid_job"
+
+
+class TestCancellation:
+    def test_cancel_queued_job_is_immediate(self, start_server):
+        server = start_server(workers=1)
+        client = server.client
+        blocker = client.submit(run_payload(0.02, label="blocker"))
+        wait_until_running(client, blocker["id"])
+        queued = client.submit(run_payload(0.03, label="doomed"))
+        assert queued["status"] == "queued"
+        out = client.cancel(queued["id"])
+        assert out["status"] == "cancelled"
+        final = client.status(queued["id"])
+        assert final["status"] == "cancelled"
+        assert final["error"] == "cancelled by client"
+        # Idempotent re-cancel; queue slot freed; journal entry cleared.
+        assert client.cancel(queued["id"])["status"] == "cancelled"
+        assert client.metrics()["cancelled_jobs"] == 1
+        assert len(server.app.journal) <= 1  # only the blocker remains
+        assert client.wait(blocker["id"], timeout=120)["status"] == "done"
+
+    def test_cancel_queued_key_can_be_resubmitted(self, start_server):
+        server = start_server(workers=1)
+        client = server.client
+        blocker = client.submit(run_payload(0.02, label="blocker"))
+        wait_until_running(client, blocker["id"])
+        first = client.submit(run_payload(0.03, label="again"))
+        client.cancel(first["id"])
+        # The cancelled key no longer dedups new submissions onto it.
+        second = client.submit(run_payload(0.03, label="again"))
+        assert second["id"] != first["id"]
+        assert second["deduped"] is False
+        assert client.wait(second["id"], timeout=120)["status"] == "done"
+
+    def test_cancel_running_job_kills_workers_and_recovers(
+            self, start_server):
+        server = start_server(workers=1)
+        client = server.client
+        accepted = client.submit(experiment_payload(
+            [0.02, 0.022, 0.024, 0.026, 0.028, 0.03], label="long"))
+        wait_until_running(client, accepted["id"])
+        out = client.cancel(accepted["id"])
+        assert out["status"] in ("cancelling", "cancelled")
+        final = client.wait(accepted["id"], timeout=60)
+        assert final["status"] == "cancelled"
+        assert client.metrics()["cancelled_jobs"] == 1
+        # The pool respawned its killed workers: new work still runs.
+        after = client.submit_and_wait(estimate_payload(0.06), timeout=60)
+        assert after["status"] == "done"
+
+    def test_cancel_unknown_and_finished_jobs(self, start_server):
+        server = start_server()
+        client = server.client
+        with pytest.raises(JobNotFound):
+            client.cancel("ghost")
+        done = client.submit_and_wait(estimate_payload(0.05), timeout=60)
+        with pytest.raises(JobRejected) as err:
+            client.cancel(done["id"])
+        assert err.value.status == 409
+        assert err.value.code == "job_already_finished"
+
+    def test_cancelled_stream_ends_with_done_event(self, start_server):
+        server = start_server(workers=1)
+        client = server.client
+        blocker = client.submit(run_payload(0.02, label="blocker"))
+        wait_until_running(client, blocker["id"])
+        queued = client.submit(run_payload(0.035, label="streamed"))
+        client.cancel(queued["id"])
+        events = list(client.stream(queued["id"]))
+        assert events[-1]["type"] == "done"
+        assert events[-1]["status"] == "cancelled"

@@ -1,0 +1,326 @@
+"""Tests for the shard gateway (``repro serve --shards N``) and the
+content-addressed result-cache layout.
+
+Unit layers first — the consistent-hash ring (determinism, balance,
+minimal remap) and the legacy→CAS cache migration — then integration
+against a real two-shard fleet spawned as subprocesses: key-stable
+routing, fleet-wide dedup, v1 adapter parity through the gateway, and
+a SIGKILL failover test asserting no submitted job is ever lost.
+"""
+
+import os
+import pickle
+import re
+import signal
+import subprocess
+import sys
+import threading
+import time
+from collections import Counter
+
+import pytest
+
+from repro.exp.cache import CAS_DIR, ResultCache
+from repro.exp.spec import CACHE_SCHEMA
+from repro.serve import (
+    GatewayConfig,
+    JobNotFound,
+    ServeClient,
+    ShardRing,
+)
+
+from tests.test_serve import (
+    estimate_payload,
+    raw_request,
+    run_payload,
+)
+
+BACKENDS = ("127.0.0.1:9001", "127.0.0.1:9002", "127.0.0.1:9003")
+
+
+# --- unit: consistent-hash ring ----------------------------------------------
+
+class TestShardRing:
+    def test_routing_is_deterministic_and_order_independent(self):
+        keys = [f"key-{i}" for i in range(256)]
+        ring = ShardRing(BACKENDS)
+        shuffled = ShardRing(tuple(reversed(BACKENDS)))
+        assert [ring.route(k) for k in keys] \
+            == [shuffled.route(k) for k in keys]
+        assert all(ring.route(k) in BACKENDS for k in keys)
+
+    def test_keys_spread_over_every_backend(self):
+        ring = ShardRing(BACKENDS)
+        homes = Counter(ring.route(f"key-{i}") for i in range(3000))
+        assert set(homes) == set(BACKENDS)
+        # 64 virtual points per backend keep the spread far from
+        # degenerate: nobody owns less than ~1/3 of a fair share.
+        assert min(homes.values()) > 3000 / len(BACKENDS) / 3
+
+    def test_backend_loss_only_remaps_its_own_keys(self):
+        ring = ShardRing(BACKENDS)
+        keys = [f"key-{i}" for i in range(2000)]
+        before = {k: ring.route(k) for k in keys}
+        victim = BACKENDS[0]
+        survivors = [b for b in BACKENDS if b != victim]
+        for key in keys:
+            after = ring.route(key, live=survivors)
+            if before[key] == victim:
+                assert after in survivors  # rehomed somewhere live
+            else:
+                assert after == before[key]  # untouched
+
+    def test_preference_starts_at_home_and_covers_all(self):
+        ring = ShardRing(BACKENDS)
+        for key in ("a", "b", "zz-9"):
+            order = ring.preference(key)
+            assert order[0] == ring.route(key)
+            assert sorted(order) == sorted(BACKENDS)
+            # The failover target is exactly the next preference.
+            live = [b for b in BACKENDS if b != order[0]]
+            assert ring.route(key, live=live) == order[1]
+
+    def test_route_without_live_backends_is_none(self):
+        ring = ShardRing(BACKENDS)
+        assert ring.route("key", live=[]) is None
+        assert ring.route("key", live=["10.0.0.1:1"]) is None
+
+    def test_validation_and_dedup(self):
+        with pytest.raises(ValueError):
+            ShardRing(())
+        with pytest.raises(ValueError):
+            ShardRing(BACKENDS, replicas=0)
+        assert ShardRing(BACKENDS + BACKENDS[:1]).backends == BACKENDS
+
+    def test_gateway_config_validation(self):
+        with pytest.raises(ValueError):
+            GatewayConfig(backends=())
+        with pytest.raises(ValueError):
+            GatewayConfig(backends=BACKENDS, probe_interval=0.0)
+        with pytest.raises(ValueError):
+            GatewayConfig(backends=BACKENDS, replicas=0)
+
+
+# --- unit: legacy → CAS cache migration --------------------------------------
+
+KEYS = ("aabbccdd00112233", "aabbeeff44556677", "99887766deadbeef")
+
+
+def write_legacy_entry(root, key, outcome):
+    """Plant one entry in the pre-CAS ``<k[:2]>/<key>.pkl`` layout."""
+    path = root / key[:2] / f"{key}.pkl"
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "wb") as f:
+        pickle.dump({"schema": CACHE_SCHEMA, "outcome": outcome}, f)
+    return path
+
+
+class TestCacheMigration:
+    def test_store_uses_cas_layout(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = KEYS[0]
+        cache.store(key, {"v": 1})
+        assert (tmp_path / CAS_DIR / key[:2] / key[2:4]
+                / f"{key}.pkl").exists()
+        assert not (tmp_path / key[:2] / f"{key}.pkl").exists()
+        assert cache.load(key) == {"v": 1}
+
+    def test_load_migrates_legacy_entry_in_place(self, tmp_path):
+        key = KEYS[0]
+        legacy = write_legacy_entry(tmp_path, key, {"v": "old"})
+        cache = ResultCache(tmp_path)
+        assert cache.load(key) == {"v": "old"}
+        assert not legacy.exists()  # moved, not copied
+        assert (tmp_path / CAS_DIR / key[:2] / key[2:4]
+                / f"{key}.pkl").exists()
+        assert cache.migrated == 1
+        assert cache.load(key) == {"v": "old"}  # now a plain CAS hit
+        assert cache.hits == 2 and cache.misses == 0
+
+    def test_bulk_migrate_is_complete_and_idempotent(self, tmp_path):
+        for index, key in enumerate(KEYS):
+            write_legacy_entry(tmp_path, key, {"v": index})
+        cache = ResultCache(tmp_path)
+        cache.store("ffee00112233", {"v": "native"})
+        assert cache.stats()["legacy_entries"] == len(KEYS)
+        assert cache.migrate() == len(KEYS)
+        stats = cache.stats()
+        assert stats["legacy_entries"] == 0
+        assert stats["entries"] == len(KEYS) + 1
+        assert cache.migrate() == 0  # nothing left to move
+        for index, key in enumerate(KEYS):
+            assert cache.load(key) == {"v": index}
+
+
+# --- integration: a real two-shard fleet -------------------------------------
+
+GATEWAY_RE = re.compile(r"gateway on http://[^\s:]+:(\d+)")
+
+
+class Fleet:
+    """One ``repro serve --shards N`` subprocess tree."""
+
+    def __init__(self, tmp_path, shards=2, extra=()):
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.path.join(
+            os.path.dirname(__file__), "..", "src") + os.pathsep \
+            + env.get("PYTHONPATH", "")
+        env["PYTHONUNBUFFERED"] = "1"
+        self.process = subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve",
+             "--shards", str(shards), "--port", "0", "--workers", "1",
+             "--cache-dir", str(tmp_path / "cache"),
+             "--journal-dir", str(tmp_path / "journal"),
+             "--probe-interval", "0.3", "--drain-timeout", "30",
+             *extra],
+            stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+            text=True, env=env, cwd=str(tmp_path))
+        self.port = None
+        self.lines = []
+        deadline = time.monotonic() + 90
+        while time.monotonic() < deadline:
+            line = self.process.stdout.readline()
+            if not line:
+                break
+            self.lines.append(line.rstrip("\n"))
+            match = GATEWAY_RE.search(line)
+            if match:
+                self.port = int(match.group(1))
+                break
+        if self.port is None:
+            self.close(kill=True)
+            raise RuntimeError(
+                "gateway never came up:\n" + "\n".join(self.lines))
+        # Keep draining stdout so shard logs can't fill the pipe.
+        self._pump = threading.Thread(target=self._drain_stdout,
+                                      daemon=True)
+        self._pump.start()
+        self.client = ServeClient(f"http://127.0.0.1:{self.port}",
+                                  timeout=60.0)
+
+    def _drain_stdout(self):
+        for line in self.process.stdout:
+            self.lines.append(line.rstrip("\n"))
+
+    def shard_pids(self):
+        health = self.client.health()
+        return {backend: entry["pid"]
+                for backend, entry in health["shards"].items()}
+
+    def close(self, kill=False):
+        if self.process.poll() is not None:
+            return
+        if kill:
+            self.process.kill()
+        else:
+            self.process.send_signal(signal.SIGTERM)
+        try:
+            self.process.wait(timeout=120)
+        except subprocess.TimeoutExpired:
+            self.process.kill()
+            self.process.wait(timeout=10)
+
+
+@pytest.fixture
+def fleet(tmp_path):
+    fleets = []
+
+    def start(**kwargs):
+        one = Fleet(tmp_path, **kwargs)
+        fleets.append(one)
+        return one
+
+    yield start
+    for one in fleets:
+        one.close()
+
+
+class TestGatewayFleet:
+    def test_routing_dedup_and_aggregation(self, fleet):
+        gw = fleet()
+        client = gw.client
+        health = client.health()
+        assert health["role"] == "gateway"
+        assert health["shards_alive"] == 2
+        assert health["shards_total"] == 2
+
+        # Identical payloads land on the same home shard and coalesce
+        # fleet-wide; the shard that took them is surfaced per-request.
+        status, headers, first = raw_request(
+            gw.port, "POST", "/v2/jobs", estimate_payload(0.042))
+        assert status == 202
+        home = headers["X-Repro-Shard"]
+        status, headers, second = raw_request(
+            gw.port, "POST", "/v2/jobs", estimate_payload(0.042))
+        assert headers["X-Repro-Shard"] == home
+        assert second["id"] == first["id"]
+        assert second["deduped"] is True
+
+        # Distinct keys spread and every one completes through the
+        # gateway's proxied status endpoint.
+        accepted = [client.submit(estimate_payload(0.01 + 0.002 * i))
+                    for i in range(8)]
+        for entry in accepted:
+            assert client.wait(entry["id"], timeout=60)["status"] == "done"
+
+        jobs = client.jobs()["jobs"]
+        assert {job["shard"] for job in jobs} <= set(
+            client.health()["shards"])
+        metrics = client.metrics()
+        assert metrics["role"] == "gateway"
+        assert metrics["gw_submitted"] == 10
+        assert metrics["gw_routed"] == 10  # dedup hits still route
+        assert metrics["aggregate"]["accepted"] == 9
+        assert metrics["aggregate"]["deduped"] == 1
+        assert set(metrics["shards"]) == set(client.health()["shards"])
+
+    def test_v1_adapter_and_typed_errors_through_gateway(self, fleet):
+        gw = fleet()
+        status, headers, out = raw_request(gw.port, "GET",
+                                           "/v1/jobs/ghost")
+        assert status == 404
+        assert isinstance(out["error"], str)  # flattened for v1
+        assert "/v2/" in headers["Deprecation"]
+        status, headers, out = raw_request(gw.port, "GET",
+                                           "/v2/jobs/ghost")
+        assert status == 404
+        assert out["error"]["code"] == "job_not_found"
+        assert "Deprecation" not in headers
+        with pytest.raises(JobNotFound):
+            gw.client.status("ghost")
+
+    @pytest.mark.chaos
+    def test_shard_kill_mid_campaign_loses_no_jobs(self, fleet):
+        gw = fleet()
+        client = gw.client
+        accepted = [client.submit(run_payload(0.02 + 0.003 * i,
+                                              label=f"chaos{i}"))
+                    for i in range(4)]
+        accepted += [client.submit(estimate_payload(0.03 + 0.003 * i))
+                     for i in range(4)]
+        victim_backend, victim_pid = next(
+            iter(gw.shard_pids().items()))
+        os.kill(victim_pid, signal.SIGKILL)
+
+        # Every accepted job still reaches "done": jobs homed on the
+        # dead shard are resubmitted to the survivor and old ids keep
+        # resolving through the gateway's alias table.
+        for entry in accepted:
+            final = client.wait(entry["id"], timeout=240)
+            assert final["status"] == "done", (entry, final)
+
+        metrics = client.metrics()
+        assert metrics["gw_shards_down"] >= 1
+        health = client.health()
+        assert health["shards_alive"] == 1
+        assert health["shards"][victim_backend]["alive"] is False
+
+    def test_sigterm_drains_fleet_and_exits_zero(self, fleet):
+        gw = fleet()
+        accepted = gw.client.submit(run_payload(0.02, label="drain"))
+        assert accepted["status"] in ("queued", "running")
+        gw.close()
+        assert gw.process.returncode == 0, "\n".join(gw.lines)
+        out = "\n".join(gw.lines)
+        assert "gateway: drain started" in out
+        assert "gateway: drain complete, exiting 0" in out
